@@ -1,0 +1,92 @@
+// Design-choice ablation (paper VI-E): the marking map costs about
+// log2((2j+1)(k+1)) bits per column, and the paper states the compression
+// ratio "cannot be significantly increased when j or k is greater than 1",
+// hence its j = k = 1 setting. This bench sweeps (j, k) on a column-drifting
+// field (where shifting genuinely matters) and on SSH, reporting the CR per
+// configuration.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/core/autotune.hpp"
+
+namespace cliz {
+namespace {
+
+/// Field with per-column drift of -2..+2 quantization bins per step plus
+/// texture — the stress case for bin shifting.
+NdArray<float> drifting_field(double eb) {
+  const Shape shape({96, 24, 24});
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < 96; ++t) {
+    for (std::size_t p = 0; p < 24 * 24; ++p) {
+      const double drift = static_cast<double>(p % 5) - 2.0;
+      data[t * 576 + p] = static_cast<float>(
+          drift * 2.0 * eb * static_cast<double>(t) +
+          0.05 * std::sin(0.3 * static_cast<double>(p)));
+    }
+  }
+  return data;
+}
+
+void sweep(const char* label, const NdArray<float>& data, double eb,
+           const MaskMap* mask, const PipelineConfig& base) {
+  std::printf("\n-- %s --\n", label);
+  auto off = base;
+  off.classify_bins = false;
+  const auto s_off = ClizCompressor(off).compress(data, eb, mask);
+  const double cr_off = compression_ratio(data.size() * 4, s_off.size());
+  std::printf("classification off: CR %.3f\n", cr_off);
+
+  bench::Table t({"j (shift radius)", "k (dispersion levels)", "CR",
+                  "vs off", "vs j=k=1"});
+  double cr_11 = 0.0;
+  for (const unsigned j : {0u, 1u, 2u, 3u}) {
+    for (const unsigned k : {0u, 1u, 2u, 3u}) {
+      ClizOptions opts;
+      opts.classify = ClassifyParams{j, k};
+      auto on = base;
+      on.classify_bins = true;
+      const auto stream = ClizCompressor(on, opts).compress(data, eb, mask);
+      const double cr = compression_ratio(data.size() * 4, stream.size());
+      if (j == 1 && k == 1) cr_11 = cr;
+      t.add_row({std::to_string(j), std::to_string(k), bench::fmt(cr, 3),
+                 bench::fmt(100.0 * (cr / cr_off - 1.0), 2) + "%",
+                 cr_11 > 0.0
+                     ? bench::fmt(100.0 * (cr / cr_11 - 1.0), 2) + "%"
+                     : "n/a"});
+    }
+  }
+  t.print();
+}
+
+void run() {
+  std::printf("== Ablation: classification shift radius j and dispersion "
+              "levels k ==\n");
+  std::printf("(paper: j = k = 1 is enough; the map cost of larger j/k "
+              "outweighs the gain)\n");
+
+  const double eb = 1e-3;
+  const auto drift = drifting_field(eb);
+  PipelineConfig base = PipelineConfig::defaults(3);
+  base.fitting = FittingKind::kLinear;
+  sweep("synthetic column-drift field", drift, eb, nullptr, base);
+
+  const auto ssh = make_ssh(0.15);
+  const double ssh_eb =
+      abs_bound_from_relative(ssh.data.flat(), 1e-3, ssh.mask_ptr());
+  AutotuneOptions opts;
+  opts.time_dim = ssh.time_dim;
+  opts.sampling_rate = 0.01;
+  const auto tuned = autotune(ssh.data, ssh_eb, ssh.mask_ptr(), opts);
+  sweep("SSH (tuned pipeline)", ssh.data, ssh_eb, ssh.mask_ptr(),
+        tuned.best);
+}
+
+}  // namespace
+}  // namespace cliz
+
+int main() {
+  cliz::run();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Throughput microbenchmarks (google-benchmark): compression and
+// decompression speed of every codec on a fixed climate field, plus the
+// hot substrates (Huffman, lossless backend, FFT, wavelet). Backs the
+// paper's claim that CliZ's speed is comparable to SZ3/ZFP and well above
+// SPERR.
+#include <benchmark/benchmark.h>
+
+#include "src/climate/datasets.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/autotune.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/compressor.hpp"
+#include "src/fft/fft.hpp"
+#include "src/huffman/huffman.hpp"
+#include "src/lossless/lossless.hpp"
+#include "src/metrics/metrics.hpp"
+#include "src/sperr/wavelet.hpp"
+
+namespace cliz {
+namespace {
+
+/// Shared fixture data (built once; benchmarks only time the codec work).
+struct SpeedContext {
+  ClimateField field = make_ssh(0.12, 4242);
+  double eb = 0.0;
+  PipelineConfig tuned = PipelineConfig::defaults(3);
+
+  SpeedContext() {
+    eb = abs_bound_from_relative(field.data.flat(), 1e-3, field.mask_ptr());
+    AutotuneOptions opts;
+    opts.time_dim = field.time_dim;
+    opts.sampling_rate = 0.01;
+    tuned = autotune(field.data, eb, field.mask_ptr(), opts).best;
+  }
+};
+
+SpeedContext& ctx() {
+  static SpeedContext c;
+  return c;
+}
+
+void report_bytes(benchmark::State& state, std::size_t bytes_per_iter) {
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(bytes_per_iter * state.iterations()));
+}
+
+void BM_Compress(benchmark::State& state, const std::string& name) {
+  auto& c = ctx();
+  auto comp = make_compressor(name);
+  comp->set_time_dim(c.field.time_dim);
+  if (name == "cliz") comp->set_mask(c.field.mask_ptr());
+  (void)comp->compress(c.field.data, c.eb);  // warm-up / one-time tuning
+  std::size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto stream = comp->compress(c.field.data, c.eb);
+    out_bytes = stream.size();
+    benchmark::DoNotOptimize(stream);
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["ratio"] = static_cast<double>(
+      c.field.data.size() * sizeof(float)) / static_cast<double>(out_bytes);
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& name) {
+  auto& c = ctx();
+  auto comp = make_compressor(name);
+  comp->set_time_dim(c.field.time_dim);
+  if (name == "cliz") comp->set_mask(c.field.mask_ptr());
+  const auto stream = comp->compress(c.field.data, c.eb);
+  for (auto _ : state) {
+    auto recon = comp->decompress(stream);
+    benchmark::DoNotOptimize(recon);
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint32_t> syms(1 << 20);
+  for (auto& s : syms) {
+    const double u = rng.uniform();
+    s = 32768 + static_cast<std::uint32_t>(-std::log2(1.0 - u));
+  }
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  for (auto _ : state) {
+    BitWriter bits;
+    codec.encode(syms, bits);
+    auto payload = bits.finish();
+    benchmark::DoNotOptimize(payload);
+  }
+  report_bytes(state, syms.size() * sizeof(std::uint32_t));
+}
+
+void BM_LosslessCompress(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i / 128) % 4 == 0 ? 0
+                                 : static_cast<std::uint8_t>(
+                                       rng.uniform_index(16));
+  }
+  for (auto _ : state) {
+    auto out = lossless_compress(data);
+    benchmark::DoNotOptimize(out);
+  }
+  report_bytes(state, data.size());
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::complex<double>> signal(1 << 14);
+  for (auto& v : signal) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = signal;
+    fft_pow2_inplace(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  report_bytes(state, signal.size() * sizeof(signal[0]));
+}
+
+void BM_Wavelet(benchmark::State& state) {
+  const Shape shape({256, 256});
+  const WaveletTransform w(shape, 4);
+  Rng rng(4);
+  std::vector<double> data(shape.size());
+  for (auto& v : data) v = rng.normal();
+  for (auto _ : state) {
+    auto copy = data;
+    w.forward(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  report_bytes(state, data.size() * sizeof(double));
+}
+
+}  // namespace
+}  // namespace cliz
+
+int main(int argc, char** argv) {
+  using cliz::BM_Compress;
+  using cliz::BM_Decompress;
+  for (const auto& name : cliz::compressor_names()) {
+    benchmark::RegisterBenchmark(("compress/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Compress(s, name);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("decompress/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Decompress(s, name);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("substrate/huffman_encode",
+                               cliz::BM_HuffmanEncode)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("substrate/lossless_compress",
+                               cliz::BM_LosslessCompress)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("substrate/fft_16k", cliz::BM_FftPow2)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("substrate/wavelet_256x256",
+                               cliz::BM_Wavelet)
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 8: FFT period detection on rows sampled from the SSH dataset along
+// the time dimension. The paper's full-size SSH has 1032 monthly samples
+// and peaks at DFT bin 86 -> period 12; our scaled dataset peaks at
+// n_time/12 with the same period.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/core/autotune.hpp"
+#include "src/fft/fft.hpp"
+#include "src/fft/period.hpp"
+
+namespace cliz {
+namespace {
+
+void run() {
+  std::printf("== Fig. 8: DFT magnitudes of 10 SSH time rows ==\n");
+  const auto field = make_ssh();
+  const std::size_t n_time = field.data.shape().dim(field.time_dim);
+  const auto rows =
+      sample_time_rows(field.data, field.mask_ptr(), field.time_dim, 10, 42);
+  std::printf("rows sampled: %zu, time length: %zu\n", rows.size(), n_time);
+
+  // Averaged magnitude spectrum (what detect_period sees).
+  std::vector<double> avg(n_time / 2 + 1, 0.0);
+  for (const auto& row : rows) {
+    double mean = 0.0;
+    for (const double v : row) mean += v;
+    mean /= static_cast<double>(row.size());
+    std::vector<double> centered(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) centered[i] = row[i] - mean;
+    const auto mag = magnitude_spectrum(centered);
+    for (std::size_t k = 0; k < avg.size(); ++k) {
+      avg[k] += mag[k] / static_cast<double>(rows.size());
+    }
+  }
+
+  // Print the spectrum around the annual bin plus a coarse sweep.
+  const std::size_t annual = n_time / 12;
+  bench::Table t({"Frequency bin", "Mean |X[f]|", ""});
+  for (std::size_t f = 2; f < avg.size(); ++f) {
+    const bool near_peak = f + 2 >= annual && f <= annual + 2;
+    const bool harmonic = annual != 0 && f % annual == 0;
+    if (near_peak || harmonic || f % std::max<std::size_t>(1, avg.size() / 12) == 0) {
+      t.add_row({std::to_string(f), bench::fmt(avg[f], 2),
+                 f == annual ? "<-- annual cycle" :
+                 (harmonic ? "(harmonic)" : "")});
+    }
+  }
+  t.print();
+
+  const auto est = detect_period(rows);
+  if (est.has_value()) {
+    std::printf("\ndetected: frequency bin %zu, period %zu samples "
+                "(peak %.2f, noise floor %.2f)\n",
+                est->frequency, est->period, est->peak_amplitude,
+                est->median_amplitude);
+    std::printf("paper: 1032 samples -> peak at bin 86 -> period 12; here "
+                "%zu samples -> bin %zu -> period %zu\n",
+                n_time, est->frequency, est->period);
+  } else {
+    std::printf("\nno significant periodicity detected (unexpected!)\n");
+  }
+
+  // Negative control: Hurricane-T must show no cycle along its leading dim.
+  const auto hurricane = make_hurricane_t(0.12);
+  const auto hrows = sample_time_rows(hurricane.data, nullptr, 0, 10, 42);
+  const auto hest = detect_period(hrows);
+  std::printf("negative control (Hurricane-T leading dim): %s\n",
+              hest.has_value() ? "period detected (unexpected!)"
+                               : "no periodicity, as expected");
+}
+
+}  // namespace
+}  // namespace cliz
+
+int main() {
+  cliz::run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 13: compression + Globus WAN transfer time with 256/512/1024 cores,
+// comparing CliZ, SZ3 and ZFP tuned to the same PSNR (paper: ~117 dB). The
+// per-file compression time and compressed size are *measured* on the SSH
+// dataset; the core pool and WAN link are simulated (see
+// src/transfer/globus_sim.hpp and DESIGN.md substitutions).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/transfer/globus_sim.hpp"
+
+namespace cliz {
+namespace {
+
+void run() {
+  std::printf("== Fig. 13: compression + Globus transfer time ==\n");
+  const auto field = make_ssh();
+  const double target_psnr = 95.0;  // scaled-data stand-in for 117 dB
+  const std::size_t n_files = 1024;
+
+  struct Calibrated {
+    std::string name;
+    bench::RunResult result;
+  };
+  std::vector<Calibrated> codecs;
+  for (const auto& name : {"cliz", "sz3", "zfp"}) {
+    auto comp = make_compressor(name);
+    comp->set_time_dim(field.time_dim);
+    if (std::string(name) == "cliz") comp->set_mask(field.mask_ptr());
+    const auto r = bench::bisect_to_target(
+        [&](double rel) {
+          const double eb = abs_bound_from_relative(
+              field.data.flat(), rel, field.mask_ptr());
+          return bench::run_codec(*comp, field, eb, /*with_ssim=*/false);
+        },
+        target_psnr, [](const bench::RunResult& r) { return r.psnr; },
+        /*increasing=*/false);
+    codecs.push_back({name, r});
+    std::printf("%-5s calibrated: PSNR %.1f dB, CR %.1f, compress %.2f s, "
+                "size %.2f MB\n",
+                name, r.psnr, r.ratio(), r.compress_seconds,
+                static_cast<double>(r.compressed_bytes) / 1048576.0);
+  }
+
+  std::printf("\n%zu files per campaign, one dataset per file\n\n", n_files);
+  // Link calibrated to MB-scale files (the paper ships GB-scale files over
+  // a 10 Gbps WAN; we keep the same transfer-dominated regime by scaling
+  // the per-stream rate down with the file size).
+  WanLink link;
+  link.aggregate_bandwidth_mbps = 512.0;
+  link.per_stream_bandwidth_mbps = 8.0;
+  link.per_file_overhead_s = 0.01;
+  bench::Table t({"Cores", "Compressor", "PSNR(dB)", "Compress(s)",
+                  "Transfer(s)", "Total(s)"});
+  std::vector<double> totals_256;
+  for (const std::size_t cores : {256u, 512u, 1024u}) {
+    for (const auto& c : codecs) {
+      TransferPlan plan;
+      plan.cores = cores;
+      plan.n_files = n_files;
+      plan.compress_seconds_per_file = c.result.compress_seconds;
+      plan.compressed_bytes_per_file = c.result.compressed_bytes;
+      const auto out = simulate_transfer(plan, link);
+      t.add_row({std::to_string(cores), c.name, bench::fmt(c.result.psnr, 1),
+                 bench::fmt(out.compress_seconds, 1),
+                 bench::fmt(out.transfer_seconds, 1),
+                 bench::fmt(out.total_seconds(), 1)});
+      if (cores == 1024) totals_256.push_back(out.total_seconds());
+    }
+  }
+  t.print();
+
+  if (totals_256.size() == 3) {
+    std::printf("\nend-to-end reduction at 1024 cores: CliZ vs SZ3: %.0f%%, "
+                "CliZ vs ZFP: %.0f%%\n",
+                100.0 * (1.0 - totals_256[0] / totals_256[1]),
+                100.0 * (1.0 - totals_256[0] / totals_256[2]));
+  }
+  std::printf("(paper: CliZ cuts the ANL->Purdue campaign by 32-38%% vs the "
+              "SZ3 solution;\n transfer dominates and CliZ ships the "
+              "smallest files)\n");
+}
+
+}  // namespace
+}  // namespace cliz
+
+int main() {
+  cliz::run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: generate a small climate-like field, auto-tune a CliZ
+// pipeline, compress under an absolute error bound, decompress, and verify.
+//
+//   ./quickstart [abs_error_bound]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/climate/datasets.hpp"
+#include "src/core/autotune.hpp"
+#include "src/core/cliz.hpp"
+#include "src/metrics/metrics.hpp"
+
+int main(int argc, char** argv) {
+  const double eb = argc > 1 ? std::atof(argv[1]) : 1e-3;
+
+  // 1. A dataset: here the synthetic sea-surface-height field (masked,
+  //    annual cycle). Real users would load their own NdArray<float>.
+  const cliz::ClimateField field = cliz::make_ssh(/*scale=*/0.15);
+  std::printf("dataset : %s %s (%zu points, %.0f%% valid)\n",
+              field.name.c_str(), field.data.shape().to_string().c_str(),
+              field.data.size(),
+              100.0 * static_cast<double>(field.mask->count_valid()) /
+                  static_cast<double>(field.data.size()));
+
+  // 2. Offline auto-tuning: pick the best pipeline on a 1% sample.
+  cliz::AutotuneOptions opts;
+  opts.time_dim = field.time_dim;
+  opts.sampling_rate = 0.01;
+  const auto tuned = cliz::autotune(field.data, eb, field.mask_ptr(), opts);
+  std::printf("pipeline: %s (tuned in %.2f s over %zu candidates)\n",
+              tuned.best.label().c_str(), tuned.tuning_seconds,
+              tuned.candidates.size());
+
+  // 3. Online compression with the tuned pipeline.
+  const cliz::ClizCompressor codec(tuned.best);
+  const auto stream = codec.compress(field.data, eb, field.mask_ptr());
+  std::printf("size    : %zu bytes -> %zu bytes (ratio %.1fx, %.3f "
+              "bits/value)\n",
+              field.data.size() * sizeof(float), stream.size(),
+              cliz::compression_ratio(field.data.size() * sizeof(float),
+                                      stream.size()),
+              cliz::bit_rate(field.data.size(), stream.size()));
+
+  // 4. Decompression + verification.
+  const auto recon = cliz::ClizCompressor::decompress(stream);
+  const auto stats =
+      cliz::error_stats(field.data.flat(), recon.flat(), field.mask_ptr());
+  std::printf("quality : max error %.3g (bound %.3g), PSNR %.1f dB\n",
+              stats.max_abs_error, eb, stats.psnr);
+  if (stats.max_abs_error > eb) {
+    std::printf("ERROR: bound violated!\n");
+    return 1;
+  }
+  std::printf("error bound verified on all %zu valid points\n", stats.count);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Compression-enabled WAN data sharing, the paper's section VII-C4 use
+// case: compress an ensemble of fields, then estimate the end-to-end
+// (compress + Globus transfer) time between two sites for several codec
+// choices and core counts.
+//
+//   ./transfer_pipeline [n_files]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/climate/datasets.hpp"
+#include "src/common/timer.hpp"
+#include "src/core/compressor.hpp"
+#include "src/metrics/metrics.hpp"
+#include "src/transfer/globus_sim.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n_files =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 512;
+  const auto field = cliz::make_ssh(0.15);
+  const double eb = cliz::abs_bound_from_relative(field.data.flat(), 1e-3,
+                                                  field.mask_ptr());
+  std::printf("campaign: %zu files of %s (%zu bytes each raw)\n\n", n_files,
+              field.data.shape().to_string().c_str(),
+              field.data.size() * sizeof(float));
+
+  for (const auto& name : {"cliz", "sz3", "zfp"}) {
+    auto comp = cliz::make_compressor(name);
+    comp->set_time_dim(field.time_dim);
+    if (std::string(name) == "cliz") comp->set_mask(field.mask_ptr());
+
+    // Measure one representative file.
+    cliz::Timer t;
+    const auto stream = comp->compress(field.data, eb);
+    const double comp_s = t.seconds();
+    const auto recon = comp->decompress(stream);
+    const auto stats = cliz::error_stats(field.data.flat(), recon.flat(),
+                                         field.mask_ptr());
+
+    std::printf("%-5s: %.2f s/file, %.2f MB/file, PSNR %.1f dB\n", name,
+                comp_s, static_cast<double>(stream.size()) / 1048576.0,
+                stats.psnr);
+    for (const std::size_t cores : {256u, 512u, 1024u}) {
+      cliz::TransferPlan plan;
+      plan.cores = cores;
+      plan.n_files = n_files;
+      plan.compress_seconds_per_file = comp_s;
+      plan.compressed_bytes_per_file = stream.size();
+      const auto out = cliz::simulate_transfer(plan);
+      std::printf("   %4zu cores: compress %6.1f s + transfer %6.1f s = "
+                  "%6.1f s total\n",
+                  cores, out.compress_seconds, out.transfer_seconds,
+                  out.total_seconds());
+    }
+    std::printf("\n");
+  }
+  std::printf("(higher compression ratio -> smaller files -> the WAN "
+              "transfer, which\n dominates, shrinks: the paper's 32-38%% "
+              "end-to-end saving)\n");
+  return 0;
+}

@@ -1,0 +1,490 @@
+#include "src/climate/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "src/climate/noise.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::size_t scaled(std::size_t base, double scale, std::size_t floor_value) {
+  return std::max<std::size_t>(
+      floor_value,
+      static_cast<std::size_t>(std::llround(static_cast<double>(base) * scale)));
+}
+
+/// Time extents stay a positive multiple of the annual period (12 samples).
+std::size_t scaled_time(std::size_t base, double scale) {
+  const std::size_t t = scaled(base, scale, 24);
+  return std::max<std::size_t>(24, (t / 12) * 12);
+}
+
+/// Latitude in radians of row `i` of `n` (south pole .. north pole).
+double latitude(std::size_t i, std::size_t n) {
+  return -kPi / 2.0 +
+         kPi * (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+}
+
+/// Normalized coordinate in [0, 1).
+double unit(std::size_t i, std::size_t n) {
+  return (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+}
+
+/// Continents map: land flags for an n_lat x n_lon grid. The threshold is
+/// the per-map quantile, so every seed yields the same land fraction
+/// (Earth: ~30% land, the paper's "70% of the surface is water").
+std::vector<std::uint8_t> make_land(const Noise2D& continents,
+                                    std::size_t n_lat, std::size_t n_lon,
+                                    double land_fraction = 0.3) {
+  std::vector<double> values(n_lat * n_lon);
+  for (std::size_t la = 0; la < n_lat; ++la) {
+    for (std::size_t lo = 0; lo < n_lon; ++lo) {
+      values[la * n_lon + lo] =
+          continents.fbm(unit(lo, n_lon), unit(la, n_lat), 3.0, 4);
+    }
+  }
+  std::vector<double> sorted = values;
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * (1.0 - land_fraction));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(cut),
+                   sorted.end());
+  const double threshold = sorted[cut];
+  std::vector<std::uint8_t> land(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    land[i] = values[i] > threshold ? 1 : 0;
+  }
+  return land;
+}
+
+}  // namespace
+
+ClimateField make_ssh(double scale, std::uint64_t seed) {
+  const std::size_t n_time = scaled_time(1032 / 8, scale * 4.0);  // def. 120
+  const std::size_t n_lat = scaled(384, scale, 24);
+  const std::size_t n_lon = scaled(320, scale, 24);
+  const Shape shape({n_time, n_lat, n_lon});
+
+  const Noise2D continents(seed);
+  const Noise2D circulation(seed + 1);
+  const Noise2D phase(seed + 2);
+  const Noise2D amp(seed + 3);
+  const Noise2D fine(seed + 4);
+  Rng rng(seed + 5);
+
+  // Spatial mask: ocean valid, land invalid.
+  const auto land = make_land(continents, n_lat, n_lon);
+  MaskMap spatial = MaskMap::all_valid(Shape({n_lat, n_lon}));
+  for (std::size_t i = 0; i < land.size(); ++i) {
+    spatial.mutable_data()[i] = land[i] != 0 ? 0 : 1;
+  }
+  MaskMap mask = MaskMap::broadcast(spatial, shape);
+
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < n_time; ++t) {
+    const double season = 2.0 * kPi * static_cast<double>(t) / 12.0;
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double lat = latitude(la, n_lat);
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const std::size_t off = (t * n_lat + la) * n_lon + lo;
+        if (!mask.valid(off)) {
+          data[off] = kFillValue;
+          continue;
+        }
+        const double u = unit(lo, n_lon);
+        const double v = unit(la, n_lat);
+        const double mean_height = 1.2 * circulation.fbm(u, v, 2.0, 5);
+        const double seasonal_amp =
+            0.25 * (0.4 + 0.6 * std::cos(lat)) *
+            (0.75 + 0.25 * amp.fbm(u, v, 3.0, 3));
+        const double seasonal =
+            seasonal_amp * std::cos(season + 0.8 * phase.fbm(u, v, 2.0, 3));
+        const double eddies = 0.05 * fine.fbm(u, v, 24.0, 3);
+        const double trend = 0.0004 * static_cast<double>(t);
+        const double noise = 0.004 * rng.normal();
+        data[off] = static_cast<float>(mean_height + seasonal + eddies +
+                                       trend + noise);
+      }
+    }
+  }
+  return ClimateField{"SSH", std::move(data), std::move(mask), 0, true, 12};
+}
+
+ClimateField make_cesm_t(double scale, std::uint64_t seed) {
+  const std::size_t n_h = 26;
+  const std::size_t n_lat = scaled(1800, scale, 32);
+  const std::size_t n_lon = scaled(3600, scale, 32);
+  const Shape shape({n_h, n_lat, n_lon});
+
+  const Noise2D topo(seed);
+  const Noise2D fine(seed + 1);
+  Rng rng(seed + 2);
+
+  NdArray<float> data(shape);
+  for (std::size_t h = 0; h < n_h; ++h) {
+    // Strong variation along height (paper: mean step 4.4 K per level vs
+    // 0.05/0.02 along lat/lon).
+    const double zh = static_cast<double>(h) / static_cast<double>(n_h);
+    const double base = 288.0 - 95.0 * std::pow(zh, 1.15);
+    const double surface_weight = std::exp(-4.0 * zh);
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double lat = latitude(la, n_lat);
+      const double meridional = 28.0 * (std::cos(lat) - 0.4);
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const double u = unit(lo, n_lon);
+        const double v = unit(la, n_lat);
+        const double oro = topo.fbm(u, v, 4.0, 5);
+        const double orography = 6.0 * oro;
+        // Topography couples to the column's small-scale roughness AND its
+        // lapse rate: mountainous columns stay rough and keep a private
+        // vertical gradient at every height — the persistent per-column
+        // structure the paper's Fig. 5 observes in the quantization bins.
+        const double roughness = 0.1 + 1.2 * std::abs(oro);
+        // Drift the texture field with height so levels differ in value but
+        // share per-column statistics (same columns stay rough).
+        const double texture =
+            roughness * fine.fbm(u + 0.31 * zh, v - 0.17 * zh, 32.0, 3);
+        const double lapse_mod = -4.0 * oro * zh;
+        const double noise = 0.02 * rng.normal();
+        data[(h * n_lat + la) * n_lon + lo] = static_cast<float>(
+            base + lapse_mod + texture +
+            surface_weight * (meridional + orography) + 0.3 * meridional +
+            noise);
+      }
+    }
+  }
+  return ClimateField{"CESM-T", std::move(data), std::nullopt, 0, false, 0};
+}
+
+ClimateField make_relhum(double scale, std::uint64_t seed) {
+  const std::size_t n_h = 26;
+  const std::size_t n_lat = scaled(1800, scale, 32);
+  const std::size_t n_lon = scaled(3600, scale, 32);
+  const Shape shape({n_h, n_lat, n_lon});
+
+  const Noise2D moisture(seed);
+  const Noise2D bands(seed + 1);
+  Rng rng(seed + 2);
+
+  NdArray<float> data(shape);
+  for (std::size_t h = 0; h < n_h; ++h) {
+    const double zh = static_cast<double>(h) / static_cast<double>(n_h);
+    const double dry_aloft = std::exp(-2.2 * zh);
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double lat = latitude(la, n_lat);
+      // Wet tropics, dry subtropics, wetter mid-latitudes.
+      const double zonal = 25.0 * std::cos(3.0 * lat) + 10.0 * std::cos(lat);
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const double u = unit(lo, n_lon);
+        const double v = unit(la, n_lat);
+        const double wet = moisture.fbm(u, v, 6.0, 5);
+        const double synoptic = 18.0 * wet;
+        // Streak roughness rides on the moisture map: wet regions are
+        // convectively active, dry subtropics are quiet — a persistent
+        // per-column dispersion pattern (paper section V-D).
+        const double streaks = (2.0 + 10.0 * std::abs(wet)) *
+                               bands.fbm(u + 0.23 * zh, v, 14.0, 3);
+        const double noise = 0.5 * rng.normal();
+        const double rh =
+            45.0 + dry_aloft * (zonal + synoptic + streaks) + noise;
+        data[(h * n_lat + la) * n_lon + lo] =
+            static_cast<float>(std::clamp(rh, 0.0, 100.0));
+      }
+    }
+  }
+  return ClimateField{"RELHUM", std::move(data), std::nullopt, 0, false, 0};
+}
+
+ClimateField make_soilliq(double scale, std::uint64_t seed) {
+  const std::size_t n_time = scaled_time(360 / 5, scale * 2.5);  // default 36
+  const std::size_t n_h = 15;
+  const std::size_t n_lat = scaled(96, scale, 24);
+  const std::size_t n_lon = scaled(144, scale, 24);
+  const Shape shape({n_time, n_h, n_lat, n_lon});
+
+  const Noise2D continents(seed);
+  const Noise2D wetness(seed + 1);
+  const Noise2D phase(seed + 2);
+  Rng rng(seed + 3);
+
+  // Land valid (~30% of the globe), ocean invalid — the paper's "70% of
+  // the surface is water and regarded as invalid".
+  const auto land = make_land(continents, n_lat, n_lon);
+  MaskMap spatial = MaskMap::all_valid(Shape({n_lat, n_lon}));
+  for (std::size_t i = 0; i < land.size(); ++i) {
+    spatial.mutable_data()[i] = land[i];
+  }
+  MaskMap mask = MaskMap::broadcast(spatial, shape);
+
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < n_time; ++t) {
+    const double season = 2.0 * kPi * static_cast<double>(t) / 12.0;
+    for (std::size_t h = 0; h < n_h; ++h) {
+      const double depth = static_cast<double>(h) / static_cast<double>(n_h);
+      const double column = 22.0 * std::exp(-1.8 * depth);
+      const double seasonal_damping = std::exp(-2.5 * depth);
+      for (std::size_t la = 0; la < n_lat; ++la) {
+        for (std::size_t lo = 0; lo < n_lon; ++lo) {
+          const std::size_t off =
+              ((t * n_h + h) * n_lat + la) * n_lon + lo;
+          if (!mask.valid(off)) {
+            data[off] = kFillValue;
+            continue;
+          }
+          const double u = unit(lo, n_lon);
+          const double v = unit(la, n_lat);
+          const double climate = 0.5 + 0.5 * wetness.fbm(u, v, 4.0, 4);
+          const double cyc =
+              1.0 + 0.35 * seasonal_damping *
+                        std::cos(season + phase.fbm(u, v, 3.0, 3));
+          const double noise = 0.05 * rng.normal();
+          data[off] = static_cast<float>(
+              std::max(0.0, column * climate * cyc + noise));
+        }
+      }
+    }
+  }
+  return ClimateField{"SOILLIQ", std::move(data), std::move(mask), 0, true,
+                      12};
+}
+
+ClimateField make_tsfc(double scale, std::uint64_t seed) {
+  const std::size_t n_time = scaled_time(360 / 3, scale * 4.0);  // def. 120
+  const std::size_t n_lat = scaled(384, scale, 24);
+  const std::size_t n_lon = scaled(320, scale, 24);
+  const Shape shape({n_time, n_lat, n_lon});
+
+  const Noise2D edge(seed);
+  const Noise2D texture(seed + 1);
+  const Noise2D phase(seed + 2);
+  Rng rng(seed + 3);
+
+  // Valid where snow/ice plausibly exists: polar caps with a noisy edge.
+  MaskMap spatial = MaskMap::all_valid(Shape({n_lat, n_lon}));
+  for (std::size_t la = 0; la < n_lat; ++la) {
+    const double lat = latitude(la, n_lat);
+    for (std::size_t lo = 0; lo < n_lon; ++lo) {
+      const double u = unit(lo, n_lon);
+      const double v = unit(la, n_lat);
+      const double cap =
+          std::abs(lat) - (1.02 + 0.12 * edge.fbm(u, v, 5.0, 3));
+      spatial.mutable_data()[la * n_lon + lo] = cap > 0.0 ? 1 : 0;
+    }
+  }
+  MaskMap mask = MaskMap::broadcast(spatial, shape);
+
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < n_time; ++t) {
+    const double season = 2.0 * kPi * static_cast<double>(t) / 12.0;
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double lat = latitude(la, n_lat);
+      // Opposite seasonal phase per hemisphere.
+      const double hemi = lat >= 0.0 ? 0.0 : kPi;
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const std::size_t off = (t * n_lat + la) * n_lon + lo;
+        if (!mask.valid(off)) {
+          data[off] = kFillValue;
+          continue;
+        }
+        const double u = unit(lo, n_lon);
+        const double v = unit(la, n_lat);
+        const double base = -8.0 - 30.0 * (std::abs(lat) / (kPi / 2.0) - 0.6);
+        const double seasonal =
+            14.0 * std::cos(season + hemi + 0.4 * phase.fbm(u, v, 3.0, 3));
+        const double local = 3.0 * texture.fbm(u, v, 10.0, 4);
+        const double noise = 0.15 * rng.normal();
+        data[off] = static_cast<float>(base + seasonal + local + noise);
+      }
+    }
+  }
+  return ClimateField{"Tsfc", std::move(data), std::move(mask), 0, true, 12};
+}
+
+ClimateField make_hurricane_t(double scale, std::uint64_t seed) {
+  const std::size_t n_h = scaled(100, scale * 2.0, 24);   // default 50
+  const std::size_t n_lat = scaled(500, scale, 48);       // default 125
+  const std::size_t n_lon = scaled(500, scale, 48);
+  const Shape shape({n_h, n_lat, n_lon});
+
+  const Noise2D bands(seed);
+  const Noise2D env(seed + 1);
+  Rng rng(seed + 2);
+
+  NdArray<float> data(shape);
+  for (std::size_t h = 0; h < n_h; ++h) {
+    const double zh = static_cast<double>(h) / static_cast<double>(n_h);
+    const double base = 300.0 - 72.0 * zh;
+    // Eye drifts slightly with height (vortex tilt).
+    const double cx = 0.5 + 0.04 * zh;
+    const double cy = 0.5 - 0.03 * zh;
+    const double core_weight = std::exp(-std::pow((zh - 0.35) / 0.35, 2.0));
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double y = unit(la, n_lat);
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const double x = unit(lo, n_lon);
+        const double dx = x - cx;
+        const double dy = y - cy;
+        const double r = std::sqrt(dx * dx + dy * dy);
+        const double theta = std::atan2(dy, dx);
+        const double warm_core =
+            9.0 * core_weight * std::exp(-std::pow(r / 0.06, 2.0));
+        const double rainbands = 1.8 *
+                                 std::sin(3.0 * theta + r * 45.0) *
+                                 std::exp(-r / 0.25) * core_weight;
+        const double environment = 1.2 * env.fbm(x, y, 5.0, 4);
+        const double turb =
+            0.4 * bands.fbm(x + zh, y - zh, 20.0, 3) + 0.05 * rng.normal();
+        data[(h * n_lat + la) * n_lon + lo] = static_cast<float>(
+            base + warm_core + rainbands + environment + turb);
+      }
+    }
+  }
+  return ClimateField{"Hurricane-T", std::move(data), std::nullopt, 0, false,
+                      0};
+}
+
+namespace {
+
+/// Scaffold shared by the ocean-model fields of section IV: same grid and
+/// the same continents (seed 1001, the SSH default) so the whole model
+/// family shares one land mask — the property that lets a single tuned
+/// pipeline serve every field.
+template <typename ValueFn>
+ClimateField make_ocean_field(const std::string& name, double scale,
+                              ValueFn&& value) {
+  const std::size_t n_time = scaled_time(1032 / 8, scale * 4.0);
+  const std::size_t n_lat = scaled(384, scale, 24);
+  const std::size_t n_lon = scaled(320, scale, 24);
+  const Shape shape({n_time, n_lat, n_lon});
+
+  const Noise2D continents(1001);
+  const auto land = make_land(continents, n_lat, n_lon);
+  MaskMap spatial = MaskMap::all_valid(Shape({n_lat, n_lon}));
+  for (std::size_t i = 0; i < land.size(); ++i) {
+    spatial.mutable_data()[i] = land[i] != 0 ? 0 : 1;
+  }
+  MaskMap mask = MaskMap::broadcast(spatial, shape);
+
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < n_time; ++t) {
+    const double season = 2.0 * kPi * static_cast<double>(t) / 12.0;
+    for (std::size_t la = 0; la < n_lat; ++la) {
+      const double lat = latitude(la, n_lat);
+      for (std::size_t lo = 0; lo < n_lon; ++lo) {
+        const std::size_t off = (t * n_lat + la) * n_lon + lo;
+        if (!mask.valid(off)) {
+          data[off] = kFillValue;
+          continue;
+        }
+        data[off] = static_cast<float>(
+            value(unit(lo, n_lon), unit(la, n_lat), lat, season, t));
+      }
+    }
+  }
+  return ClimateField{name, std::move(data), std::move(mask), 0, true, 12};
+}
+
+}  // namespace
+
+ClimateField make_salt(double scale, std::uint64_t seed) {
+  const Noise2D basins(seed);
+  const Noise2D rivers(seed + 1);
+  const Noise2D phase(seed + 2);
+  auto rng = std::make_shared<Rng>(seed + 3);
+  return make_ocean_field(
+      "SALT", scale,
+      [=](double u, double v, double lat, double season,
+          std::size_t /*t*/) mutable {
+        // Practical salinity ~35 PSU: salty subtropics, fresher poles and
+        // river plumes, a mild seasonal cycle from evaporation.
+        const double gyres = 1.2 * basins.fbm(u, v, 2.5, 5);
+        const double subtropical = 1.5 * std::cos(2.0 * lat);
+        const double plumes =
+            -1.0 * std::max(0.0, rivers.fbm(u, v, 8.0, 4) - 0.35);
+        const double seasonal =
+            0.15 * std::cos(lat) *
+            std::cos(season + 0.5 * phase.fbm(u, v, 3.0, 3));
+        return 34.8 + subtropical + gyres + plumes + seasonal +
+               0.01 * rng->normal();
+      });
+}
+
+ClimateField make_rho(double scale, std::uint64_t seed) {
+  const Noise2D water_mass(seed);
+  const Noise2D phase(seed + 1);
+  auto rng = std::make_shared<Rng>(seed + 2);
+  return make_ocean_field(
+      "RHO", scale,
+      [=](double u, double v, double lat, double season,
+          std::size_t /*t*/) mutable {
+        // In-situ density anomaly (sigma-t, kg/m^3): denser cold polar
+        // water, seasonal thermal expansion cycle at mid latitudes.
+        const double thermal = 2.5 * (std::abs(lat) / (kPi / 2.0) - 0.4);
+        const double masses = 0.8 * water_mass.fbm(u, v, 3.0, 5);
+        const double seasonal =
+            -0.4 * std::cos(lat) *
+            std::cos(season + 0.4 * phase.fbm(u, v, 2.0, 3) +
+                     (lat >= 0.0 ? 0.0 : kPi));
+        return 25.5 + thermal + masses + seasonal + 0.005 * rng->normal();
+      });
+}
+
+ClimateField make_shf_qsw(double scale, std::uint64_t seed) {
+  const Noise2D clouds(seed);
+  auto rng = std::make_shared<Rng>(seed + 1);
+  return make_ocean_field(
+      "SHF_QSW", scale,
+      [=](double u, double v, double lat, double season,
+          std::size_t /*t*/) mutable {
+        // Solar short-wave flux (W/m^2): dominated by the annual insolation
+        // cycle, opposite phase per hemisphere, modulated by cloudiness.
+        const double insolation =
+            220.0 * std::cos(lat) +
+            120.0 * std::sin(lat) * -std::cos(season);
+        const double cloud_damping =
+            1.0 - 0.3 * std::max(0.0, clouds.fbm(u, v, 5.0, 4));
+        return std::max(0.0, std::max(0.0, insolation) * cloud_damping +
+                                 2.0 * rng->normal());
+      });
+}
+
+std::vector<std::string> dataset_names() {
+  return {"SSH",  "CESM-T", "RELHUM",   "SOILLIQ", "Tsfc",
+          "Hurricane-T", "SALT",   "RHO",      "SHF_QSW"};
+}
+
+ClimateField make_dataset(std::string_view name) {
+  if (name == "SSH") return make_ssh();
+  if (name == "CESM-T") return make_cesm_t();
+  if (name == "RELHUM") return make_relhum();
+  if (name == "SOILLIQ") return make_soilliq();
+  if (name == "Tsfc") return make_tsfc();
+  if (name == "Hurricane-T") return make_hurricane_t();
+  if (name == "SALT") return make_salt();
+  if (name == "RHO") return make_rho();
+  if (name == "SHF_QSW") return make_shf_qsw();
+  throw Error("cliz: unknown dataset '" + std::string(name) + "'");
+}
+
+ClimateField make_dataset(std::string_view name, double scale) {
+  if (name == "SSH") return make_ssh(scale);
+  if (name == "CESM-T") return make_cesm_t(scale);
+  if (name == "RELHUM") return make_relhum(scale);
+  if (name == "SOILLIQ") return make_soilliq(scale);
+  if (name == "Tsfc") return make_tsfc(scale);
+  if (name == "Hurricane-T") return make_hurricane_t(scale);
+  if (name == "SALT") return make_salt(scale);
+  if (name == "RHO") return make_rho(scale);
+  if (name == "SHF_QSW") return make_shf_qsw(scale);
+  throw Error("cliz: unknown dataset '" + std::string(name) + "'");
+}
+
+}  // namespace cliz

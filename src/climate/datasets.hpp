@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/mask.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// One synthetic climate field standing in for the paper's Table III
+/// datasets. The generators reproduce the *structural* properties CliZ
+/// exploits — land/ocean masks with CESM fill values, annual (period-12)
+/// cycles along time, smooth lat/lon vs rough height axes, and
+/// topography-coupled variance — so the compressor code paths behave as
+/// they would on the real CESM output (see DESIGN.md, substitutions).
+struct ClimateField {
+  std::string name;
+  NdArray<float> data;
+  std::optional<MaskMap> mask;
+  /// Physical dim carrying time (where periodicity lives).
+  std::size_t time_dim = 0;
+  /// Ground truth for tests: does the field carry an annual cycle?
+  bool has_period = false;
+  std::size_t nominal_period = 0;
+
+  [[nodiscard]] const MaskMap* mask_ptr() const {
+    return mask.has_value() ? &*mask : nullptr;
+  }
+};
+
+/// CESM fill value used at masked positions.
+inline constexpr float kFillValue = 9.96921e36f;
+
+/// Sea surface height: [time][lat][lon], land masked, period 12
+/// (paper: 1032 x 384 x 320; `scale` shrinks lat/lon, time stays a
+/// multiple of 12).
+ClimateField make_ssh(double scale = 0.25, std::uint64_t seed = 1001);
+
+/// Global atmosphere temperature: [height=26][lat][lon], no mask/period,
+/// much rougher along height than along lat/lon (paper Fig. 4).
+ClimateField make_cesm_t(double scale = 0.1, std::uint64_t seed = 1002);
+
+/// Atmosphere relative humidity: [height=26][lat][lon], no mask/period.
+ClimateField make_relhum(double scale = 0.1, std::uint64_t seed = 1003);
+
+/// Soil liquid water: [time][height=15][lat][lon], ocean masked (~70%
+/// invalid), period 12.
+ClimateField make_soilliq(double scale = 0.5, std::uint64_t seed = 1004);
+
+/// Snow/ice surface temperature: [time][lat][lon], only polar caps valid,
+/// period 12.
+ClimateField make_tsfc(double scale = 0.25, std::uint64_t seed = 1005);
+
+/// Hurricane Isabel temperature: [height][lat][lon] vortex, no mask/period.
+ClimateField make_hurricane_t(double scale = 0.25, std::uint64_t seed = 1006);
+
+/// The remaining ocean-model fields the paper's section IV names as members
+/// of the same model as SSH (they share the land mask and annual cycle, so
+/// one tuned pipeline serves them all — the premise of offline tuning):
+
+/// Sea surface salinity: [time][lat][lon], land masked, period 12.
+ClimateField make_salt(double scale = 0.25, std::uint64_t seed = 1007);
+
+/// In-situ density anomaly: [time][lat][lon], land masked, period 12.
+ClimateField make_rho(double scale = 0.25, std::uint64_t seed = 1008);
+
+/// Solar short-wave heat flux: [time][lat][lon], land masked, strongly
+/// seasonal (period 12 dominates the signal).
+ClimateField make_shf_qsw(double scale = 0.25, std::uint64_t seed = 1009);
+
+/// Paper Table III names (SSH, CESM-T, RELHUM, SOILLIQ, Tsfc, Hurricane-T)
+/// plus the section-IV ocean fields (SALT, RHO, SHF_QSW).
+std::vector<std::string> dataset_names();
+
+/// Builds a dataset by Table III name at its default (laptop-scale) size,
+/// or at a custom scale factor.
+ClimateField make_dataset(std::string_view name);
+ClimateField make_dataset(std::string_view name, double scale);
+
+}  // namespace cliz

@@ -1,0 +1,61 @@
+#include "src/climate/noise.hpp"
+
+#include <cmath>
+
+namespace cliz {
+
+namespace {
+
+/// SplitMix64-style avalanche hash.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double Noise2D::lattice(std::int64_t ix, std::int64_t iy) const {
+  const std::uint64_t h =
+      mix(seed_ ^ mix((static_cast<std::uint64_t>(ix) * 0x9E3779B97F4A7C15ull) ^
+                      (static_cast<std::uint64_t>(iy) + 0xD1B54A32D192ED03ull)));
+  // Map to [-1, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double Noise2D::at(double x, double y, double frequency) const {
+  const double fx = x * frequency;
+  const double fy = y * frequency;
+  const double flx = std::floor(fx);
+  const double fly = std::floor(fy);
+  const auto ix = static_cast<std::int64_t>(flx);
+  const auto iy = static_cast<std::int64_t>(fly);
+  const double tx = smoothstep(fx - flx);
+  const double ty = smoothstep(fy - fly);
+  const double v00 = lattice(ix, iy);
+  const double v10 = lattice(ix + 1, iy);
+  const double v01 = lattice(ix, iy + 1);
+  const double v11 = lattice(ix + 1, iy + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double Noise2D::fbm(double x, double y, double base_frequency,
+                    int octaves) const {
+  double total = 0.0;
+  double amplitude = 1.0;
+  double frequency = base_frequency;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    total += amplitude * at(x, y, frequency);
+    norm += amplitude;
+    amplitude *= 0.5;
+    frequency *= 2.0;
+  }
+  return norm > 0.0 ? total / norm : 0.0;
+}
+
+}  // namespace cliz

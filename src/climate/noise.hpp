@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cliz {
+
+/// Deterministic smooth 2-D multi-octave value noise in roughly [-1, 1].
+/// The synthetic climate fields are built from sums of these at different
+/// frequencies (continents, topography, seasonal phase maps...). Lattice
+/// values come from a seeded integer hash, interpolated with smoothstep,
+/// so the field is identical across runs and platforms.
+class Noise2D {
+ public:
+  explicit Noise2D(std::uint64_t seed) : seed_(seed) {}
+
+  /// Single-octave smooth noise at (x, y) with the given lattice frequency.
+  [[nodiscard]] double at(double x, double y, double frequency) const;
+
+  /// Sum of `octaves` octaves starting at base_frequency, each octave
+  /// doubling frequency and halving amplitude. Output roughly in [-1, 1].
+  [[nodiscard]] double fbm(double x, double y, double base_frequency,
+                           int octaves) const;
+
+ private:
+  [[nodiscard]] double lattice(std::int64_t ix, std::int64_t iy) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace cliz

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+/// MSB-first bit sink used by the Huffman coders and bit-plane coders.
+class BitWriter {
+ public:
+  void put_bit(bool b) {
+    acc_ = (acc_ << 1) | static_cast<std::uint64_t>(b);
+    if (++nbits_ == 64) flush_word();
+  }
+
+  /// Writes the low `n` bits of `v`, most significant of those first.
+  void put_bits(std::uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) put_bit(((v >> i) & 1u) != 0);
+  }
+
+  /// Pads to a byte boundary and returns the assembled buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    while (nbits_ % 8 != 0) put_bit(false);
+    if (nbits_ > 0) {
+      for (int i = static_cast<int>(nbits_) - 8; i >= 0; i -= 8) {
+        out_.push_back(static_cast<std::uint8_t>(acc_ >> i));
+      }
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    return std::move(out_);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return out_.size() * 8 + nbits_;
+  }
+
+ private:
+  void flush_word() {
+    for (int i = 56; i >= 0; i -= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> i));
+    }
+    acc_ = 0;
+    nbits_ = 0;
+  }
+
+  std::vector<std::uint8_t> out_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// MSB-first bit source; bounds-checked like ByteReader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool get_bit() {
+    CLIZ_REQUIRE(bitpos_ < data_.size() * 8, "bitstream truncated");
+    const std::size_t byte = bitpos_ >> 3;
+    const unsigned off = 7u - (bitpos_ & 7u);
+    ++bitpos_;
+    return ((data_[byte] >> off) & 1u) != 0;
+  }
+
+  std::uint64_t get_bits(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v = (v << 1) | static_cast<std::uint64_t>(get_bit());
+    return v;
+  }
+
+  /// Next `n` bits without consuming them, zero-padded past the end of the
+  /// stream (used by table-driven decoders; a padded lookup that resolves
+  /// to a code longer than the remaining bits is caught by skip_bits).
+  [[nodiscard]] std::uint64_t peek_bits(int n) const {
+    std::uint64_t v = 0;
+    const std::size_t total = data_.size() * 8;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t pos = bitpos_ + static_cast<std::size_t>(i);
+      std::uint64_t bit = 0;
+      if (pos < total) {
+        bit = (data_[pos >> 3] >> (7u - (pos & 7u))) & 1u;
+      }
+      v = (v << 1) | bit;
+    }
+    return v;
+  }
+
+  /// Consumes `n` bits previously peeked.
+  void skip_bits(int n) {
+    CLIZ_REQUIRE(bitpos_ + static_cast<std::size_t>(n) <= data_.size() * 8,
+                 "bitstream truncated (skip)");
+    bitpos_ += static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::size_t bit_pos() const noexcept { return bitpos_; }
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return data_.size() * 8 - bitpos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bitpos_ = 0;
+};
+
+}  // namespace cliz

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace cliz {
+
+/// Number of hardware threads OpenMP would use (1 in serial builds).
+inline int hardware_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Data-parallel loop over [begin, end). Falls back to a plain loop in
+/// serial builds; the body must be free of loop-carried dependencies.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
+       i < static_cast<std::ptrdiff_t>(end); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+}  // namespace cliz

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cliz {
+
+/// Exception thrown on malformed input streams, corrupt data, or misuse of
+/// the public API. All library entry points validate their inputs and throw
+/// Error rather than invoking undefined behaviour.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Validates a runtime condition on data coming from outside the library
+/// (user arguments, serialized streams). Active in all build types.
+#define CLIZ_REQUIRE(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw ::cliz::Error(std::string("cliz: ") + (msg) + " [" #cond   \
+                          " failed at " __FILE__ ":" +                 \
+                          std::to_string(__LINE__) + "]");             \
+    }                                                                  \
+  } while (false)
+
+}  // namespace cliz

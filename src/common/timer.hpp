@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace cliz {
+
+/// Simple wall-clock stopwatch used by benchmarks and the auto-tuner's
+/// time accounting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cliz

@@ -1,0 +1,7 @@
+#include "src/common/version.hpp"
+
+namespace cliz {
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace cliz

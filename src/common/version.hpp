@@ -1,0 +1,8 @@
+#pragma once
+
+namespace cliz {
+
+/// Library version string ("major.minor.patch").
+const char* version();
+
+}  // namespace cliz

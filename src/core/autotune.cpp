@@ -1,0 +1,278 @@
+#include "src/core/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/common/rng.hpp"
+#include "src/common/timer.hpp"
+
+namespace cliz {
+
+namespace {
+
+/// Copies the two-blocks-per-dim sample given per-dim block sides. Sample
+/// coordinate c in [0, 2b) maps to block A (c < b) or block B (c >= b).
+SampledData gather_two_block_sample(const NdArray<float>& data,
+                                    const MaskMap* mask,
+                                    const DimVec& block_side) {
+  const Shape& shape = data.shape();
+  const std::size_t nd = shape.ndims();
+
+  DimVec sample_dims(nd);
+  DimVec start_a(nd);
+  DimVec start_b(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const std::size_t n = shape.dim(d);
+    const std::size_t b = block_side[d];
+    sample_dims[d] = b < n ? 2 * b : n;
+    const auto centre = [n, b](std::size_t num, std::size_t den) {
+      const std::size_t c = n * num / den;
+      const std::size_t half = b / 2;
+      const std::size_t start = c > half ? c - half : 0;
+      return std::min(start, n - b);
+    };
+    start_a[d] = centre(1, 3);
+    start_b[d] = b < n ? centre(2, 3) : 0;
+  }
+
+  const Shape sshape(sample_dims);
+  NdArray<float> sample(sshape);
+  std::optional<MaskMap> smask;
+  if (mask != nullptr) smask = MaskMap::all_valid(sshape);
+
+  DimVec c(nd, 0);
+  DimVec src(nd);
+  for (std::size_t i = 0; i < sshape.size(); ++i) {
+    for (std::size_t d = 0; d < nd; ++d) {
+      const std::size_t b = block_side[d];
+      if (sample_dims[d] == shape.dim(d)) {
+        src[d] = c[d];
+      } else {
+        src[d] = c[d] < b ? start_a[d] + c[d] : start_b[d] + (c[d] - b);
+      }
+    }
+    const std::size_t soff = shape.offset(src);
+    sample[i] = data[soff];
+    if (smask.has_value()) {
+      smask->mutable_data()[i] = mask->valid(soff) ? 1 : 0;
+    }
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++c[d] < sample_dims[d]) break;
+      c[d] = 0;
+    }
+  }
+  return SampledData{std::move(sample), std::move(smask)};
+}
+
+}  // namespace
+
+SampledData sample_blocks(const NdArray<float>& data, const MaskMap* mask,
+                          double sampling_rate) {
+  CLIZ_REQUIRE(sampling_rate > 0 && sampling_rate <= 1.0,
+               "sampling rate out of (0, 1]");
+  const Shape& shape = data.shape();
+  const std::size_t nd = shape.ndims();
+  const double f =
+      0.5 * std::pow(sampling_rate, 1.0 / static_cast<double>(nd));
+  DimVec side(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const std::size_t n = shape.dim(d);
+    side[d] = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(f * static_cast<double>(n))), 1,
+        std::max<std::size_t>(1, n / 2));
+  }
+  return gather_two_block_sample(data, mask, side);
+}
+
+SampledData sample_time_preserving(const NdArray<float>& data,
+                                   const MaskMap* mask, double sampling_rate,
+                                   std::size_t time_dim) {
+  CLIZ_REQUIRE(sampling_rate > 0 && sampling_rate <= 1.0,
+               "sampling rate out of (0, 1]");
+  const Shape& shape = data.shape();
+  const std::size_t nd = shape.ndims();
+  CLIZ_REQUIRE(time_dim < nd, "time_dim out of range");
+  if (nd == 1) {
+    // Nothing to shrink: the whole (time) dimension is the sample.
+    DimVec side{shape.dim(0)};
+    return gather_two_block_sample(data, mask, side);
+  }
+  const double f = 0.5 * std::pow(sampling_rate,
+                                  1.0 / static_cast<double>(nd - 1));
+  DimVec side(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const std::size_t n = shape.dim(d);
+    if (d == time_dim) {
+      side[d] = n;  // keep full extent: sample_dims becomes n
+    } else {
+      side[d] = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::llround(f * static_cast<double>(n))),
+          1, std::max<std::size_t>(1, n / 2));
+    }
+  }
+  return gather_two_block_sample(data, mask, side);
+}
+
+std::vector<std::vector<double>> sample_time_rows(const NdArray<float>& data,
+                                                  const MaskMap* mask,
+                                                  std::size_t time_dim,
+                                                  std::size_t rows,
+                                                  std::uint64_t seed) {
+  const Shape& shape = data.shape();
+  CLIZ_REQUIRE(time_dim < shape.ndims(), "time_dim out of range");
+  const std::size_t t_extent = shape.dim(time_dim);
+  const std::size_t t_stride = shape.stride(time_dim);
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  const std::size_t max_attempts = rows * 20 + 16;
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && out.size() < rows; ++attempt) {
+    // Random position with time coordinate 0.
+    DimVec c(shape.ndims());
+    for (std::size_t d = 0; d < shape.ndims(); ++d) {
+      c[d] = d == time_dim ? 0 : rng.uniform_index(shape.dim(d));
+    }
+    const std::size_t base = shape.offset(c);
+    std::vector<double> row(t_extent);
+    bool ok = true;
+    for (std::size_t t = 0; t < t_extent; ++t) {
+      const std::size_t off = base + t * t_stride;
+      if (mask != nullptr && !mask->valid(off)) {
+        ok = false;
+        break;
+      }
+      row[t] = static_cast<double>(data[off]);
+    }
+    if (ok) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
+                        const MaskMap* mask, const AutotuneOptions& opts) {
+  const Timer timer;
+  const Shape& shape = data.shape();
+  const std::size_t nd = shape.ndims();
+  AutotuneResult result;
+
+  // Periodicity probe on full-length rows (the constant-cost part of the
+  // tuning budget).
+  std::vector<std::size_t> periods{0};
+  if (opts.consider_periodicity && opts.time_dim < nd &&
+      shape.dim(opts.time_dim) >= 8) {
+    const auto rows = sample_time_rows(data, mask, opts.time_dim,
+                                       opts.period_probe_rows, opts.seed);
+    if (!rows.empty()) {
+      result.period = detect_period(rows);
+      if (result.period.has_value()) {
+        periods.push_back(result.period->period);
+      }
+    }
+  }
+
+  // Samples: one generic block sample, plus (lazily) a time-preserving one
+  // for the periodic candidates.
+  const SampledData sample = sample_blocks(data, mask, opts.sampling_rate);
+  std::optional<SampledData> periodic_sample;
+  if (periods.size() > 1) {
+    periodic_sample =
+        sample_time_preserving(data, mask, opts.sampling_rate, opts.time_dim);
+  }
+  result.sample_points = sample.data.size();
+
+  // Search space.
+  std::vector<std::vector<std::size_t>> perms;
+  if (opts.consider_permutation) {
+    perms = all_permutations(nd);
+  } else {
+    perms.push_back(PipelineConfig::defaults(nd).permutation);
+  }
+  std::vector<FusionSpec> fusions;
+  if (opts.consider_fusion) {
+    fusions = all_fusions(nd);
+  } else {
+    fusions.push_back(FusionSpec::none(nd));
+  }
+  std::vector<FittingKind> fittings{FittingKind::kCubic};
+  if (opts.consider_fitting) fittings.push_back(FittingKind::kLinear);
+  std::vector<bool> classifications{false};
+  if (opts.consider_classification && nd >= 3) classifications.push_back(true);
+
+  for (const std::size_t period : periods) {
+    const SampledData& s = period > 0 ? *periodic_sample : sample;
+    for (const bool classify : classifications) {
+      for (const auto& perm : perms) {
+        for (const auto& fusion : fusions) {
+          for (const FittingKind fitting : fittings) {
+            PipelineConfig config;
+            config.permutation = perm;
+            config.fusion = fusion;
+            config.fitting = fitting;
+            config.period = period;
+            config.time_dim = opts.time_dim;
+            config.classify_bins = classify;
+
+            const ClizCompressor comp(config, opts.codec);
+            const auto stream =
+                comp.compress(s.data, abs_error_bound, s.mask_ptr());
+            const double ratio =
+                static_cast<double>(s.data.size() * sizeof(float)) /
+                static_cast<double>(stream.size());
+            result.candidates.push_back({config, ratio});
+          }
+        }
+      }
+    }
+  }
+
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const PipelineCandidate& a, const PipelineCandidate& b) {
+                     return a.estimated_ratio > b.estimated_ratio;
+                   });
+  CLIZ_REQUIRE(!result.candidates.empty(), "empty pipeline search space");
+
+  // Optional refinement: re-rank the leaders on a 10x larger sample, where
+  // close calls (classification on/off, near-tied permutations) resolve
+  // more reliably.
+  if (opts.refine_top_k > 0 && result.candidates.size() > 1) {
+    const double refine_rate = std::min(1.0, opts.sampling_rate * 10.0);
+    const SampledData refine =
+        sample_blocks(data, mask, refine_rate);
+    std::optional<SampledData> refine_periodic;
+    const std::size_t k =
+        std::min(opts.refine_top_k, result.candidates.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      PipelineCandidate& cand = result.candidates[i];
+      const SampledData* s = &refine;
+      if (cand.config.period > 0) {
+        if (!refine_periodic.has_value()) {
+          refine_periodic = sample_time_preserving(data, mask, refine_rate,
+                                                   opts.time_dim);
+        }
+        s = &*refine_periodic;
+      }
+      const ClizCompressor comp(cand.config, opts.codec);
+      const auto stream =
+          comp.compress(s->data, abs_error_bound, s->mask_ptr());
+      cand.estimated_ratio =
+          static_cast<double>(s->data.size() * sizeof(float)) /
+          static_cast<double>(stream.size());
+    }
+    std::stable_sort(result.candidates.begin(),
+                     result.candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                     [](const PipelineCandidate& a,
+                        const PipelineCandidate& b) {
+                       return a.estimated_ratio > b.estimated_ratio;
+                     });
+  }
+
+  result.best = result.candidates.front().config;
+  result.best_estimated_ratio = result.candidates.front().estimated_ratio;
+  result.tuning_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace cliz

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/cliz.hpp"
+#include "src/core/mask.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/fft/period.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Options steering the offline auto-tuning stage (paper VI-A).
+struct AutotuneOptions {
+  /// Target ratio between the sample volume and the full dataset volume.
+  double sampling_rate = 0.01;
+  /// Physical dim treated as time when probing periodicity.
+  std::size_t time_dim = 0;
+  /// Strategy toggles (the ablation benches flip these).
+  bool consider_periodicity = true;
+  bool consider_classification = true;
+  bool consider_permutation = true;
+  bool consider_fusion = true;
+  bool consider_fitting = true;
+  /// Rows sampled along the time dimension for FFT period detection.
+  std::size_t period_probe_rows = 10;
+  /// When > 0, re-evaluate the top-K candidates of the first pass on a
+  /// sample 10x larger (capped at rate 1.0) and re-rank. Sharpens the
+  /// close calls (e.g. the classification toggle) that small samples
+  /// misjudge, at the cost of K extra trial compressions.
+  std::size_t refine_top_k = 0;
+  /// Seed for the deterministic row sampling.
+  std::uint64_t seed = 42;
+  /// Codec options forwarded to the trial compressions.
+  ClizOptions codec;
+};
+
+/// One tested pipeline with its estimated compression ratio on the sample.
+struct PipelineCandidate {
+  PipelineConfig config;
+  double estimated_ratio = 0.0;
+};
+
+/// Output of autotune().
+struct AutotuneResult {
+  PipelineConfig best;
+  double best_estimated_ratio = 0.0;
+  /// Every candidate tested, sorted by estimated ratio (best first).
+  std::vector<PipelineCandidate> candidates;
+  double tuning_seconds = 0.0;
+  std::size_t sample_points = 0;
+  /// FFT period estimate over the probed rows (nullopt: not periodic or
+  /// periodicity not considered).
+  std::optional<PeriodEstimate> period;
+};
+
+/// A sampled sub-dataset (block sample) with its cropped mask.
+struct SampledData {
+  NdArray<float> data;
+  std::optional<MaskMap> mask;
+
+  [[nodiscard]] const MaskMap* mask_ptr() const {
+    return mask.has_value() ? &*mask : nullptr;
+  }
+};
+
+/// Paper VI-A block sampling: two blocks per dimension centred at 1/3 and
+/// 2/3 of the extent (2^n blocks total), each side about
+/// rate^(1/n)/2 of the full side, concatenated into one array.
+SampledData sample_blocks(const NdArray<float>& data, const MaskMap* mask,
+                          double sampling_rate);
+
+/// Variant for periodicity candidates: the time dimension is kept at full
+/// extent (so period extraction on the sample is meaningful — the paper's
+/// "constant increase in sampling time") and the spatial sides shrink
+/// further to keep the sampled volume at `sampling_rate`.
+SampledData sample_time_preserving(const NdArray<float>& data,
+                                   const MaskMap* mask, double sampling_rate,
+                                   std::size_t time_dim);
+
+/// Gathers up to `rows` full-length time rows at deterministic pseudo-random
+/// spatial positions, skipping rows that contain masked points. Used for
+/// FFT period detection (paper Fig. 8).
+std::vector<std::vector<double>> sample_time_rows(const NdArray<float>& data,
+                                                  const MaskMap* mask,
+                                                  std::size_t time_dim,
+                                                  std::size_t rows,
+                                                  std::uint64_t seed);
+
+/// Offline auto-tuning: detect periodicity, build the samples, try every
+/// pipeline in the configured search space on the sample, and return the
+/// best configuration plus the full ranked candidate list.
+AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
+                        const MaskMap* mask, const AutotuneOptions& opts = {});
+
+}  // namespace cliz

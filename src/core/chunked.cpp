@@ -1,0 +1,137 @@
+#include "src/core/chunked.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <cstring>
+
+#include "src/common/bytestream.hpp"
+#include "src/common/parallel.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C4B53u;  // "CLKS"
+
+/// Slab boundaries: `chunks` near-equal ranges of dim 0.
+std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
+                                                       std::size_t chunks) {
+  chunks = std::clamp<std::size_t>(chunks, 1, extent);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = extent * c / chunks;
+    const std::size_t hi = extent * (c + 1) / chunks;
+    if (hi > lo) out.emplace_back(lo, hi);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> chunked_compress(const NdArray<float>& data,
+                                           double abs_error_bound,
+                                           const PipelineConfig& config,
+                                           const MaskMap* mask,
+                                           const ChunkedOptions& options) {
+  const Shape& shape = data.shape();
+  if (mask != nullptr) {
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+  }
+  const std::size_t want =
+      options.chunks > 0 ? options.chunks
+                         : static_cast<std::size_t>(hardware_threads());
+  const auto ranges = slabs(shape.dim(0), want);
+  const std::size_t row = shape.size() / shape.dim(0);  // elements per slice
+
+  std::vector<std::vector<std::uint8_t>> streams(ranges.size());
+  parallel_for(0, ranges.size(), [&](std::size_t c) {
+    const auto [lo, hi] = ranges[c];
+    DimVec dims = shape.dims();
+    dims[0] = hi - lo;
+    const Shape cshape(dims);
+
+    // Slabs along dim 0 are contiguous in row-major storage.
+    std::vector<float> values(cshape.size());
+    std::memcpy(values.data(), data.data() + lo * row,
+                cshape.size() * sizeof(float));
+    const NdArray<float> chunk(cshape, std::move(values));
+
+    std::optional<MaskMap> cmask;
+    if (mask != nullptr) {
+      DimVec start(shape.ndims(), 0);
+      start[0] = lo;
+      cmask = mask->crop(start, cshape);
+    }
+
+    // Periodicity needs >= 2 periods inside the chunk; degrade gracefully.
+    PipelineConfig cconfig = config;
+    if (cconfig.period > 0 &&
+        (cconfig.time_dim != 0
+             ? false
+             : cshape.dim(0) < 2 * cconfig.period)) {
+      cconfig.period = 0;
+    }
+
+    const ClizCompressor codec(cconfig, options.codec);
+    streams[c] = codec.compress(chunk, abs_error_bound,
+                                cmask.has_value() ? &*cmask : nullptr);
+  });
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put_varint(shape.ndims());
+  for (const std::size_t d : shape.dims()) out.put_varint(d);
+  out.put_varint(ranges.size());
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    out.put_varint(ranges[c].first);
+    out.put_varint(ranges[c].second);
+    out.put_block(streams[c]);
+  }
+  return std::move(out).take();
+}
+
+NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a chunked stream");
+  const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt dimensionality");
+  DimVec dims(ndims);
+  for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
+  const Shape shape(dims);
+  const std::size_t n_chunks = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(n_chunks >= 1 && n_chunks <= shape.dim(0),
+               "corrupt chunk count");
+
+  struct ChunkRef {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::span<const std::uint8_t> bytes;
+  };
+  std::vector<ChunkRef> refs(n_chunks);
+  std::size_t expected = 0;
+  for (auto& ref : refs) {
+    ref.lo = static_cast<std::size_t>(in.get_varint());
+    ref.hi = static_cast<std::size_t>(in.get_varint());
+    CLIZ_REQUIRE(ref.lo == expected && ref.hi > ref.lo &&
+                     ref.hi <= shape.dim(0),
+                 "corrupt chunk ranges");
+    expected = ref.hi;
+    ref.bytes = in.get_block();
+  }
+  CLIZ_REQUIRE(expected == shape.dim(0), "chunks do not cover dim 0");
+
+  NdArray<float> out(shape);
+  const std::size_t row = shape.size() / shape.dim(0);
+  parallel_for(0, refs.size(), [&](std::size_t c) {
+    const auto chunk = ClizCompressor::decompress(refs[c].bytes);
+    CLIZ_REQUIRE(chunk.shape().dim(0) == refs[c].hi - refs[c].lo &&
+                     chunk.size() == (refs[c].hi - refs[c].lo) * row,
+                 "chunk shape mismatch");
+    std::memcpy(out.data() + refs[c].lo * row, chunk.data(),
+                chunk.size() * sizeof(float));
+  });
+  return out;
+}
+
+}  // namespace cliz

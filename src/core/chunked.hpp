@@ -1,0 +1,40 @@
+#pragma once
+
+// Chunk-parallel compression: the paper's scaled experiments run one file
+// per core; within a single large array the same parallelism is available
+// by slicing along the slowest dimension into independent CliZ streams.
+// Each chunk is a self-contained stream (its own tuning artifacts travel
+// in the frame), so decompression parallelizes the same way and chunks can
+// even be shipped/decoded individually.
+//
+// Note: periodic-component extraction needs at least two periods along the
+// time dimension *within a chunk*; with time as dim 0, prefer chunk counts
+// that keep chunk_extent >= 2 * period (the codec silently disables the
+// feature per-chunk otherwise, still honouring the error bound).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/cliz.hpp"
+
+namespace cliz {
+
+struct ChunkedOptions {
+  /// Number of slabs along dim 0; 0 = one per hardware thread.
+  std::size_t chunks = 0;
+  ClizOptions codec;
+};
+
+/// Compresses `data` as independent slabs along dim 0 (in parallel when
+/// OpenMP is enabled). Error bound semantics identical to ClizCompressor.
+std::vector<std::uint8_t> chunked_compress(const NdArray<float>& data,
+                                           double abs_error_bound,
+                                           const PipelineConfig& config,
+                                           const MaskMap* mask = nullptr,
+                                           const ChunkedOptions& options = {});
+
+/// Inverse of chunked_compress (chunks decoded in parallel).
+NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace cliz

@@ -1,0 +1,414 @@
+#include "src/core/cliz.hpp"
+
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/bitio.hpp"
+#include "src/core/bin_classify.hpp"
+#include "src/core/periodic.hpp"
+#include "src/huffman/huffman.hpp"
+#include "src/lossless/lossless.hpp"
+#include "src/predictor/interp_engine.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C495Au;  // "CLIZ"
+
+/// In classified mode, shifted symbols (biased by +j) occupy
+/// [1, 2*radius-1+2j]; the outlier escape is remapped above that range so a
+/// shift can never collide with it.
+std::uint32_t escape_symbol(std::uint32_t radius, unsigned j) {
+  return 2 * radius + 2 * j + 2;
+}
+
+/// Columns for bin classification: the trailing lat x lon plane (paper:
+/// topography patterns live in the horizontal position, aggregated over
+/// snapshots/heights). Classification needs >= 3 dims to have anything to
+/// aggregate over.
+std::size_t classification_plane(const Shape& shape) {
+  if (shape.ndims() < 3) return 0;
+  return shape.dim(shape.ndims() - 1) * shape.dim(shape.ndims() - 2);
+}
+
+template <typename T>
+NdArray<T> decompress_impl(std::span<const std::uint8_t> stream);
+
+template <typename T>
+std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
+                                        double abs_error_bound,
+                                        const MaskMap* mask,
+                                        const PipelineConfig& config,
+                                        const ClizOptions& options) {
+  CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
+  const Shape& shape = data.shape();
+  CLIZ_REQUIRE(config.permutation.size() == shape.ndims(),
+               "pipeline arity does not match data");
+  if (mask != nullptr) {
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+  }
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put_u8(static_cast<std::uint8_t>(sizeof(T)));  // 4 = f32, 8 = f64
+  out.put_varint(shape.ndims());
+  for (const std::size_t d : shape.dims()) out.put_varint(d);
+  out.put(abs_error_bound);
+  out.put_varint(options.radius);
+  out.put(static_cast<T>(options.fill_value));
+  config.serialize(out);
+
+  out.put_u8(mask != nullptr ? 1 : 0);
+  if (mask != nullptr) mask->serialize(out);
+
+  // Periodic component extraction: compress the template recursively (at
+  // half the bound), then code the residual against the *reconstructed*
+  // template so the template's own error does not eat into the budget.
+  NdArray<T> work(shape,
+                  std::vector<T>(data.flat().begin(), data.flat().end()));
+  const bool periodic =
+      config.period >= 2 && config.time_dim < shape.ndims() &&
+      config.period < shape.dim(config.time_dim);
+  // Bound handed to the residual quantizer. In periodic mode the decoder
+  // computes data = template + residual in the sample type, so two
+  // roundings at that precision ride on top of the quantizer's guarantee;
+  // shave that slack off the residual bound to keep the end-to-end promise
+  // exact.
+  double quant_eb = abs_error_bound;
+  if (periodic) {
+    const auto tmpl =
+        periodic_template(data, config.time_dim, config.period, mask);
+    PipelineConfig tconfig = config;
+    tconfig.period = 0;
+    tconfig.classify_bins = false;
+    std::vector<std::uint8_t> tstream;
+    if (mask != nullptr) {
+      const MaskMap tmask =
+          periodic_template_mask(*mask, config.time_dim, config.period);
+      tstream = compress_impl<T>(tmpl, abs_error_bound / 2.0, &tmask,
+                                 tconfig, options);
+    } else {
+      tstream = compress_impl<T>(tmpl, abs_error_bound / 2.0, nullptr,
+                                 tconfig, options);
+    }
+    const NdArray<T> tmpl_recon = decompress_impl<T>(tstream);
+    out.put_block(tstream);
+
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (mask != nullptr && !mask->valid(i)) continue;
+      max_abs = std::max(max_abs, std::abs(static_cast<double>(work[i])));
+    }
+    subtract_template(work, tmpl_recon, config.time_dim, mask);
+    double max_res = 0.0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (mask != nullptr && !mask->valid(i)) continue;
+      max_res = std::max(max_res, std::abs(static_cast<double>(work[i])));
+    }
+    const double slack =
+        4.0 * static_cast<double>(std::numeric_limits<T>::epsilon()) *
+        (max_abs + max_res);
+    quant_eb = std::max(abs_error_bound / 2.0, abs_error_bound - slack);
+  }
+
+  // Mask-aware interpolation prediction + quantization over the permuted /
+  // fused logical axes.
+  out.put(quant_eb);
+
+  const auto axes = fused_axes(shape, config.fusion);
+  const auto order = induced_axis_order(config.fusion, config.permutation);
+  const LinearQuantizer<T> quantizer(quant_eb, options.radius);
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint32_t> codes;
+  offsets.reserve(shape.size());
+  codes.reserve(shape.size());
+  std::vector<T> outliers;
+  const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
+  std::vector<std::uint8_t> pass_fits;  // 1 = cubic, one entry per pass
+
+  if (!config.dynamic_fitting) {
+    interp_encode(work.data(), axes, order, config.fitting, quantizer,
+                  outliers, validity,
+                  [&](std::size_t off, std::uint32_t code) {
+                    offsets.push_back(off);
+                    codes.push_back(code);
+                  });
+  } else {
+    // QoZ-style per-pass dynamic fitting: probe linear vs cubic on this
+    // pass's actual targets (masked points skipped), then commit; the
+    // decoder replays the stored choice.
+    T* data_ptr = work.data();
+    if (validity == nullptr || validity[0] != 0) {
+      offsets.push_back(0);
+      codes.push_back(quantizer.quantize(data_ptr[0], T{0}, outliers));
+    }
+    constexpr std::size_t kProbeStride = 8;
+    interp_traverse_passes(
+        axes, order,
+        [&](std::size_t /*s*/, std::size_t /*h*/, std::size_t /*d*/,
+            auto&& run) {
+          double err_lin = 0.0;
+          double err_cub = 0.0;
+          std::size_t count = 0;
+          std::size_t probed = 0;
+          run([&](std::size_t off, std::size_t, std::size_t,
+                  const InterpRefs& refs) {
+            if (count++ % kProbeStride != 0) return;
+            if (validity != nullptr && validity[off] == 0) return;
+            const double v = static_cast<double>(data_ptr[off]);
+            err_lin += std::abs(static_cast<double>(interp_predict(
+                           data_ptr, refs, validity, FittingKind::kLinear)) -
+                       v);
+            err_cub += std::abs(static_cast<double>(interp_predict(
+                           data_ptr, refs, validity, FittingKind::kCubic)) -
+                       v);
+            ++probed;
+          });
+          const FittingKind fit =
+              probed == 0 ? config.fitting
+                          : (err_cub <= err_lin ? FittingKind::kCubic
+                                                : FittingKind::kLinear);
+          pass_fits.push_back(fit == FittingKind::kCubic ? 1 : 0);
+          run([&](std::size_t off, std::size_t, std::size_t,
+                  const InterpRefs& refs) {
+            if (validity != nullptr && validity[off] == 0) return;
+            const T pred = interp_predict(data_ptr, refs, validity, fit);
+            offsets.push_back(off);
+            codes.push_back(
+                quantizer.quantize(data_ptr[off], pred, outliers));
+          });
+        });
+  }
+  out.put_varint(pass_fits.size());
+  out.put_bytes(pass_fits);
+
+  out.put_varint(outliers.size());
+  for (const T v : outliers) out.put(v);
+  out.put_varint(codes.size());
+
+  const std::size_t plane = classification_plane(shape);
+  const bool classify = config.classify_bins && plane > 0;
+  out.put_u8(classify ? 1 : 0);
+
+  if (classify) {
+    const auto classification = BinClassification::build(
+        offsets, codes, plane, options.radius, options.classify);
+    classification.serialize(out);
+    const unsigned n_groups = options.classify.group_types();
+
+    // Shift codes per column and split the census by group.
+    const std::uint32_t escape =
+        escape_symbol(options.radius, options.classify.j);
+    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> freq(
+        n_groups);
+    std::vector<std::uint32_t> shifted(codes.size());
+    std::vector<std::uint8_t> group(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const std::size_t col = offsets[i] % plane;
+      const int shift = classification.shift_of(col);
+      // Bias by +j so the shifted symbol stays positive for any shift.
+      const std::uint32_t sym =
+          codes[i] == 0
+              ? escape
+              : static_cast<std::uint32_t>(
+                    static_cast<std::int64_t>(codes[i]) - shift +
+                    static_cast<std::int64_t>(options.classify.j));
+      shifted[i] = sym;
+      group[i] = static_cast<std::uint8_t>(classification.group_of(col));
+      ++freq[group[i]][sym];
+    }
+
+    std::vector<HuffmanCodec> trees;
+    trees.reserve(n_groups);
+    for (unsigned g = 0; g < n_groups; ++g) {
+      trees.push_back(HuffmanCodec::from_frequencies(freq[g]));
+      ByteWriter tw;
+      trees.back().serialize(tw);
+      out.put_block(tw.bytes());
+    }
+
+    BitWriter bits;
+    for (std::size_t i = 0; i < shifted.size(); ++i) {
+      trees[group[i]].encode(std::span<const std::uint32_t>(&shifted[i], 1),
+                             bits);
+    }
+    out.put_block(bits.finish());
+  } else {
+    const auto tree = HuffmanCodec::from_symbols(codes);
+    ByteWriter table;
+    tree.serialize(table);
+    out.put_block(table.bytes());
+    BitWriter bits;
+    tree.encode(codes, bits);
+    out.put_block(bits.finish());
+  }
+
+  return lossless_compress(out.bytes());
+}
+
+template <typename T>
+NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
+  const auto raw = lossless_decompress(stream);
+  ByteReader in(raw);
+  CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a CliZ stream");
+  CLIZ_REQUIRE(in.get_u8() == sizeof(T),
+               "stream sample type does not match the decompress variant");
+  const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(ndims >= 1 && ndims <= kMaxAxes, "corrupt dimensionality");
+  DimVec dims(ndims);
+  for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
+  const Shape shape(dims);
+  const auto eb = in.get<double>();
+  CLIZ_REQUIRE(eb > 0, "corrupt error bound");
+  const auto radius = static_cast<std::uint32_t>(in.get_varint());
+  const auto fill_value = in.get<T>();
+  const PipelineConfig config = PipelineConfig::deserialize(in);
+  CLIZ_REQUIRE(config.permutation.size() == ndims, "pipeline arity mismatch");
+
+  const bool has_mask = in.get_u8() != 0;
+  std::unique_ptr<MaskMap> mask;
+  if (has_mask) {
+    mask = std::make_unique<MaskMap>(MaskMap::deserialize(in));
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape mismatch");
+  }
+
+  const bool periodic =
+      config.period >= 2 && config.time_dim < ndims &&
+      config.period < shape.dim(config.time_dim);
+  NdArray<T> tmpl_recon;
+  if (periodic) {
+    tmpl_recon = decompress_impl<T>(in.get_block());
+  }
+  const auto quant_eb = in.get<double>();
+  CLIZ_REQUIRE(quant_eb > 0 && quant_eb <= eb, "corrupt residual bound");
+
+  const std::size_t n_passes = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(n_passes <= 64 * kMaxAxes, "corrupt pass count");
+  const auto pass_fit_bytes = in.get_bytes(n_passes);
+  CLIZ_REQUIRE(config.dynamic_fitting || n_passes == 0,
+               "pass-fit table on a static-fitting stream");
+
+  const std::size_t n_outliers = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(n_outliers <= shape.size(), "corrupt outlier count");
+  std::vector<T> outliers(n_outliers);
+  for (auto& v : outliers) v = in.get<T>();
+  const std::size_t n_codes = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(n_codes <= shape.size(), "corrupt code count");
+  const bool classify = in.get_u8() != 0;
+
+  const auto axes = fused_axes(shape, config.fusion);
+  const auto order = induced_axis_order(config.fusion, config.permutation);
+  const LinearQuantizer<T> quantizer(quant_eb, radius);
+  const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
+
+  NdArray<T> out(shape);
+  std::size_t cursor = 0;
+  std::size_t decoded = 0;
+
+  // Symbol source for the quantization codes, classified or plain.
+  std::optional<BinClassification> classification;
+  std::vector<HuffmanCodec> trees;
+  std::optional<BitReader> bits;
+  std::size_t plane = 0;
+  std::uint32_t escape = 0;
+  if (classify) {
+    plane = classification_plane(shape);
+    CLIZ_REQUIRE(plane > 0, "classified stream with < 3 dims");
+    classification = BinClassification::deserialize(in);
+    CLIZ_REQUIRE(classification->plane_size() == plane,
+                 "classification plane mismatch");
+    const unsigned n_groups = classification->params().group_types();
+    trees.reserve(n_groups);
+    for (unsigned g = 0; g < n_groups; ++g) {
+      ByteReader tr(in.get_block());
+      trees.push_back(HuffmanCodec::deserialize(tr));
+    }
+    bits.emplace(in.get_block());
+    escape = escape_symbol(radius, classification->params().j);
+  } else {
+    ByteReader table_reader(in.get_block());
+    trees.push_back(HuffmanCodec::deserialize(table_reader));
+    bits.emplace(in.get_block());
+  }
+  const auto read_code = [&](std::size_t off) -> std::uint32_t {
+    ++decoded;
+    if (!classify) return trees[0].decode_one(*bits);
+    const std::size_t col = off % plane;
+    const HuffmanCodec& tree = trees[classification->group_of(col)];
+    const std::uint32_t sym = tree.decode_one(*bits);
+    if (sym == escape) return 0;
+    const int shift = classification->shift_of(col);
+    return static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(sym) + shift -
+        static_cast<std::int64_t>(classification->params().j));
+  };
+
+  if (!config.dynamic_fitting) {
+    interp_decode(out.data(), axes, order, config.fitting, quantizer,
+                  std::span<const T>(outliers), cursor, validity, read_code);
+  } else {
+    T* data_ptr = out.data();
+    if (validity == nullptr || validity[0] != 0) {
+      data_ptr[0] = quantizer.recover(read_code(0), T{0}, outliers, cursor);
+    }
+    std::size_t pass_idx = 0;
+    interp_traverse_passes(
+        axes, order,
+        [&](std::size_t /*s*/, std::size_t /*h*/, std::size_t /*d*/,
+            auto&& run) {
+          CLIZ_REQUIRE(pass_idx < n_passes, "pass-fit table truncated");
+          const FittingKind fit = pass_fit_bytes[pass_idx++] != 0
+                                      ? FittingKind::kCubic
+                                      : FittingKind::kLinear;
+          run([&](std::size_t off, std::size_t, std::size_t,
+                  const InterpRefs& refs) {
+            if (validity != nullptr && validity[off] == 0) return;
+            const T pred = interp_predict(data_ptr, refs, validity, fit);
+            data_ptr[off] = quantizer.recover(read_code(off), pred, outliers,
+                                              cursor);
+          });
+        });
+    CLIZ_REQUIRE(pass_idx == n_passes, "pass-fit table not fully consumed");
+  }
+  CLIZ_REQUIRE(decoded == n_codes, "code count mismatch after decode");
+
+  if (periodic) {
+    add_template(out, tmpl_recon, config.time_dim, mask.get());
+  }
+  if (mask != nullptr) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (!mask->valid(i)) out[i] = fill_value;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ClizCompressor::compress(
+    const NdArray<float>& data, double abs_error_bound,
+    const MaskMap* mask) const {
+  return compress_impl(data, abs_error_bound, mask, config_, options_);
+}
+
+std::vector<std::uint8_t> ClizCompressor::compress(
+    const NdArray<double>& data, double abs_error_bound,
+    const MaskMap* mask) const {
+  return compress_impl(data, abs_error_bound, mask, config_, options_);
+}
+
+NdArray<float> ClizCompressor::decompress(
+    std::span<const std::uint8_t> stream) {
+  return decompress_impl<float>(stream);
+}
+
+NdArray<double> ClizCompressor::decompress_f64(
+    std::span<const std::uint8_t> stream) {
+  return decompress_impl<double>(stream);
+}
+
+}  // namespace cliz

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/bin_classify.hpp"
+#include "src/core/mask.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Options orthogonal to the tuned pipeline.
+struct ClizOptions {
+  /// Quantizer radius (codes span [0, 2*radius)).
+  std::uint32_t radius = 1u << 15;
+  /// Value written at masked positions on decompression (CESM missing
+  /// value by default).
+  float fill_value = 9.96921e36f;
+  /// Bin-classification shift radius / dispersion levels (paper: j = k = 1;
+  /// see bench_ablation_jk for why larger values do not pay off).
+  ClassifyParams classify;
+};
+
+/// CliZ: the paper's error-bounded lossy compressor for climate datasets.
+///
+/// Pipeline (paper Fig. 1): optional periodic-component extraction, then
+/// mask-aware dynamic-fitting interpolation prediction over permuted/fused
+/// dimensions, linear-scale quantization, multi-Huffman encoding with
+/// quantization-bin classification, and a lossless backend. The
+/// PipelineConfig is the product of offline auto-tuning (see autotune.hpp);
+/// the mask is supplied by the caller per the paper's contract.
+///
+/// Guarantee: every *valid* reconstructed point differs from the original
+/// by at most the absolute error bound. Masked points decompress to
+/// options.fill_value. Both float32 and float64 data are supported; the
+/// stream records the sample type and the matching decompress entry point
+/// must be used.
+class ClizCompressor {
+ public:
+  explicit ClizCompressor(PipelineConfig config, ClizOptions options = {})
+      : config_(std::move(config)), options_(options) {}
+
+  /// Compresses `data`; `mask` may be nullptr (all points valid). When a
+  /// mask is given it is embedded (run-length coded) in the stream.
+  [[nodiscard]] std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                                   double abs_error_bound,
+                                                   const MaskMap* mask = nullptr) const;
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      const NdArray<double>& data, double abs_error_bound,
+      const MaskMap* mask = nullptr) const;
+
+  [[nodiscard]] static NdArray<float> decompress(
+      std::span<const std::uint8_t> stream);
+  [[nodiscard]] static NdArray<double> decompress_f64(
+      std::span<const std::uint8_t> stream);
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PipelineConfig config_;
+  ClizOptions options_;
+};
+
+}  // namespace cliz

@@ -1,0 +1,208 @@
+#include "src/core/compressor.hpp"
+
+#include <optional>
+
+#include "src/common/bytestream.hpp"
+#include "src/core/autotune.hpp"
+#include "src/lossless/lossless.hpp"
+#include "src/core/cliz.hpp"
+#include "src/qoz/qoz.hpp"
+#include "src/sperr/sperr_like.hpp"
+#include "src/sz3/lorenzo.hpp"
+#include "src/sz3/sz3.hpp"
+#include "src/zfp/zfp_like.hpp"
+
+namespace cliz {
+
+namespace {
+
+class ClizAdapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "cliz"; }
+
+  void set_mask(const MaskMap* mask) override {
+    mask_ = mask;
+    tuned_.reset();
+  }
+  void set_time_dim(std::size_t dim) override {
+    time_dim_ = dim;
+    tuned_.reset();
+  }
+
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double abs_error_bound) override {
+    // Offline-tune once per shape; reuse the pipeline across fields and
+    // error bounds within the same "model" as the paper prescribes.
+    if (!tuned_.has_value() || !(tuned_shape_ == data.shape())) {
+      AutotuneOptions opts;
+      opts.time_dim = time_dim_;
+      tuned_ = autotune(data, abs_error_bound, mask_, opts).best;
+      tuned_shape_ = data.shape();
+    }
+    const ClizCompressor comp(*tuned_);
+    return comp.compress(data, abs_error_bound, mask_);
+  }
+
+  NdArray<float> decompress(std::span<const std::uint8_t> stream) override {
+    return ClizCompressor::decompress(stream);
+  }
+
+ private:
+  const MaskMap* mask_ = nullptr;
+  std::size_t time_dim_ = 0;
+  std::optional<PipelineConfig> tuned_;
+  Shape tuned_shape_;
+};
+
+class Sz3Adapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "sz3"; }
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double eb) override {
+    return Sz3Compressor().compress(data, eb);
+  }
+  NdArray<float> decompress(std::span<const std::uint8_t> s) override {
+    return Sz3Compressor::decompress(s);
+  }
+};
+
+class QozAdapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "qoz"; }
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double eb) override {
+    return QozCompressor().compress(data, eb);
+  }
+  NdArray<float> decompress(std::span<const std::uint8_t> s) override {
+    return QozCompressor::decompress(s);
+  }
+};
+
+class LorenzoAdapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "sz2"; }
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double eb) override {
+    return LorenzoCompressor().compress(data, eb);
+  }
+  NdArray<float> decompress(std::span<const std::uint8_t> s) override {
+    return LorenzoCompressor::decompress(s);
+  }
+};
+
+class ZfpAdapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "zfp"; }
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double eb) override {
+    return ZfpLikeCompressor().compress(data, eb);
+  }
+  NdArray<float> decompress(std::span<const std::uint8_t> s) override {
+    return ZfpLikeCompressor::decompress(s);
+  }
+};
+
+class SperrAdapter final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "sperr"; }
+  std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                     double eb) override {
+    return SperrLikeCompressor().compress(data, eb);
+  }
+  NdArray<float> decompress(std::span<const std::uint8_t> s) override {
+    return SperrLikeCompressor::decompress(s);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_compressor(std::string_view name) {
+  if (name == "cliz") return std::make_unique<ClizAdapter>();
+  if (name == "sz3") return std::make_unique<Sz3Adapter>();
+  if (name == "qoz") return std::make_unique<QozAdapter>();
+  if (name == "sz2") return std::make_unique<LorenzoAdapter>();
+  if (name == "zfp") return std::make_unique<ZfpAdapter>();
+  if (name == "sperr") return std::make_unique<SperrAdapter>();
+  throw Error("cliz: unknown compressor '" + std::string(name) + "'");
+}
+
+std::vector<std::string> compressor_names() {
+  return {"cliz", "sz3", "qoz", "zfp", "sperr", "sz2"};
+}
+
+std::string detect_codec(std::span<const std::uint8_t> stream) {
+  const auto raw = lossless_decompress(stream);
+  CLIZ_REQUIRE(raw.size() >= 4, "stream too short for a codec magic");
+  ByteReader r(raw);
+  switch (r.get<std::uint32_t>()) {
+    case 0x434C495Au:  // "CLIZ"
+      return "cliz";
+    case 0x535A334Cu:  // "SZ3L"
+      return "sz3";
+    case 0x514F5A31u:  // "QOZ1"
+      return "qoz";
+    case 0x535A324Cu:  // "SZ2L"
+      return "sz2";
+    case 0x5A46504Cu:  // "ZFPL"
+      return "zfp";
+    case 0x53505252u:  // "SPRR"
+      return "sperr";
+    default:
+      throw Error("cliz: unrecognized compressed stream magic");
+  }
+}
+
+NdArray<float> decompress_any(std::span<const std::uint8_t> stream) {
+  return make_compressor(detect_codec(stream))->decompress(stream);
+}
+
+unsigned detect_sample_bytes(std::span<const std::uint8_t> stream) {
+  const auto raw = lossless_decompress(stream);
+  CLIZ_REQUIRE(raw.size() >= 5, "stream too short for a sample width");
+  ByteReader r(raw);
+  (void)r.get<std::uint32_t>();  // magic (validated by detect_codec callers)
+  const unsigned width = r.get_u8();
+  CLIZ_REQUIRE(width == 4 || width == 8, "corrupt sample width");
+  return width;
+}
+
+std::vector<std::uint8_t> compress_f64(std::string_view codec,
+                                       const NdArray<double>& data,
+                                       double abs_error_bound,
+                                       const MaskMap* mask,
+                                       std::size_t time_dim) {
+  if (codec == "cliz") {
+    NdArray<float> downcast(data.shape());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      downcast[i] = static_cast<float>(data[i]);
+    }
+    AutotuneOptions opts;
+    opts.time_dim = time_dim;
+    const auto tuned = autotune(downcast, abs_error_bound, mask, opts);
+    return ClizCompressor(tuned.best).compress(data, abs_error_bound, mask);
+  }
+  if (codec == "sz3") return Sz3Compressor().compress(data, abs_error_bound);
+  if (codec == "qoz") return QozCompressor().compress(data, abs_error_bound);
+  if (codec == "sz2") {
+    return LorenzoCompressor().compress(data, abs_error_bound);
+  }
+  if (codec == "zfp") {
+    return ZfpLikeCompressor().compress(data, abs_error_bound);
+  }
+  if (codec == "sperr") {
+    return SperrLikeCompressor().compress(data, abs_error_bound);
+  }
+  throw Error("cliz: unknown compressor '" + std::string(codec) + "'");
+}
+
+NdArray<double> decompress_any_f64(std::span<const std::uint8_t> stream) {
+  const std::string codec = detect_codec(stream);
+  if (codec == "cliz") return ClizCompressor::decompress_f64(stream);
+  if (codec == "sz3") return Sz3Compressor::decompress_f64(stream);
+  if (codec == "qoz") return QozCompressor::decompress_f64(stream);
+  if (codec == "sz2") return LorenzoCompressor::decompress_f64(stream);
+  if (codec == "zfp") return ZfpLikeCompressor::decompress_f64(stream);
+  return SperrLikeCompressor::decompress_f64(stream);
+}
+
+}  // namespace cliz

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/mask.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Uniform interface over every codec in the library; the rate-distortion
+/// and transfer benchmarks iterate compressors through this.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compresses under an absolute error bound. Implementations guarantee
+  /// |reconstructed - original| <= bound at every (valid) point.
+  virtual std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                             double abs_error_bound) = 0;
+
+  virtual NdArray<float> decompress(std::span<const std::uint8_t> stream) = 0;
+
+  /// Supplies a validity mask for codecs that understand one (CliZ). The
+  /// pointer must stay valid for subsequent compress() calls. Default:
+  /// ignored, like the real SZ3/ZFP/SPERR/QoZ.
+  virtual void set_mask(const MaskMap* mask) { (void)mask; }
+
+  /// Hints which dimension is time (periodicity probing). Default: ignored.
+  virtual void set_time_dim(std::size_t dim) { (void)dim; }
+};
+
+/// Factory for "cliz", "sz3", "qoz", "zfp", "sperr". Throws Error on an
+/// unknown name. The CliZ instance auto-tunes its pipeline on the first
+/// compress() per shape and reuses it afterwards (the paper's
+/// offline-tune-once, compress-many contract).
+std::unique_ptr<Compressor> make_compressor(std::string_view name);
+
+/// All registry names, CliZ first.
+std::vector<std::string> compressor_names();
+
+/// Identifies which codec produced a stream (every codec embeds a distinct
+/// magic under the lossless wrap). Throws Error for unrecognized data.
+std::string detect_codec(std::span<const std::uint8_t> stream);
+
+/// Decompresses a stream from any registry codec (detect + dispatch).
+NdArray<float> decompress_any(std::span<const std::uint8_t> stream);
+
+/// Bytes per sample recorded in a stream (4 = float32, 8 = float64).
+unsigned detect_sample_bytes(std::span<const std::uint8_t> stream);
+
+/// float64 compression by registry name. For "cliz" the pipeline is tuned
+/// on a float32 downcast of the data (tuning only ranks pipelines, so the
+/// downcast is harmless) and the float64 samples are compressed with it.
+std::vector<std::uint8_t> compress_f64(std::string_view codec,
+                                       const NdArray<double>& data,
+                                       double abs_error_bound,
+                                       const MaskMap* mask = nullptr,
+                                       std::size_t time_dim = 0);
+
+/// float64 decompression with codec auto-detection.
+NdArray<double> decompress_any_f64(std::span<const std::uint8_t> stream);
+
+}  // namespace cliz

@@ -1,0 +1,36 @@
+#include "src/core/periodic.hpp"
+
+#include <algorithm>
+
+namespace cliz {
+
+MaskMap periodic_template_mask(const MaskMap& mask, std::size_t time_dim,
+                               std::size_t period) {
+  const Shape tshape =
+      detail::template_shape(mask.shape(), time_dim, period);
+  MaskMap tmask = MaskMap::all_valid(tshape);
+  std::vector<std::uint8_t> any(tshape.size(), 0);
+  detail::for_each_mapped(mask.shape(), tshape, time_dim, period,
+                          [&](std::size_t off, std::size_t toff) {
+                            if (mask.valid(off)) any[toff] = 1;
+                          });
+  std::copy(any.begin(), any.end(), tmask.mutable_data());
+  return tmask;
+}
+
+// Explicit instantiations for the supported sample types.
+template NdArray<float> periodic_template(const NdArray<float>&, std::size_t,
+                                          std::size_t, const MaskMap*);
+template NdArray<double> periodic_template(const NdArray<double>&,
+                                           std::size_t, std::size_t,
+                                           const MaskMap*);
+template void subtract_template(NdArray<float>&, const NdArray<float>&,
+                                std::size_t, const MaskMap*);
+template void subtract_template(NdArray<double>&, const NdArray<double>&,
+                                std::size_t, const MaskMap*);
+template void add_template(NdArray<float>&, const NdArray<float>&,
+                           std::size_t, const MaskMap*);
+template void add_template(NdArray<double>&, const NdArray<double>&,
+                           std::size_t, const MaskMap*);
+
+}  // namespace cliz

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/mask.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Periodic component extraction (paper VI-D). The template is the mean
+/// over all periods along the time dimension (its time extent shrinks to
+/// `period`); the residual — what the main pipeline compresses — is the
+/// data minus the tiled template and is much smoother than the raw data.
+/// All helpers are generic over float/double sample types.
+
+namespace detail {
+
+/// Shape of the template: same as `data` with the time extent replaced by
+/// `period`.
+inline Shape template_shape(const Shape& full, std::size_t time_dim,
+                            std::size_t period) {
+  CLIZ_REQUIRE(time_dim < full.ndims(), "time_dim out of range");
+  CLIZ_REQUIRE(period >= 1 && period <= full.dim(time_dim),
+               "period exceeds time extent");
+  DimVec dims = full.dims();
+  dims[time_dim] = period;
+  return Shape(dims);
+}
+
+/// Calls fn(full_offset, template_offset) for every point of `full`.
+template <typename Fn>
+void for_each_mapped(const Shape& full, const Shape& tmpl,
+                     std::size_t time_dim, std::size_t period, Fn&& fn) {
+  const std::size_t nd = full.ndims();
+  DimVec c(nd, 0);
+  for (std::size_t off = 0; off < full.size(); ++off) {
+    std::size_t toff = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      const std::size_t coord = d == time_dim ? c[d] % period : c[d];
+      toff += coord * tmpl.stride(d);
+    }
+    fn(off, toff);
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++c[d] < full.dim(d)) break;
+      c[d] = 0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Mean-over-periods template. Masked points (if `mask`) are excluded from
+/// the averages; template positions with no valid contribution are 0.
+template <typename T>
+NdArray<T> periodic_template(const NdArray<T>& data, std::size_t time_dim,
+                             std::size_t period, const MaskMap* mask) {
+  const Shape tshape =
+      detail::template_shape(data.shape(), time_dim, period);
+  NdArray<T> tmpl(tshape);
+  std::vector<std::uint32_t> counts(tshape.size(), 0);
+  std::vector<double> sums(tshape.size(), 0.0);
+  detail::for_each_mapped(data.shape(), tshape, time_dim, period,
+                          [&](std::size_t off, std::size_t toff) {
+                            if (mask != nullptr && !mask->valid(off)) return;
+                            sums[toff] += static_cast<double>(data[off]);
+                            ++counts[toff];
+                          });
+  for (std::size_t i = 0; i < tshape.size(); ++i) {
+    tmpl[i] = counts[i] > 0
+                  ? static_cast<T>(sums[i] / static_cast<double>(counts[i]))
+                  : T{0};
+  }
+  return tmpl;
+}
+
+/// Validity mask for the template: a template point is valid when at least
+/// one contributing data point is valid.
+MaskMap periodic_template_mask(const MaskMap& mask, std::size_t time_dim,
+                               std::size_t period);
+
+/// data -= template tiled along time_dim (valid points only).
+template <typename T>
+void subtract_template(NdArray<T>& data, const NdArray<T>& tmpl,
+                       std::size_t time_dim, const MaskMap* mask) {
+  const std::size_t period = tmpl.shape().dim(time_dim);
+  detail::for_each_mapped(data.shape(), tmpl.shape(), time_dim, period,
+                          [&](std::size_t off, std::size_t toff) {
+                            if (mask != nullptr && !mask->valid(off)) return;
+                            data[off] -= tmpl[toff];
+                          });
+}
+
+/// data += template tiled along time_dim (valid points only).
+template <typename T>
+void add_template(NdArray<T>& data, const NdArray<T>& tmpl,
+                  std::size_t time_dim, const MaskMap* mask) {
+  const std::size_t period = tmpl.shape().dim(time_dim);
+  detail::for_each_mapped(data.shape(), tmpl.shape(), time_dim, period,
+                          [&](std::size_t off, std::size_t toff) {
+                            if (mask != nullptr && !mask->valid(off)) return;
+                            data[off] += tmpl[toff];
+                          });
+}
+
+}  // namespace cliz

@@ -1,0 +1,59 @@
+#include "src/core/pipeline.hpp"
+
+namespace cliz {
+
+std::string PipelineConfig::label() const {
+  std::string s = "perm=" + perm_label(permutation);
+  s += " fusion=" + fusion.label();
+  s += " fit=";
+  s += fitting == FittingKind::kCubic ? "cubic" : "linear";
+  s += " period=" + std::to_string(period);
+  s += " classify=";
+  s += classify_bins ? "yes" : "no";
+  return s;
+}
+
+void PipelineConfig::serialize(ByteWriter& out) const {
+  out.put_varint(permutation.size());
+  for (const std::size_t d : permutation) out.put_varint(d);
+  out.put_varint(fusion.ngroups());
+  for (const auto& [first, last] : fusion.groups()) {
+    out.put_varint(first);
+    out.put_varint(last);
+  }
+  out.put_u8(static_cast<std::uint8_t>(fitting));
+  out.put_u8(dynamic_fitting ? 1 : 0);
+  out.put_varint(period);
+  out.put_varint(time_dim);
+  out.put_u8(classify_bins ? 1 : 0);
+}
+
+PipelineConfig PipelineConfig::deserialize(ByteReader& in) {
+  PipelineConfig c;
+  const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt pipeline arity");
+  c.permutation.resize(ndims);
+  for (auto& d : c.permutation) d = static_cast<std::size_t>(in.get_varint());
+  const std::size_t ngroups = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(ngroups >= 1 && ngroups <= ndims, "corrupt fusion groups");
+  std::vector<std::pair<std::size_t, std::size_t>> groups(ngroups);
+  for (auto& [first, last] : groups) {
+    first = static_cast<std::size_t>(in.get_varint());
+    last = static_cast<std::size_t>(in.get_varint());
+  }
+  c.fusion = FusionSpec(std::move(groups));  // validates tiling
+  const std::uint8_t fit = in.get_u8();
+  CLIZ_REQUIRE(fit <= 1, "corrupt fitting kind");
+  c.fitting = static_cast<FittingKind>(fit);
+  const std::uint8_t dyn = in.get_u8();
+  CLIZ_REQUIRE(dyn <= 1, "corrupt dynamic-fitting flag");
+  c.dynamic_fitting = dyn != 0;
+  c.period = static_cast<std::size_t>(in.get_varint());
+  c.time_dim = static_cast<std::size_t>(in.get_varint());
+  const std::uint8_t cls = in.get_u8();
+  CLIZ_REQUIRE(cls <= 1, "corrupt classify flag");
+  c.classify_bins = cls != 0;
+  return c;
+}
+
+}  // namespace cliz

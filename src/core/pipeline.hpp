@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/bytestream.hpp"
+#include "src/ndarray/layout.hpp"
+#include "src/predictor/fitting.hpp"
+
+namespace cliz {
+
+/// A fully resolved CliZ compression pipeline (the artifact offline
+/// auto-tuning produces and online compression consumes, paper VI-A):
+/// dimension permutation + fusion, fitting function, periodic-component
+/// extraction, and quantization-bin classification. The mask is *not* part
+/// of the pipeline — per the paper it is the user's choice at compression
+/// time.
+struct PipelineConfig {
+  /// Permutation of the physical dims giving the interpolation pass order
+  /// (paper-style sequence label, e.g. {2,0,1} = "201").
+  std::vector<std::size_t> permutation;
+  /// Adjacent-dim fusion applied to storage dims (e.g. "1&2").
+  FusionSpec fusion = FusionSpec::none(1);
+  /// Fitting function for the interpolation predictor (also the fallback
+  /// when dynamic fitting has nothing to probe in a pass).
+  FittingKind fitting = FittingKind::kCubic;
+  /// Per-pass dynamic fitting selection (QoZ-style level-wise tuning,
+  /// inherited from the SZ3 framework's dynamic spline interpolation):
+  /// every (level, axis) pass probes linear vs cubic on its actual targets
+  /// and stores one bit in the stream. Default on; the ablation benches
+  /// turn it off to isolate the global-fitting behaviour.
+  bool dynamic_fitting = true;
+  /// Period length along `time_dim`; 0 disables periodic extraction.
+  std::size_t period = 0;
+  /// Which physical dim is the time dimension (meaningful when period > 0).
+  std::size_t time_dim = 0;
+  /// Multi-Huffman quantization-bin classification (paper VI-E).
+  bool classify_bins = false;
+
+  /// Identity pipeline for an n-dimensional dataset.
+  static PipelineConfig defaults(std::size_t ndims) {
+    PipelineConfig c;
+    c.permutation.resize(ndims);
+    std::iota(c.permutation.begin(), c.permutation.end(), std::size_t{0});
+    c.fusion = FusionSpec::none(ndims);
+    return c;
+  }
+
+  /// Human-readable summary, mirroring the paper's table rows, e.g.
+  /// "perm=201 fusion=1&2 fit=linear period=12 classify=yes".
+  [[nodiscard]] std::string label() const;
+
+  void serialize(ByteWriter& out) const;
+  static PipelineConfig deserialize(ByteReader& in);
+
+  friend bool operator==(const PipelineConfig& a, const PipelineConfig& b) {
+    return a.permutation == b.permutation && a.fusion == b.fusion &&
+           a.fitting == b.fitting &&
+           a.dynamic_fitting == b.dynamic_fitting && a.period == b.period &&
+           a.time_dim == b.time_dim && a.classify_bins == b.classify_bins;
+  }
+};
+
+}  // namespace cliz

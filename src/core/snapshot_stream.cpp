@@ -1,0 +1,131 @@
+#include "src/core/snapshot_stream.hpp"
+
+#include <cstring>
+
+#include "src/common/bytestream.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C5353u;  // "CLSS"
+
+Shape block_shape(const Shape& spatial, std::size_t n_snapshots) {
+  DimVec dims;
+  dims.reserve(spatial.ndims() + 1);
+  dims.push_back(n_snapshots);
+  for (const std::size_t d : spatial.dims()) dims.push_back(d);
+  return Shape(dims);
+}
+
+}  // namespace
+
+SnapshotStreamWriter::SnapshotStreamWriter(Shape spatial_shape,
+                                           double abs_error_bound,
+                                           PipelineConfig config,
+                                           const MaskMap* spatial_mask,
+                                           std::size_t snapshots_per_block,
+                                           ClizOptions options)
+    : spatial_shape_(std::move(spatial_shape)),
+      eb_(abs_error_bound),
+      config_(std::move(config)),
+      spatial_mask_(spatial_mask),
+      per_block_(snapshots_per_block),
+      options_(options) {
+  CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
+  CLIZ_REQUIRE(per_block_ >= 1, "need at least one snapshot per block");
+  CLIZ_REQUIRE(config_.permutation.size() == spatial_shape_.ndims() + 1,
+               "pipeline arity must be spatial ndims + 1 (time first)");
+  CLIZ_REQUIRE(config_.time_dim == 0,
+               "snapshot streaming requires time as dim 0");
+  if (spatial_mask_ != nullptr) {
+    CLIZ_REQUIRE(spatial_mask_->shape() == spatial_shape_,
+                 "mask shape must equal the snapshot shape");
+  }
+  pending_.reserve(per_block_ * spatial_shape_.size());
+}
+
+void SnapshotStreamWriter::append(const NdArray<float>& snapshot) {
+  CLIZ_REQUIRE(!finished_, "writer already finished");
+  CLIZ_REQUIRE(snapshot.shape() == spatial_shape_,
+               "snapshot shape mismatch");
+  pending_.insert(pending_.end(), snapshot.flat().begin(),
+                  snapshot.flat().end());
+  ++pending_count_;
+  ++total_snapshots_;
+  if (pending_count_ == per_block_) flush_block();
+}
+
+void SnapshotStreamWriter::flush_block() {
+  if (pending_count_ == 0) return;
+  const Shape bshape = block_shape(spatial_shape_, pending_count_);
+  NdArray<float> block(bshape, std::move(pending_));
+  pending_ = {};
+
+  // Short final blocks cannot carry the periodic pipeline.
+  PipelineConfig config = config_;
+  if (config.period > 0 && pending_count_ < 2 * config.period) {
+    config.period = 0;
+  }
+
+  std::optional<MaskMap> mask;
+  if (spatial_mask_ != nullptr) {
+    mask = MaskMap::broadcast(*spatial_mask_, bshape);
+  }
+  const ClizCompressor codec(config, options_);
+  blocks_.push_back(codec.compress(block, eb_,
+                                   mask.has_value() ? &*mask : nullptr));
+  block_sizes_.push_back(pending_count_);
+  pending_count_ = 0;
+  pending_.reserve(per_block_ * spatial_shape_.size());
+}
+
+std::vector<std::uint8_t> SnapshotStreamWriter::finish() {
+  CLIZ_REQUIRE(!finished_, "writer already finished");
+  finished_ = true;
+  flush_block();
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put_varint(spatial_shape_.ndims());
+  for (const std::size_t d : spatial_shape_.dims()) out.put_varint(d);
+  out.put_varint(total_snapshots_);
+  out.put_varint(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    out.put_varint(block_sizes_[b]);
+    out.put_block(blocks_[b]);
+  }
+  return std::move(out).take();
+}
+
+NdArray<float> snapshot_stream_decompress(
+    std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a snapshot stream");
+  const std::size_t snd = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(snd >= 1 && snd <= 7, "corrupt spatial dimensionality");
+  DimVec sdims(snd);
+  for (auto& d : sdims) d = static_cast<std::size_t>(in.get_varint());
+  const Shape spatial(sdims);
+  const std::size_t total = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(total >= 1, "empty snapshot stream");
+  const std::size_t n_blocks = static_cast<std::size_t>(in.get_varint());
+  CLIZ_REQUIRE(n_blocks >= 1 && n_blocks <= total, "corrupt block count");
+
+  NdArray<float> out(block_shape(spatial, total));
+  std::size_t t = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t count = static_cast<std::size_t>(in.get_varint());
+    CLIZ_REQUIRE(count >= 1 && t + count <= total, "corrupt block size");
+    const auto block = ClizCompressor::decompress(in.get_block());
+    CLIZ_REQUIRE(block.shape() == block_shape(spatial, count),
+                 "block shape mismatch");
+    std::memcpy(out.data() + t * spatial.size(), block.data(),
+                block.size() * sizeof(float));
+    t += count;
+  }
+  CLIZ_REQUIRE(t == total, "blocks do not cover the stream");
+  return out;
+}
+
+}  // namespace cliz

@@ -1,0 +1,94 @@
+#include "src/fft/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+void fft_pow2_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  CLIZ_REQUIRE(n > 0 && std::has_single_bit(n), "FFT length must be 2^k");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> dft(std::span<const std::complex<double>> x,
+                                      bool inverse) {
+  const std::size_t n = x.size();
+  CLIZ_REQUIRE(n > 0, "empty DFT input");
+
+  if (std::has_single_bit(n)) {
+    std::vector<std::complex<double>> a(x.begin(), x.end());
+    fft_pow2_inplace(a, inverse);
+    return a;
+  }
+
+  // Bluestein: X[k] = conj(w[k]) * IFFT(FFT(x.w) * FFT(chirp)) where
+  // w[n] = e^{-iπn²/N} (sign flipped for inverse).
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<std::complex<double>> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // i² mod 2n avoids precision loss on the quadratic phase for large i.
+    const std::size_t i2 = (i * i) % (2 * n);
+    const double ang =
+        sign * std::numbers::pi * static_cast<double>(i2) / static_cast<double>(n);
+    w[i] = {std::cos(ang), std::sin(ang)};
+  }
+
+  std::size_t m = std::bit_ceil(2 * n - 1);
+  std::vector<std::complex<double>> a(m, {0.0, 0.0});
+  std::vector<std::complex<double>> b(m, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * w[i];
+  b[0] = std::conj(w[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    b[i] = std::conj(w[i]);
+    b[m - i] = std::conj(w[i]);
+  }
+
+  fft_pow2_inplace(a, false);
+  fft_pow2_inplace(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_pow2_inplace(a, true);
+
+  std::vector<std::complex<double>> out(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * w[k];
+  return out;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> x) {
+  std::vector<std::complex<double>> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
+  const auto X = dft(cx, /*inverse=*/false);
+  std::vector<double> mag(x.size() / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(X[k]);
+  return mag;
+}
+
+}  // namespace cliz

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace cliz {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `a.size()` must be a power
+/// of two. When `inverse` is set, computes the unscaled inverse transform
+/// (caller divides by N if a true inverse is needed).
+void fft_pow2_inplace(std::vector<std::complex<double>>& a, bool inverse);
+
+/// DFT of arbitrary length via Bluestein's chirp-z algorithm (radix-2
+/// convolution underneath). Forward: X[k] = sum_n x[n] e^{-2πikn/N}.
+/// Inverse is unscaled, matching fft_pow2_inplace's convention.
+std::vector<std::complex<double>> dft(std::span<const std::complex<double>> x,
+                                      bool inverse = false);
+
+/// Magnitudes |X[k]| for k = 0..N/2 of the DFT of a real signal.
+std::vector<double> magnitude_spectrum(std::span<const double> x);
+
+}  // namespace cliz

@@ -1,0 +1,79 @@
+#include "src/fft/period.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.hpp"
+#include "src/fft/fft.hpp"
+
+namespace cliz {
+
+std::optional<PeriodEstimate> detect_period(
+    std::span<const std::vector<double>> rows, const PeriodOptions& opts) {
+  CLIZ_REQUIRE(!rows.empty(), "period detection needs at least one row");
+  const std::size_t n = rows.front().size();
+  CLIZ_REQUIRE(n >= 4, "rows too short for period detection");
+  for (const auto& r : rows) {
+    CLIZ_REQUIRE(r.size() == n, "rows must share one length");
+  }
+
+  // Average the magnitude spectra of mean-removed rows. Removing the mean
+  // kills the DC bin so the annual-cycle peak is not swamped by the offset.
+  std::vector<double> avg(n / 2 + 1, 0.0);
+  for (const auto& row : rows) {
+    double mean = 0.0;
+    for (const double v : row) mean += v;
+    mean /= static_cast<double>(n);
+    std::vector<double> centered(n);
+    for (std::size_t i = 0; i < n; ++i) centered[i] = row[i] - mean;
+    const auto mag = magnitude_spectrum(centered);
+    for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += mag[k];
+  }
+  const double inv_rows = 1.0 / static_cast<double>(rows.size());
+  for (double& a : avg) a *= inv_rows;
+
+  // A period needs >= 2 repetitions, so only bins f >= 2 qualify.
+  if (avg.size() <= 2) return std::nullopt;
+  const std::size_t f_lo = 2;
+  const std::size_t f_hi = avg.size() - 1;
+
+  double peak = 0.0;
+  for (std::size_t f = f_lo; f <= f_hi; ++f) peak = std::max(peak, avg[f]);
+
+  std::vector<double> band(avg.begin() + static_cast<std::ptrdiff_t>(f_lo),
+                           avg.end());
+  std::nth_element(band.begin(), band.begin() + band.size() / 2, band.end());
+  const double floor = band[band.size() / 2];
+
+  if (peak <= 0.0 || peak < opts.significance * std::max(floor, 1e-300)) {
+    return std::nullopt;
+  }
+
+  // Among near-peak bins take the smallest frequency -> the longest period
+  // (harmonics of the annual cycle show up at multiples of the base bin).
+  // A bin only qualifies if it is a *sharp* local line: trends and red
+  // noise have large low-frequency energy but decay smoothly, so their
+  // "peak" fails the neighbour test.
+  const auto is_sharp = [&](std::size_t f) {
+    const double left = f > 1 ? avg[f - 1] : avg[f + 1];
+    const double right = f + 1 < avg.size() ? avg[f + 1] : avg[f - 1];
+    const double neighbours = 0.5 * (left + right);
+    return avg[f] > opts.sharpness * std::max(neighbours, 1e-300);
+  };
+  std::size_t best_f = 0;
+  for (std::size_t f = f_lo; f <= f_hi; ++f) {
+    if (avg[f] >= opts.harmonic_tolerance * peak && is_sharp(f)) {
+      best_f = f;
+      break;
+    }
+  }
+  if (best_f == 0) return std::nullopt;
+
+  const auto period = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) / static_cast<double>(best_f)));
+  if (period < 2 || period > n / 2) return std::nullopt;
+
+  return PeriodEstimate{period, best_f, avg[best_f], floor};
+}
+
+}  // namespace cliz

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cliz {
+
+/// Result of spectral period estimation over a set of sampled time rows.
+struct PeriodEstimate {
+  std::size_t period = 0;        ///< estimated period length in samples
+  std::size_t frequency = 0;     ///< dominant DFT bin
+  double peak_amplitude = 0.0;   ///< averaged |X[f]| at the dominant bin
+  double median_amplitude = 0.0; ///< median of the averaged spectrum (noise floor)
+};
+
+/// Options steering detect_period().
+struct PeriodOptions {
+  /// A spectrum bin counts as "the" peak only if it exceeds the noise floor
+  /// by this factor; otherwise the data is declared non-periodic.
+  double significance = 6.0;
+  /// Among peaks within this fraction of the global maximum, the smallest
+  /// frequency wins (paper: pick the smallest of the harmonics, i.e. the
+  /// largest period).
+  double harmonic_tolerance = 0.7;
+  /// A genuine cycle shows as a sharp spectral line; trends and red noise
+  /// decay smoothly. The candidate bin must exceed the mean of its
+  /// immediate neighbours by this factor.
+  double sharpness = 3.0;
+};
+
+/// Estimates the dominant period shared by `rows` (each one signal along the
+/// time dimension), averaging their magnitude spectra as in paper Fig. 8.
+/// Returns nullopt when no significant periodicity is present. Each row must
+/// have the same length, at least 4 samples.
+std::optional<PeriodEstimate> detect_period(
+    std::span<const std::vector<double>> rows, const PeriodOptions& opts = {});
+
+}  // namespace cliz

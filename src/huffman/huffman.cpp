@@ -1,0 +1,263 @@
+#include "src/huffman/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::uint8_t kMaxCodeLength = 57;  // fits BitWriter's 64-bit staging
+
+/// Computes Huffman code lengths with the classic two-node merge. Returns
+/// lengths parallel to `freqs`.
+std::vector<std::uint8_t> code_lengths(const std::vector<std::uint64_t>& freqs) {
+  const std::size_t n = freqs.size();
+  if (n == 0) return {};
+  if (n == 1) return {1};
+
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t index;  // < n: leaf; >= n: internal
+  };
+  const auto cmp = [](const Node& a, const Node& b) {
+    // Tie-break on index so tree shape (and thus lengths) is deterministic.
+    return a.weight > b.weight || (a.weight == b.weight && a.index > b.index);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<std::uint32_t> parent(2 * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.push({freqs[i], static_cast<std::uint32_t>(i)});
+  }
+  std::uint32_t next = static_cast<std::uint32_t>(n);
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent[a.index] = next;
+    parent[b.index] = next;
+    heap.push({a.weight + b.weight, next});
+    ++next;
+  }
+  const std::uint32_t root = heap.top().index;
+
+  std::vector<std::uint8_t> lengths(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t len = 0;
+    for (std::uint32_t v = static_cast<std::uint32_t>(i); v != root;
+         v = parent[v]) {
+      ++len;
+    }
+    lengths[i] = len;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCodec HuffmanCodec::from_frequencies(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& freq) {
+  HuffmanCodec codec;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
+  entries.reserve(freq.size());
+  for (const auto& [sym, f] : freq) {
+    if (f > 0) entries.emplace_back(sym, f);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  std::vector<std::uint64_t> freqs(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) freqs[i] = entries[i].second;
+
+  auto lengths = code_lengths(freqs);
+  // Extremely skewed distributions can exceed the coder's length cap; halve
+  // frequencies (keeping them positive) until the tree fits. This perturbs
+  // optimality negligibly and only triggers on pathological inputs.
+  while (!lengths.empty() &&
+         *std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLength) {
+    for (auto& f : freqs) f = f / 2 + 1;
+    lengths = code_lengths(freqs);
+  }
+
+  codec.symbols_.resize(entries.size());
+  codec.lengths_ = std::move(lengths);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    codec.symbols_[i] = entries[i].first;
+  }
+  codec.build_canonical();
+  return codec;
+}
+
+HuffmanCodec HuffmanCodec::from_symbols(
+    std::span<const std::uint32_t> symbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  for (const std::uint32_t s : symbols) ++freq[s];
+  return from_frequencies(freq);
+}
+
+void HuffmanCodec::build_canonical() {
+  const std::size_t n = symbols_.size();
+  CLIZ_REQUIRE(lengths_.size() == n, "length/symbol arity mismatch");
+
+  // Canonical order: by (length, symbol).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
+    return symbols_[a] < symbols_[b];
+  });
+  std::vector<std::uint32_t> sym2(n);
+  std::vector<std::uint8_t> len2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sym2[i] = symbols_[order[i]];
+    len2[i] = lengths_[order[i]];
+  }
+  symbols_ = std::move(sym2);
+  lengths_ = std::move(len2);
+
+  max_length_ = n == 0 ? 0 : lengths_.back();
+  count_.assign(max_length_ + 1, 0);
+  for (const std::uint8_t l : lengths_) ++count_[l];
+
+  first_code_.assign(max_length_ + 1, 0);
+  first_index_.assign(max_length_ + 1, 0);
+  std::uint64_t code = 0;
+  std::uint32_t index = 0;
+  for (std::uint8_t l = 1; l <= max_length_; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count_[l];
+    CLIZ_REQUIRE(first_code_[l] + count_[l] <= (std::uint64_t{1} << l),
+                 "invalid canonical code lengths");
+  }
+
+  code_of_.clear();
+  code_of_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t l = lengths_[i];
+    const std::uint64_t c =
+        first_code_[l] + (static_cast<std::uint32_t>(i) - first_index_[l]);
+    code_of_[symbols_[i]] = Code{c, l};
+  }
+
+  // One-shot decode table: every kTableBits-bit prefix of a short code maps
+  // straight to its symbol; longer codes leave a miss marker.
+  fast_table_.assign(n == 0 ? 0 : (std::size_t{1} << kTableBits), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t l = lengths_[i];
+    if (l > kTableBits) continue;
+    const std::uint64_t c = code_of_[symbols_[i]].bits;
+    const std::uint64_t base = c << (kTableBits - l);
+    const std::uint64_t fill = std::uint64_t{1} << (kTableBits - l);
+    CLIZ_REQUIRE(base + fill <= fast_table_.size(),
+                 "corrupt huffman table (code overflow)");
+    const std::uint64_t entry =
+        (static_cast<std::uint64_t>(symbols_[i]) << 8) | l;
+    for (std::uint64_t p = 0; p < fill; ++p) fast_table_[base + p] = entry;
+  }
+}
+
+void HuffmanCodec::serialize(ByteWriter& out) const {
+  out.put_varint(symbols_.size());
+  // Table is in canonical order; re-sort symbols for delta coding, storing
+  // each symbol's length alongside.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> by_symbol;
+  by_symbol.reserve(symbols_.size());
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    by_symbol.emplace_back(symbols_[i], lengths_[i]);
+  }
+  std::sort(by_symbol.begin(), by_symbol.end());
+  std::uint32_t prev = 0;
+  for (const auto& [sym, len] : by_symbol) {
+    out.put_varint(sym - prev);
+    out.put_varint(len);
+    prev = sym;
+  }
+}
+
+HuffmanCodec HuffmanCodec::deserialize(ByteReader& in) {
+  HuffmanCodec codec;
+  const std::uint64_t n = in.get_varint();
+  // The quantizer alphabet tops out around 2*radius + escapes; anything
+  // beyond a few million symbols is a corrupt stream, not a real table.
+  CLIZ_REQUIRE(n <= (std::uint64_t{1} << 24), "huffman table too large");
+  codec.symbols_.resize(static_cast<std::size_t>(n));
+  codec.lengths_.resize(static_cast<std::size_t>(n));
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t delta = in.get_varint();
+    // Symbols are stored ascending and must be unique: a zero delta after
+    // the first entry means a corrupt table (duplicates would desynchronize
+    // the canonical code assignment).
+    CLIZ_REQUIRE(i == 0 || delta > 0, "corrupt huffman table (duplicate)");
+    CLIZ_REQUIRE(delta <= 0xFFFFFFFFull - prev, "corrupt symbol delta");
+    prev += static_cast<std::uint32_t>(delta);
+    const std::uint64_t len = in.get_varint();
+    CLIZ_REQUIRE(len >= 1 && len <= kMaxCodeLength, "corrupt code length");
+    codec.symbols_[i] = prev;
+    codec.lengths_[i] = static_cast<std::uint8_t>(len);
+  }
+  codec.build_canonical();
+  return codec;
+}
+
+void HuffmanCodec::encode(std::span<const std::uint32_t> symbols,
+                          BitWriter& bits) const {
+  for (const std::uint32_t s : symbols) {
+    const auto it = code_of_.find(s);
+    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
+    bits.put_bits(it->second.bits, it->second.length);
+  }
+}
+
+std::uint32_t HuffmanCodec::decode_one(BitReader& bits) const {
+  CLIZ_REQUIRE(max_length_ > 0, "decoding with empty huffman table");
+  const std::uint64_t entry =
+      fast_table_[bits.peek_bits(kTableBits)];
+  if ((entry & 0xFF) != 0) {
+    bits.skip_bits(static_cast<int>(entry & 0xFF));
+    return static_cast<std::uint32_t>(entry >> 8);
+  }
+  return decode_slow(bits);
+}
+
+std::uint32_t HuffmanCodec::decode_slow(BitReader& bits) const {
+  std::uint64_t code = 0;
+  for (std::uint8_t l = 1; l <= max_length_; ++l) {
+    code = (code << 1) | static_cast<std::uint64_t>(bits.get_bit());
+    if (count_[l] != 0 && code >= first_code_[l] &&
+        code < first_code_[l] + count_[l]) {
+      return symbols_[first_index_[l] +
+                      static_cast<std::uint32_t>(code - first_code_[l])];
+    }
+  }
+  throw Error("cliz: corrupt huffman stream (no code matched)");
+}
+
+std::uint64_t HuffmanCodec::encoded_bits(
+    std::span<const std::uint32_t> symbols) const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t s : symbols) {
+    const auto it = code_of_.find(s);
+    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
+    total += it->second.length;
+  }
+  return total;
+}
+
+std::uint64_t HuffmanCodec::payload_bits(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& freq) const {
+  std::uint64_t total = 0;
+  for (const auto& [sym, f] : freq) {
+    if (f == 0) continue;
+    const auto it = code_of_.find(sym);
+    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
+    total += f * it->second.length;
+  }
+  return total;
+}
+
+}  // namespace cliz

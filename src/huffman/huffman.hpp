@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+#include "src/common/bytestream.hpp"
+
+namespace cliz {
+
+/// Canonical Huffman coder over an arbitrary alphabet of 32-bit symbols.
+/// Code lengths are derived from symbol frequencies; the canonical form
+/// makes the serialized table compact (lengths only) and the decoder
+/// table-free. Used for quantization-bin entropy coding by every
+/// prediction-based codec in the library, and twice by CliZ's multi-Huffman
+/// bin classification.
+class HuffmanCodec {
+ public:
+  HuffmanCodec() = default;
+
+  /// Builds canonical code lengths from frequencies. Zero-frequency entries
+  /// are ignored. Handles the degenerate 0- and 1-symbol alphabets.
+  static HuffmanCodec from_frequencies(
+      const std::unordered_map<std::uint32_t, std::uint64_t>& freq);
+
+  /// Convenience: histogram `symbols` then build.
+  static HuffmanCodec from_symbols(std::span<const std::uint32_t> symbols);
+
+  /// Writes the code table (sorted symbols as deltas + code lengths).
+  void serialize(ByteWriter& out) const;
+  static HuffmanCodec deserialize(ByteReader& in);
+
+  /// Appends the codes for `symbols` to `bits`. Every symbol must be in the
+  /// table (Error otherwise).
+  void encode(std::span<const std::uint32_t> symbols, BitWriter& bits) const;
+
+  /// Reads one symbol.
+  [[nodiscard]] std::uint32_t decode_one(BitReader& bits) const;
+
+  /// Exact number of payload bits encode() would emit, without emitting.
+  [[nodiscard]] std::uint64_t encoded_bits(
+      std::span<const std::uint32_t> symbols) const;
+
+  /// Payload size implied by the table for a given frequency census
+  /// (sum freq[s] * len[s]); the auto-tuner uses this to estimate sizes.
+  [[nodiscard]] std::uint64_t payload_bits(
+      const std::unordered_map<std::uint32_t, std::uint64_t>& freq) const;
+
+  [[nodiscard]] std::size_t alphabet_size() const noexcept {
+    return symbols_.size();
+  }
+  [[nodiscard]] bool contains(std::uint32_t symbol) const {
+    return code_of_.contains(symbol);
+  }
+
+ private:
+  struct Code {
+    std::uint64_t bits = 0;
+    std::uint8_t length = 0;
+  };
+
+  void build_canonical();
+  [[nodiscard]] std::uint32_t decode_slow(BitReader& bits) const;
+
+  /// Width of the one-shot decode table: codes up to this length decode
+  /// with a single peek; longer codes fall back to the canonical scan.
+  static constexpr int kTableBits = 11;
+
+  // Symbols sorted by (code length, symbol value) — the canonical order.
+  std::vector<std::uint32_t> symbols_;
+  std::vector<std::uint8_t> lengths_;  // parallel to symbols_
+  std::unordered_map<std::uint32_t, Code> code_of_;
+  // Canonical decode tables indexed by code length.
+  std::vector<std::uint64_t> first_code_;   // first canonical code per length
+  std::vector<std::uint32_t> first_index_;  // index into symbols_ per length
+  std::vector<std::uint32_t> count_;        // #codes per length
+  std::uint8_t max_length_ = 0;
+  // Fast path: prefix -> (symbol << 8) | code length; length 0 = miss.
+  std::vector<std::uint64_t> fast_table_;
+};
+
+}  // namespace cliz

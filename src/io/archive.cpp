@@ -1,0 +1,265 @@
+#include "src/io/archive.hpp"
+
+#include <algorithm>
+
+#include "src/common/bytestream.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/compressor.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C5A41u;  // "CLZA"
+constexpr std::uint32_t kVersion = 1;
+// Trailer: index offset (8 bytes) + magic (4 bytes).
+constexpr std::size_t kTrailerBytes = 12;
+
+void serialize_info(ByteWriter& w, const VariableInfo& info,
+                    std::uint64_t offset) {
+  w.put_string(info.name);
+  w.put_varint(info.dims.size());
+  for (const std::size_t d : info.dims) w.put_varint(d);
+  w.put_string(info.codec);
+  w.put(info.error_bound);
+  w.put_varint(info.compressed_bytes);
+  w.put_varint(offset);
+  w.put_varint(info.sample_bytes);
+  w.put_varint(info.attributes.size());
+  for (const auto& [key, value] : info.attributes) {
+    w.put_string(key);
+    w.put_string(value);
+  }
+}
+
+VariableInfo deserialize_info(ByteReader& r, std::uint64_t& offset) {
+  VariableInfo info;
+  info.name = r.get_string();
+  const std::size_t nd = static_cast<std::size_t>(r.get_varint());
+  CLIZ_REQUIRE(nd >= 1 && nd <= 8, "corrupt archive dims");
+  info.dims.resize(nd);
+  for (auto& d : info.dims) d = static_cast<std::size_t>(r.get_varint());
+  info.codec = r.get_string();
+  info.error_bound = r.get<double>();
+  info.compressed_bytes = r.get_varint();
+  offset = r.get_varint();
+  info.sample_bytes = static_cast<std::uint32_t>(r.get_varint());
+  CLIZ_REQUIRE(info.sample_bytes == 4 || info.sample_bytes == 8,
+               "corrupt sample width");
+  const std::size_t nattr = static_cast<std::size_t>(r.get_varint());
+  CLIZ_REQUIRE(nattr <= 4096, "implausible attribute count");
+  for (std::size_t i = 0; i < nattr; ++i) {
+    std::string key = r.get_string();
+    info.attributes[std::move(key)] = r.get_string();
+  }
+  return info;
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  CLIZ_REQUIRE(out_.good(), "cannot open archive for writing: " + path);
+  ByteWriter header;
+  header.put(kMagic);
+  header.put(kVersion);
+  out_.write(reinterpret_cast<const char*>(header.bytes().data()),
+             static_cast<std::streamsize>(header.size()));
+  cursor_ = header.size();
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an archive that failed to finalize is
+    // detectable by its missing trailer.
+  }
+}
+
+void ArchiveWriter::add_variable(const std::string& name,
+                                 const NdArray<float>& data,
+                                 double abs_error_bound,
+                                 const PipelineConfig& pipeline,
+                                 const MaskMap* mask,
+                                 std::map<std::string, std::string> attributes) {
+  const ClizCompressor codec(pipeline);
+  const auto stream = codec.compress(data, abs_error_bound, mask);
+  append_stream("cliz", name, data.shape(), abs_error_bound,
+                std::move(attributes), stream, sizeof(float));
+}
+
+void ArchiveWriter::add_variable(const std::string& name,
+                                 const NdArray<double>& data,
+                                 double abs_error_bound,
+                                 const PipelineConfig& pipeline,
+                                 const MaskMap* mask,
+                                 std::map<std::string, std::string> attributes) {
+  const ClizCompressor codec(pipeline);
+  const auto stream = codec.compress(data, abs_error_bound, mask);
+  append_stream("cliz", name, data.shape(), abs_error_bound,
+                std::move(attributes), stream, sizeof(double));
+}
+
+void ArchiveWriter::add_variable_with(
+    const std::string& codec, const std::string& name,
+    const NdArray<float>& data, double abs_error_bound,
+    std::map<std::string, std::string> attributes) {
+  auto comp = make_compressor(codec);  // validates the name
+  const auto stream = comp->compress(data, abs_error_bound);
+  append_stream(codec, name, data.shape(), abs_error_bound,
+                std::move(attributes), stream, sizeof(float));
+}
+
+void ArchiveWriter::append_stream(
+    const std::string& codec, const std::string& name, const Shape& shape,
+    double eb, std::map<std::string, std::string> attributes,
+    const std::vector<std::uint8_t>& stream, std::uint32_t sample_bytes) {
+  CLIZ_REQUIRE(!finished_, "archive already finished");
+  CLIZ_REQUIRE(!name.empty(), "variable name must not be empty");
+  for (const auto& e : entries_) {
+    CLIZ_REQUIRE(e.info.name != name, "duplicate variable name: " + name);
+  }
+  Entry entry;
+  entry.info.name = name;
+  entry.info.dims = shape.dims();
+  entry.info.codec = codec;
+  entry.info.error_bound = eb;
+  entry.info.compressed_bytes = stream.size();
+  entry.info.sample_bytes = sample_bytes;
+  entry.info.attributes = std::move(attributes);
+  entry.offset = cursor_;
+
+  out_.write(reinterpret_cast<const char*>(stream.data()),
+             static_cast<std::streamsize>(stream.size()));
+  CLIZ_REQUIRE(out_.good(), "archive write failed: " + path_);
+  cursor_ += stream.size();
+  entries_.push_back(std::move(entry));
+}
+
+void ArchiveWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  ByteWriter index;
+  index.put_varint(entries_.size());
+  for (const auto& e : entries_) serialize_info(index, e.info, e.offset);
+
+  const std::uint64_t index_offset = cursor_;
+  out_.write(reinterpret_cast<const char*>(index.bytes().data()),
+             static_cast<std::streamsize>(index.size()));
+
+  ByteWriter trailer;
+  trailer.put(index_offset);
+  trailer.put(kMagic);
+  out_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+             static_cast<std::streamsize>(trailer.size()));
+  out_.flush();
+  CLIZ_REQUIRE(out_.good(), "archive finalize failed: " + path_);
+  out_.close();
+}
+
+ArchiveReader::ArchiveReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+  CLIZ_REQUIRE(in_.good(), "cannot open archive: " + path);
+  in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in_.tellg());
+  CLIZ_REQUIRE(file_size >= 8 + kTrailerBytes, "archive too small");
+
+  // Trailer: index offset + magic.
+  in_.seekg(static_cast<std::streamoff>(file_size - kTrailerBytes));
+  std::uint8_t trailer[kTrailerBytes];
+  in_.read(reinterpret_cast<char*>(trailer), kTrailerBytes);
+  ByteReader tr(trailer);
+  const auto index_offset = tr.get<std::uint64_t>();
+  CLIZ_REQUIRE(tr.get<std::uint32_t>() == kMagic,
+               "not a CLZA archive (bad trailer)");
+  CLIZ_REQUIRE(index_offset >= 8 && index_offset < file_size - kTrailerBytes,
+               "corrupt index offset");
+
+  // Header magic.
+  in_.seekg(0);
+  std::uint8_t header[8];
+  in_.read(reinterpret_cast<char*>(header), 8);
+  ByteReader hr(header);
+  CLIZ_REQUIRE(hr.get<std::uint32_t>() == kMagic,
+               "not a CLZA archive (bad header)");
+  CLIZ_REQUIRE(hr.get<std::uint32_t>() == kVersion,
+               "unsupported archive version");
+
+  // Index block.
+  const std::size_t index_size =
+      static_cast<std::size_t>(file_size - kTrailerBytes - index_offset);
+  std::vector<std::uint8_t> index_bytes(index_size);
+  in_.seekg(static_cast<std::streamoff>(index_offset));
+  in_.read(reinterpret_cast<char*>(index_bytes.data()),
+           static_cast<std::streamsize>(index_size));
+  CLIZ_REQUIRE(in_.good(), "archive index read failed");
+  ByteReader ir(index_bytes);
+  const std::size_t count = static_cast<std::size_t>(ir.get_varint());
+  CLIZ_REQUIRE(count <= (1u << 20), "implausible variable count");
+  variables_.reserve(count);
+  offsets_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t offset = 0;
+    variables_.push_back(deserialize_info(ir, offset));
+    CLIZ_REQUIRE(offset + variables_.back().compressed_bytes <= index_offset,
+                 "variable stream overlaps index");
+    offsets_.push_back(offset);
+  }
+}
+
+bool ArchiveReader::contains(const std::string& name) const {
+  return std::any_of(variables_.begin(), variables_.end(),
+                     [&](const VariableInfo& v) { return v.name == name; });
+}
+
+std::size_t ArchiveReader::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].name == name) return i;
+  }
+  throw Error("cliz: archive has no variable '" + name + "'");
+}
+
+const VariableInfo& ArchiveReader::info(const std::string& name) const {
+  return variables_[index_of(name)];
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_raw(
+    const std::string& name) const {
+  const std::size_t i = index_of(name);
+  std::vector<std::uint8_t> stream(variables_[i].compressed_bytes);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offsets_[i]));
+  in_.read(reinterpret_cast<char*>(stream.data()),
+           static_cast<std::streamsize>(stream.size()));
+  CLIZ_REQUIRE(in_.good(), "archive stream read failed");
+  return stream;
+}
+
+NdArray<float> ArchiveReader::read(const std::string& name) const {
+  const VariableInfo& v = info(name);
+  CLIZ_REQUIRE(v.sample_bytes == 4,
+               "variable '" + name + "' is float64: use read_f64()");
+  const auto stream = read_raw(name);
+  NdArray<float> data = v.codec == "cliz"
+                            ? ClizCompressor::decompress(stream)
+                            : make_compressor(v.codec)->decompress(stream);
+  CLIZ_REQUIRE(data.shape().dims() == v.dims,
+               "decoded shape disagrees with archive index");
+  return data;
+}
+
+NdArray<double> ArchiveReader::read_f64(const std::string& name) const {
+  const VariableInfo& v = info(name);
+  CLIZ_REQUIRE(v.sample_bytes == 8,
+               "variable '" + name + "' is float32: use read()");
+  CLIZ_REQUIRE(v.codec == "cliz", "float64 archive variables use CliZ");
+  const auto stream = read_raw(name);
+  NdArray<double> data = ClizCompressor::decompress_f64(stream);
+  CLIZ_REQUIRE(data.shape().dims() == v.dims,
+               "decoded shape disagrees with archive index");
+  return data;
+}
+
+}  // namespace cliz

@@ -1,0 +1,127 @@
+#pragma once
+
+// CLZA archive: a minimal NetCDF-flavoured container for compressed climate
+// variables — the deployment vehicle the paper lists as future work
+// ("integrate CliZ into HDF5 and NetCDF"). An archive holds any number of
+// named variables, each stored as an error-bounded compressed stream from
+// any codec in the registry, with free-form string attributes (units, model
+// name, ...) and the validity mask embedded in the stream where the codec
+// supports one.
+//
+// Layout: [magic "CLZA"] [version] [variable records...]
+//         [index block] [index offset u64] [magic]
+// The index is written last so archives stream to disk without seeks; the
+// reader locates it from the fixed-size trailer.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/mask.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Metadata of one archived variable.
+struct VariableInfo {
+  std::string name;
+  DimVec dims;
+  std::string codec;  ///< registry name: "cliz", "sz3", ...
+  double error_bound = 0.0;
+  std::uint64_t compressed_bytes = 0;
+  /// Bytes per sample: 4 = float32, 8 = float64.
+  std::uint32_t sample_bytes = 4;
+  std::map<std::string, std::string> attributes;
+};
+
+/// Streaming archive writer. Variables are compressed and appended in call
+/// order; finish() (or the destructor) writes the index and trailer.
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(const std::string& path);
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Compresses `data` with CliZ under `pipeline` and appends it.
+  void add_variable(const std::string& name, const NdArray<float>& data,
+                    double abs_error_bound, const PipelineConfig& pipeline,
+                    const MaskMap* mask = nullptr,
+                    std::map<std::string, std::string> attributes = {});
+
+  /// float64 variant (CliZ only).
+  void add_variable(const std::string& name, const NdArray<double>& data,
+                    double abs_error_bound, const PipelineConfig& pipeline,
+                    const MaskMap* mask = nullptr,
+                    std::map<std::string, std::string> attributes = {});
+
+  /// Appends `data` compressed with any registry codec by name.
+  void add_variable_with(const std::string& codec, const std::string& name,
+                         const NdArray<float>& data, double abs_error_bound,
+                         std::map<std::string, std::string> attributes = {});
+
+  /// Writes index + trailer and closes the file. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::size_t variable_count() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    VariableInfo info;
+    std::uint64_t offset = 0;
+  };
+
+  void append_stream(const std::string& codec, const std::string& name,
+                     const Shape& shape, double eb,
+                     std::map<std::string, std::string> attributes,
+                     const std::vector<std::uint8_t>& stream,
+                     std::uint32_t sample_bytes);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<Entry> entries_;
+  std::uint64_t cursor_ = 0;
+  bool finished_ = false;
+};
+
+/// Random-access archive reader. The index is parsed on construction; each
+/// read() seeks to and decompresses one variable.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::string& path);
+
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  [[nodiscard]] const std::vector<VariableInfo>& variables() const noexcept {
+    return variables_;
+  }
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const VariableInfo& info(const std::string& name) const;
+
+  /// Decompresses one float32 variable (Error if the variable is float64).
+  [[nodiscard]] NdArray<float> read(const std::string& name) const;
+
+  /// Decompresses one float64 variable (Error if the variable is float32).
+  [[nodiscard]] NdArray<double> read_f64(const std::string& name) const;
+
+  /// Raw compressed stream of one variable (for retransmission).
+  [[nodiscard]] std::vector<std::uint8_t> read_raw(
+      const std::string& name) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  std::string path_;
+  mutable std::ifstream in_;
+  std::vector<VariableInfo> variables_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace cliz

@@ -1,0 +1,203 @@
+#include "src/lossless/lossless.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "src/common/bitio.hpp"
+#include "src/common/bytestream.hpp"
+#include "src/common/status.hpp"
+#include "src/huffman/huffman.hpp"
+
+namespace cliz {
+
+namespace {
+
+constexpr std::size_t kWindow = 1u << 16;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1u << 12;
+constexpr int kMaxChain = 64;
+
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeLz = 1;
+
+// Section sub-modes for huff_bytes().
+constexpr std::uint8_t kSectionRaw = 0;
+constexpr std::uint8_t kSectionHuff = 1;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 16;  // Knuth multiplicative, 16-bit bucket
+}
+
+/// Huffman-compresses a byte section with a raw fallback.
+void put_section(ByteWriter& out, std::span<const std::uint8_t> bytes) {
+  if (bytes.size() >= 32) {
+    std::vector<std::uint32_t> symbols(bytes.begin(), bytes.end());
+    const auto codec = HuffmanCodec::from_symbols(symbols);
+    ByteWriter table;
+    codec.serialize(table);
+    const std::uint64_t payload_bits = codec.encoded_bits(symbols);
+    const std::size_t huff_size = table.size() + (payload_bits + 7) / 8;
+    if (huff_size + 8 < bytes.size()) {
+      BitWriter bits;
+      codec.encode(symbols, bits);
+      auto payload = bits.finish();
+      out.put_u8(kSectionHuff);
+      out.put_varint(bytes.size());
+      out.put_block(table.bytes());
+      out.put_block(payload);
+      return;
+    }
+  }
+  out.put_u8(kSectionRaw);
+  out.put_block(bytes);
+}
+
+std::vector<std::uint8_t> get_section(ByteReader& in) {
+  const std::uint8_t mode = in.get_u8();
+  if (mode == kSectionRaw) {
+    auto b = in.get_block();
+    return {b.begin(), b.end()};
+  }
+  CLIZ_REQUIRE(mode == kSectionHuff, "corrupt lossless section mode");
+  const std::uint64_t n = in.get_varint();
+  ByteReader table_reader(in.get_block());
+  const auto codec = HuffmanCodec::deserialize(table_reader);
+  BitReader bits(in.get_block());
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::uint8_t>(codec.decode_one(bits)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
+  const std::size_t n = in.size();
+
+  // LZ77 greedy parse with hash chains over 4-byte prefixes.
+  BitWriter flags;              // 0 = literal, 1 = match
+  std::vector<std::uint8_t> literals;
+  ByteWriter matches;           // varint(len - kMinMatch), varint(dist - 1)
+  std::size_t n_ops = 0;
+
+  if (n >= kMinMatch) {
+    std::vector<std::int64_t> head(1u << 16, -1);
+    std::vector<std::int64_t> prev(n, -1);
+
+    std::size_t i = 0;
+    const auto insert = [&](std::size_t pos) {
+      const std::uint32_t h = hash4(in.data() + pos);
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    };
+
+    while (i < n) {
+      std::size_t best_len = 0;
+      std::size_t best_dist = 0;
+      if (i + kMinMatch <= n) {
+        const std::uint32_t h = hash4(in.data() + i);
+        std::int64_t cand = head[h];
+        int chain = 0;
+        const std::size_t limit = std::min(kMaxMatch, n - i);
+        while (cand >= 0 && chain++ < kMaxChain &&
+               i - static_cast<std::size_t>(cand) <= kWindow) {
+          const auto c = static_cast<std::size_t>(cand);
+          std::size_t len = 0;
+          while (len < limit && in[c + len] == in[i + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = i - c;
+            if (len == limit) break;
+          }
+          cand = prev[c];
+        }
+      }
+
+      if (best_len >= kMinMatch) {
+        flags.put_bit(true);
+        matches.put_varint(best_len - kMinMatch);
+        matches.put_varint(best_dist - 1);
+        const std::size_t end = std::min(i + best_len, n - kMinMatch + 1);
+        for (std::size_t p = i; p < end; ++p) insert(p);
+        i += best_len;
+      } else {
+        flags.put_bit(false);
+        literals.push_back(in[i]);
+        if (i + kMinMatch <= n) insert(i);
+        ++i;
+      }
+      ++n_ops;
+    }
+  } else {
+    for (const std::uint8_t b : in) {
+      flags.put_bit(false);
+      literals.push_back(b);
+      ++n_ops;
+    }
+  }
+
+  ByteWriter lz;
+  lz.put_u8(kModeLz);
+  lz.put_varint(n);
+  lz.put_varint(n_ops);
+  lz.put_block(flags.finish());
+  put_section(lz, literals);
+  put_section(lz, matches.bytes());
+
+  if (lz.size() < n + 2) return std::move(lz).take();
+
+  // Stored fallback: incompressible input.
+  ByteWriter stored;
+  stored.put_u8(kModeStored);
+  stored.put_varint(n);
+  stored.put_bytes(in);
+  return std::move(stored).take();
+}
+
+std::vector<std::uint8_t> lossless_decompress(
+    std::span<const std::uint8_t> in) {
+  ByteReader r(in);
+  const std::uint8_t mode = r.get_u8();
+  const std::uint64_t n = r.get_varint();
+  CLIZ_REQUIRE(n <= (std::uint64_t{1} << 40), "implausible lossless size");
+
+  if (mode == kModeStored) {
+    auto b = r.get_bytes(static_cast<std::size_t>(n));
+    return {b.begin(), b.end()};
+  }
+  CLIZ_REQUIRE(mode == kModeLz, "corrupt lossless mode byte");
+
+  const std::uint64_t n_ops = r.get_varint();
+  BitReader flags(r.get_block());
+  const auto literals = get_section(r);
+  const auto match_data = get_section(r);  // must outlive the reader below
+  ByteReader matches(match_data);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::size_t lit_pos = 0;
+  for (std::uint64_t op = 0; op < n_ops; ++op) {
+    if (flags.get_bit()) {
+      const std::uint64_t len = matches.get_varint() + kMinMatch;
+      const std::uint64_t dist = matches.get_varint() + 1;
+      CLIZ_REQUIRE(dist <= out.size(), "match distance beyond output");
+      CLIZ_REQUIRE(out.size() + len <= n, "match overruns declared size");
+      const std::size_t start = out.size() - static_cast<std::size_t>(dist);
+      for (std::uint64_t k = 0; k < len; ++k) {
+        out.push_back(out[start + static_cast<std::size_t>(k)]);
+      }
+    } else {
+      CLIZ_REQUIRE(lit_pos < literals.size(), "literal section truncated");
+      out.push_back(literals[lit_pos++]);
+    }
+  }
+  CLIZ_REQUIRE(out.size() == n, "lossless size mismatch after decode");
+  return out;
+}
+
+}  // namespace cliz

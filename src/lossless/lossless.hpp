@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cliz {
+
+/// Byte-stream lossless backend (LZ77 hash-chain matching + canonical
+/// Huffman), the role Zstd plays in SZ3's pipeline. Applied as the final
+/// stage of every codec here; `lossless_compress` falls back to stored mode
+/// when compression would not help, so output is never much larger than
+/// input (3-byte header + payload).
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in);
+
+/// Inverse of lossless_compress. Throws Error on corrupt input.
+std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> in);
+
+}  // namespace cliz

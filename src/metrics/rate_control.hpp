@@ -1,0 +1,54 @@
+#pragma once
+
+// Rate control: the paper's iso-quality / iso-ratio comparisons (Figs. 13
+// and 14 fix PSNR ~117 dB and CR ~25 respectively) need the inverse map
+// from a quality target to an error bound. These helpers bisect the bound
+// geometrically against a caller-supplied compressor until the target is
+// met, returning the chosen bound and the final stream.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/mask.hpp"
+#include "src/ndarray/ndarray.hpp"
+
+namespace cliz {
+
+/// Outcome of a rate-control search.
+struct RateControlResult {
+  double abs_error_bound = 0.0;      ///< bound that met the target
+  double achieved = 0.0;             ///< metric value at that bound
+  std::vector<std::uint8_t> stream;  ///< compressed stream at that bound
+  int iterations = 0;
+};
+
+/// Compress callback: bound -> stream.
+using CompressFn =
+    std::function<std::vector<std::uint8_t>(double abs_error_bound)>;
+
+/// Options for the bisection.
+struct RateControlOptions {
+  double bound_lo = 1e-9;     ///< absolute-bound search range
+  double bound_hi = 1e6;
+  int max_iterations = 24;
+  double tolerance = 0.02;    ///< relative closeness to the target
+};
+
+/// Finds the loosest bound whose reconstruction still reaches
+/// `target_psnr` (dB) for `data` (PSNR measured over valid points).
+/// `compress` must produce a stream decodable by `decompress_any`.
+RateControlResult compress_to_psnr(const NdArray<float>& data,
+                                   double target_psnr,
+                                   const CompressFn& compress,
+                                   const MaskMap* mask = nullptr,
+                                   const RateControlOptions& options = {});
+
+/// Finds a bound whose stream achieves `target_ratio` (original bytes /
+/// compressed bytes) within tolerance.
+RateControlResult compress_to_ratio(const NdArray<float>& data,
+                                    double target_ratio,
+                                    const CompressFn& compress,
+                                    const RateControlOptions& options = {});
+
+}  // namespace cliz

@@ -1,0 +1,46 @@
+#include "src/ndarray/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cliz {
+
+std::vector<FusionSpec> all_fusions(std::size_t ndims) {
+  CLIZ_REQUIRE(ndims >= 1 && ndims < 16, "unsupported dimensionality");
+  std::vector<FusionSpec> out;
+  // Each of the ndims-1 gaps between adjacent dims is either a group
+  // boundary or fused across; enumerate all 2^(ndims-1) choices.
+  const std::size_t combos = std::size_t{1} << (ndims - 1);
+  for (std::size_t bits = 0; bits < combos; ++bits) {
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    std::size_t first = 0;
+    for (std::size_t gap = 0; gap + 1 < ndims; ++gap) {
+      const bool boundary = ((bits >> gap) & 1u) == 0;
+      if (boundary) {
+        groups.emplace_back(first, gap);
+        first = gap + 1;
+      }
+    }
+    groups.emplace_back(first, ndims - 1);
+    out.emplace_back(std::move(groups));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> all_permutations(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::vector<std::vector<std::size_t>> out;
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+std::string perm_label(std::span<const std::size_t> perm) {
+  std::string s;
+  for (const std::size_t d : perm) s += std::to_string(d);
+  return s;
+}
+
+}  // namespace cliz

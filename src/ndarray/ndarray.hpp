@@ -1,0 +1,52 @@
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "src/ndarray/shape.hpp"
+
+namespace cliz {
+
+/// Owning, contiguous, row-major N-dimensional array. This is the container
+/// every compressor in the library consumes and produces.
+template <typename T>
+class NdArray {
+ public:
+  NdArray() = default;
+
+  explicit NdArray(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.size()) {}
+
+  NdArray(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    CLIZ_REQUIRE(data_.size() == shape_.size(),
+                 "data length does not match shape");
+  }
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] T& at(std::initializer_list<std::size_t> coords) {
+    return data_[shape_.offset(std::span<const std::size_t>(
+        coords.begin(), coords.size()))];
+  }
+  [[nodiscard]] const T& at(std::initializer_list<std::size_t> coords) const {
+    return data_[shape_.offset(std::span<const std::size_t>(
+        coords.begin(), coords.size()))];
+  }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace cliz

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+/// Dimension list, slowest-varying first (row-major storage order).
+using DimVec = std::vector<std::size_t>;
+
+/// Row-major shape with precomputed strides (in elements).
+class Shape {
+ public:
+  Shape() = default;
+
+  /// Upper bound on total elements (8G points = 32 GB of float32, well
+  /// above the largest full-size dataset in the paper). Keeps corrupt
+  /// streams from overflowing the size product into small wrapped values
+  /// or triggering absurd allocations.
+  static constexpr std::size_t kMaxElements = std::size_t{1} << 33;
+
+  explicit Shape(DimVec dims) : dims_(std::move(dims)) {
+    CLIZ_REQUIRE(!dims_.empty(), "shape needs at least one dimension");
+    strides_.resize(dims_.size());
+    std::size_t s = 1;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+      CLIZ_REQUIRE(dims_[i] > 0, "zero-extent dimension");
+      CLIZ_REQUIRE(dims_[i] <= kMaxElements / s, "shape too large");
+      strides_[i] = s;
+      s *= dims_[i];
+    }
+    size_ = s;
+  }
+
+  [[nodiscard]] std::size_t ndims() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const DimVec& dims() const noexcept { return dims_; }
+  [[nodiscard]] const DimVec& strides() const noexcept { return strides_; }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return dims_.at(i); }
+  [[nodiscard]] std::size_t stride(std::size_t i) const {
+    return strides_.at(i);
+  }
+
+  /// Linear offset of a full coordinate tuple.
+  [[nodiscard]] std::size_t offset(std::span<const std::size_t> coords) const {
+    CLIZ_REQUIRE(coords.size() == dims_.size(), "coordinate arity mismatch");
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      CLIZ_REQUIRE(coords[i] < dims_[i], "coordinate out of range");
+      off += coords[i] * strides_[i];
+    }
+    return off;
+  }
+
+  /// Inverse of offset(): coordinates of a linear index.
+  [[nodiscard]] DimVec coords(std::size_t linear) const {
+    CLIZ_REQUIRE(linear < size_, "linear index out of range");
+    DimVec c(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      c[i] = linear / strides_[i];
+      linear %= strides_[i];
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "(";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += "x";
+      s += std::to_string(dims_[i]);
+    }
+    return s + ")";
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  DimVec dims_;
+  DimVec strides_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cliz

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace cliz {
+
+/// Fitting function used by the interpolation predictor (paper VI-A item 4).
+enum class FittingKind : unsigned char { kLinear = 0, kCubic = 1 };
+
+/// Coefficients of the mask-map-compatible dynamic fitting predictor
+/// (paper Theorem 1). The predicted value is sum_i p[i] * d[i] over the
+/// four reference points at strides -3h, -h, +h, +3h; p[i] is zero whenever
+/// reference i is invalid (masked or out of range).
+///
+///   p_i = prod_j ( v_j * M[i][j] + (1 - v_j) * B[i][j] )
+///
+/// With all refs valid this reduces to the classic cubic (-1/16, 9/16,
+/// 9/16, -1/16); with fewer valid refs it degrades to quadratic, linear,
+/// constant and zero fits exactly as Tables I/II prescribe.
+struct CubicFit {
+  std::array<double, 4> p;
+};
+
+namespace detail {
+
+constexpr double kM[4][4] = {
+    {1.0, -0.5, 0.25, 0.5},
+    {1.5, 1.0, 0.5, 0.75},
+    {0.75, 0.5, 1.0, 1.5},
+    {0.5, 0.25, -0.5, 1.0},
+};
+constexpr double kB[4][4] = {
+    {0.0, 1.0, 1.0, 1.0},
+    {1.0, 0.0, 1.0, 1.0},
+    {1.0, 1.0, 0.0, 1.0},
+    {1.0, 1.0, 1.0, 0.0},
+};
+
+constexpr CubicFit cubic_fit_for(unsigned mask) {
+  CubicFit fit{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    double p = 1.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const bool vj = ((mask >> j) & 1u) != 0;
+      p *= vj ? kM[i][j] : kB[i][j];
+    }
+    // An invalid reference must not contribute regardless of the product.
+    const bool vi = ((mask >> i) & 1u) != 0;
+    fit.p[i] = vi ? p : 0.0;
+  }
+  return fit;
+}
+
+constexpr std::array<CubicFit, 16> make_cubic_table() {
+  std::array<CubicFit, 16> table{};
+  for (unsigned m = 0; m < 16; ++m) table[m] = cubic_fit_for(m);
+  return table;
+}
+
+inline constexpr std::array<CubicFit, 16> kCubicTable = make_cubic_table();
+
+}  // namespace detail
+
+/// Cubic-fit coefficients for a validity bitmask (bit i set = reference i
+/// valid, i in stride order -3h, -h, +h, +3h). O(1) table lookup.
+constexpr const CubicFit& cubic_fit(unsigned validity_mask) {
+  return detail::kCubicTable[validity_mask & 0xFu];
+}
+
+/// Linear-fit coefficients over the two refs at -h, +h: averages when both
+/// are valid, copies the valid one otherwise, zero when neither is.
+constexpr std::array<double, 2> linear_fit(bool v0, bool v1) {
+  if (v0 && v1) return {0.5, 0.5};
+  if (v0) return {1.0, 0.0};
+  if (v1) return {0.0, 1.0};
+  return {0.0, 0.0};
+}
+
+}  // namespace cliz

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/predictor/fitting.hpp"
+#include "src/predictor/interp_traversal.hpp"
+#include "src/quantizer/linear_quantizer.hpp"
+
+namespace cliz {
+
+/// Computes the fitting prediction for one target given the reference set.
+/// A reference participates only when it is inside the array AND valid per
+/// the optional mask (`validity` indexed by linear offset, nullptr = all
+/// valid); invalid references get coefficient zero via the Theorem-1 tables,
+/// so masked garbage never leaks into a prediction.
+template <typename T>
+T interp_predict(const T* data, const InterpRefs& refs,
+                 const std::uint8_t* validity, FittingKind fit) {
+  unsigned vm = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    const bool v = refs.in_range[i] &&
+                   (validity == nullptr || validity[refs.offset[i]] != 0);
+    vm |= static_cast<unsigned>(v) << i;
+  }
+  if (fit == FittingKind::kCubic) {
+    const CubicFit& f = cubic_fit(vm);
+    double p = 0.0;
+    for (unsigned i = 0; i < 4; ++i) {
+      if (f.p[i] != 0.0) p += f.p[i] * static_cast<double>(data[refs.offset[i]]);
+    }
+    return static_cast<T>(p);
+  }
+  const auto lf = linear_fit((vm >> 1) & 1u, (vm >> 2) & 1u);
+  double p = 0.0;
+  if (lf[0] != 0.0) p += lf[0] * static_cast<double>(data[refs.offset[1]]);
+  if (lf[1] != 0.0) p += lf[1] * static_cast<double>(data[refs.offset[2]]);
+  return static_cast<T>(p);
+}
+
+/// Encode side of the interpolation codec: walks the traversal, predicts,
+/// quantizes (mutating `data` to the reconstruction so later predictions
+/// match the decoder), and hands each emitted code to `sink(offset, code)`.
+/// Masked targets (validity[off] == 0) are skipped entirely — no bin is
+/// emitted for them (paper VI-B). The anchor (offset 0) is quantized first
+/// with prediction 0 when valid.
+template <typename T, typename BinSink>
+void interp_encode(T* data, std::span<const AxisSpec> axes,
+                   std::span<const std::size_t> order, FittingKind fit,
+                   const LinearQuantizer<T>& quantizer,
+                   std::vector<T>& outliers, const std::uint8_t* validity,
+                   BinSink&& sink) {
+  if (validity == nullptr || validity[0] != 0) {
+    sink(std::size_t{0}, quantizer.quantize(data[0], T{0}, outliers));
+  }
+  interp_traverse(axes, order,
+                  [&](std::size_t off, std::size_t /*axis*/,
+                      std::size_t /*h*/, const InterpRefs& refs) {
+                    if (validity != nullptr && validity[off] == 0) return;
+                    const T pred = interp_predict(data, refs, validity, fit);
+                    sink(off, quantizer.quantize(data[off], pred, outliers));
+                  });
+}
+
+/// Decode side: identical traversal, predictions from already-reconstructed
+/// values; `source(offset)` must return the codes in the same order sink
+/// received them. Masked targets are skipped and must be filled by the
+/// caller afterwards.
+template <typename T, typename BinSource>
+void interp_decode(T* data, std::span<const AxisSpec> axes,
+                   std::span<const std::size_t> order, FittingKind fit,
+                   const LinearQuantizer<T>& quantizer,
+                   std::span<const T> outliers, std::size_t& outlier_cursor,
+                   const std::uint8_t* validity, BinSource&& source) {
+  if (validity == nullptr || validity[0] != 0) {
+    data[0] = quantizer.recover(source(std::size_t{0}), T{0}, outliers,
+                                outlier_cursor);
+  }
+  interp_traverse(axes, order,
+                  [&](std::size_t off, std::size_t /*axis*/,
+                      std::size_t /*h*/, const InterpRefs& refs) {
+                    if (validity != nullptr && validity[off] == 0) return;
+                    const T pred = interp_predict(data, refs, validity, fit);
+                    data[off] = quantizer.recover(source(off), pred, outliers,
+                                                  outlier_cursor);
+                  });
+}
+
+/// Cheap fitting-error probe used by auto-tuning: walks the traversal
+/// predicting from ORIGINAL values (no quantization feedback) and sums
+/// |prediction - value| over every `sample_stride`-th visited point.
+/// An approximation of the quantization-feedback error, good enough to rank
+/// linear vs cubic and different pass orders.
+template <typename T>
+double interp_probe_error(const T* data, std::span<const AxisSpec> axes,
+                          std::span<const std::size_t> order, FittingKind fit,
+                          const std::uint8_t* validity,
+                          std::size_t sample_stride = 1) {
+  double total = 0.0;
+  std::size_t count = 0;
+  interp_traverse(axes, order,
+                  [&](std::size_t off, std::size_t /*axis*/,
+                      std::size_t /*h*/, const InterpRefs& refs) {
+                    if (count++ % sample_stride != 0) return;
+                    if (validity != nullptr && validity[off] == 0) return;
+                    const T pred = interp_predict(data, refs, validity, fit);
+                    total += std::abs(static_cast<double>(pred) -
+                                      static_cast<double>(data[off]));
+                  });
+  return total;
+}
+
+}  // namespace cliz

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <span>
+
+#include "src/common/status.hpp"
+#include "src/ndarray/layout.hpp"
+
+namespace cliz {
+
+/// Maximum number of logical axes the traversal supports (4 physical dims
+/// is the most any dataset in the paper has; fusion only reduces it).
+inline constexpr std::size_t kMaxAxes = 8;
+
+/// Reference points for one interpolation target: linear offsets of the
+/// four cubic references at coordinates c-3h, c-h, c+h, c+3h along the
+/// current pass axis, plus whether each lies inside the array. The linear
+/// fit uses entries 1 and 2.
+struct InterpRefs {
+  std::array<std::size_t, 4> offset;
+  std::array<bool, 4> in_range;
+};
+
+namespace detail {
+
+/// Runs one interpolation pass: axis `d` at half-stride `h` (level stride
+/// s = 2h), with per-axis steps already resolved. Calls
+/// visit(offset, d, h, refs) for each target.
+template <typename Visitor>
+void run_pass(std::span<const AxisSpec> axes, std::size_t d, std::size_t h,
+              std::size_t s, const std::array<std::size_t, kMaxAxes>& step,
+              Visitor&& visit) {
+  const std::size_t m = axes.size();
+  const AxisSpec target_axis = axes[d];
+
+  std::array<std::size_t, kMaxAxes> coord{};
+  coord.fill(0);
+  for (;;) {
+    std::size_t base = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != d) base += coord[j] * axes[j].stride;
+    }
+
+    for (std::size_t c = h; c < target_axis.extent; c += s) {
+      InterpRefs refs{};
+      const std::size_t off = base + c * target_axis.stride;
+      refs.in_range[0] = c >= 3 * h;
+      refs.in_range[1] = true;  // c >= h by construction
+      refs.in_range[2] = c + h < target_axis.extent;
+      refs.in_range[3] = c + 3 * h < target_axis.extent;
+      refs.offset[0] = refs.in_range[0] ? off - 3 * h * target_axis.stride : 0;
+      refs.offset[1] = off - h * target_axis.stride;
+      refs.offset[2] = refs.in_range[2] ? off + h * target_axis.stride : 0;
+      refs.offset[3] = refs.in_range[3] ? off + 3 * h * target_axis.stride : 0;
+      visit(off, d, h, refs);
+    }
+
+    // Advance the odometer over the non-target axes.
+    std::size_t j = m;
+    while (j-- > 0) {
+      if (j == d) {
+        if (j == 0) break;
+        continue;
+      }
+      coord[j] += step[j];
+      if (coord[j] < axes[j].extent) break;
+      coord[j] = 0;
+      if (j == 0) break;
+    }
+    bool done = true;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (q != d && coord[q] != 0) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+  }
+}
+
+}  // namespace detail
+
+/// SZ3-style level-by-level interpolation traversal over logical axes,
+/// exposing pass boundaries.
+///
+/// Starting from stride s = bit_ceil(max extent) down to 2, each level runs
+/// one pass per axis in `order`; a pass over axis d targets the points whose
+/// coordinate along d is an odd multiple of h = s/2, whose coordinates along
+/// axes earlier in `order` are multiples of h (already refined this level)
+/// and along later axes multiples of s (not yet refined). Every non-anchor
+/// point is visited exactly once, and all of a target's references are
+/// visited (or are the anchor) before the target itself — the invariant that
+/// makes compressor/decompressor prediction parity possible.
+///
+/// `pass_visitor(s, h, d, run)` is called once per non-empty pass; calling
+/// `run(point_visitor)` executes the pass, invoking
+/// point_visitor(target_offset, axis, h, refs) per target. A pass may be run
+/// more than once (QoZ probes a pass with both fittings before committing).
+/// The anchor (logical origin, offset 0) is NOT visited; callers handle it
+/// explicitly.
+template <typename PassVisitor>
+void interp_traverse_passes(std::span<const AxisSpec> axes,
+                            std::span<const std::size_t> order,
+                            PassVisitor&& pass_visitor) {
+  const std::size_t m = axes.size();
+  CLIZ_REQUIRE(m >= 1 && m <= kMaxAxes, "unsupported number of axes");
+  CLIZ_REQUIRE(order.size() == m, "pass order arity mismatch");
+
+  std::size_t max_extent = 0;
+  for (const auto& ax : axes) max_extent = std::max(max_extent, ax.extent);
+  if (max_extent <= 1) return;  // single point: anchor only
+
+  std::array<std::size_t, kMaxAxes> pos{};
+  {
+    std::array<bool, kMaxAxes> seen{};
+    for (std::size_t k = 0; k < m; ++k) {
+      CLIZ_REQUIRE(order[k] < m && !seen[order[k]], "invalid pass order");
+      seen[order[k]] = true;
+      pos[order[k]] = k;
+    }
+  }
+
+  for (std::size_t s = std::bit_ceil(max_extent); s >= 2; s >>= 1) {
+    const std::size_t h = s / 2;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t d = order[k];
+      if (axes[d].extent <= h) continue;  // no odd multiple of h exists
+
+      std::array<std::size_t, kMaxAxes> step{};
+      for (std::size_t j = 0; j < m; ++j) step[j] = pos[j] < k ? h : s;
+
+      const auto run = [&](auto&& point_visitor) {
+        detail::run_pass(axes, d, h, s, step,
+                         std::forward<decltype(point_visitor)>(point_visitor));
+      };
+      pass_visitor(s, h, d, run);
+    }
+  }
+}
+
+/// Flat traversal: visit(target_offset, axis, h, refs) over every pass in
+/// order. Equivalent to interp_traverse_passes with a pass visitor that
+/// just runs each pass once.
+template <typename Visitor>
+void interp_traverse(std::span<const AxisSpec> axes,
+                     std::span<const std::size_t> order, Visitor&& visit) {
+  interp_traverse_passes(
+      axes, order,
+      [&](std::size_t /*s*/, std::size_t /*h*/, std::size_t /*d*/,
+          auto&& run) { run(visit); });
+}
+
+/// Total number of points interp_traverse() visits for the given axes
+/// (product of extents minus the anchor).
+inline std::size_t interp_point_count(std::span<const AxisSpec> axes) {
+  std::size_t n = 1;
+  for (const auto& ax : axes) n *= ax.extent;
+  return n - 1;
+}
+
+}  // namespace cliz

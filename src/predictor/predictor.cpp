@@ -1,0 +1,18 @@
+// The predictor module is header-only (fitting tables are constexpr and the
+// traversal is a template). This TU forces the tables to be materialized and
+// sanity-checks the Theorem-1 reduction at compile time.
+#include "src/predictor/fitting.hpp"
+#include "src/predictor/interp_traversal.hpp"
+
+namespace cliz {
+
+// All-valid mask must reproduce the classic cubic coefficients (Formula 1).
+static_assert(cubic_fit(0xF).p[0] == -1.0 / 16.0);
+static_assert(cubic_fit(0xF).p[1] == 9.0 / 16.0);
+static_assert(cubic_fit(0xF).p[2] == 9.0 / 16.0);
+static_assert(cubic_fit(0xF).p[3] == -1.0 / 16.0);
+
+// Zero-valid mask predicts zero.
+static_assert(cubic_fit(0x0).p[0] == 0.0 && cubic_fit(0x0).p[3] == 0.0);
+
+}  // namespace cliz

@@ -1,0 +1,11 @@
+// LinearQuantizer is header-only (src/quantizer/linear_quantizer.hpp); this
+// translation unit instantiates the supported element types so template
+// errors surface when the library itself is built.
+#include "src/quantizer/linear_quantizer.hpp"
+
+namespace cliz {
+
+template class LinearQuantizer<float>;
+template class LinearQuantizer<double>;
+
+}  // namespace cliz

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ndarray/shape.hpp"
+
+namespace cliz {
+
+/// Multi-level separable CDF 9/7 wavelet transform (the transform SPERR is
+/// built on), implemented with the standard lifting scheme and whole-sample
+/// symmetric boundary extension. Works on any N-d shape; each level
+/// transforms the low-pass region of extents ceil(dims / 2^level).
+class WaveletTransform {
+ public:
+  /// `levels` is clamped so the coarsest region keeps every extent >= 4.
+  WaveletTransform(Shape shape, int levels);
+
+  /// In-place forward transform of a row-major buffer of shape.size()
+  /// elements. After the call, approximation coefficients occupy the
+  /// leading region and details the trailing parts, per level.
+  void forward(std::vector<double>& data) const;
+
+  /// Exact inverse of forward() (up to floating-point rounding).
+  void inverse(std::vector<double>& data) const;
+
+  [[nodiscard]] int levels() const noexcept { return levels_; }
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+
+ private:
+  void transform_level(std::vector<double>& data, const DimVec& region,
+                       bool forward_dir) const;
+
+  Shape shape_;
+  int levels_;
+  std::vector<DimVec> regions_;  // region extents per level
+};
+
+}  // namespace cliz

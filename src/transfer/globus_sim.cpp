@@ -1,0 +1,46 @@
+#include "src/transfer/globus_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+
+TransferOutcome simulate_transfer(const TransferPlan& plan,
+                                  const WanLink& link) {
+  CLIZ_REQUIRE(plan.cores >= 1, "need at least one core");
+  CLIZ_REQUIRE(plan.n_files >= 1, "need at least one file");
+  CLIZ_REQUIRE(link.aggregate_bandwidth_mbps > 0 &&
+                   link.per_stream_bandwidth_mbps > 0,
+               "bandwidth must be positive");
+
+  TransferOutcome out;
+
+  // Compression: files distributed over the core pool; makespan is the
+  // number of waves times the per-file cost.
+  const std::size_t waves =
+      (plan.n_files + plan.cores - 1) / plan.cores;
+  out.compress_seconds =
+      static_cast<double>(waves) * plan.compress_seconds_per_file;
+
+  // Transfer: Globus opens up to max_parallel_streams; each stream gets the
+  // smaller of its own cap and a fair share of the aggregate pipe, and
+  // serially ships its slice of the file list with per-file overhead.
+  const std::size_t streams =
+      std::min<std::size_t>(link.max_parallel_streams, plan.n_files);
+  const double per_stream_rate =
+      std::min(link.per_stream_bandwidth_mbps,
+               link.aggregate_bandwidth_mbps / static_cast<double>(streams));
+  const std::size_t files_per_stream =
+      (plan.n_files + streams - 1) / streams;
+  const double mb =
+      static_cast<double>(plan.compressed_bytes_per_file) / (1024.0 * 1024.0);
+  out.transfer_seconds =
+      static_cast<double>(files_per_stream) *
+      (link.per_file_overhead_s + mb / per_stream_rate);
+
+  return out;
+}
+
+}  // namespace cliz

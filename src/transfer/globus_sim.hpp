@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+namespace cliz {
+
+/// WAN link model between two Globus endpoints (ANL Bebop -> Purdue Anvil
+/// in the paper's Fig. 13). Deterministic stand-in for the real testbed we
+/// do not have: aggregate bandwidth shared by parallel streams, a per-file
+/// fixed overhead (checksumming / control traffic), and a per-stream cap.
+struct WanLink {
+  double aggregate_bandwidth_mbps = 1250.0;  ///< MB/s across all streams
+  double per_stream_bandwidth_mbps = 40.0;   ///< MB/s a single stream reaches
+  double per_file_overhead_s = 0.05;
+  std::size_t max_parallel_streams = 64;
+};
+
+/// One compression-then-transfer campaign: `n_files` equal files, each
+/// compressed on one of `cores` cores and shipped over the link.
+struct TransferPlan {
+  std::size_t cores = 256;
+  std::size_t n_files = 1024;
+  double compress_seconds_per_file = 0.0;
+  std::size_t compressed_bytes_per_file = 0;
+};
+
+/// Simulated end-to-end timing.
+struct TransferOutcome {
+  double compress_seconds = 0.0;
+  double transfer_seconds = 0.0;
+
+  [[nodiscard]] double total_seconds() const {
+    return compress_seconds + transfer_seconds;
+  }
+};
+
+/// Runs the analytical pipeline model: compression makespan over the core
+/// pool, then parallel-stream WAN transfer of the compressed files.
+TransferOutcome simulate_transfer(const TransferPlan& plan,
+                                  const WanLink& link = {});
+
+}  // namespace cliz

@@ -1,0 +1,264 @@
+#include "src/io/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/climate/datasets.hpp"
+#include "src/core/compressor.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+/// Temp file path helper with automatic cleanup.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cliz_test_" + stem + ".clza"))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+NdArray<float> smooth_array(const DimVec& dims, std::uint64_t seed) {
+  const Shape shape(dims);
+  NdArray<float> a(shape);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto c = shape.coords(i);
+    double v = 0.0;
+    for (std::size_t d = 0; d < c.size(); ++d) {
+      v += std::sin(0.1 * static_cast<double>(c[d]));
+    }
+    a[i] = static_cast<float>(v + 0.01 * rng.normal());
+  }
+  return a;
+}
+
+TEST(Archive, SingleVariableRoundTrip) {
+  TempFile file("single");
+  const auto data = smooth_array({12, 10, 14}, 1);
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable("TEMP", data, 1e-3, PipelineConfig::defaults(3), nullptr,
+                   {{"units", "K"}, {"model", "atm"}});
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  ASSERT_EQ(r.variables().size(), 1u);
+  const auto& info = r.info("TEMP");
+  EXPECT_EQ(info.codec, "cliz");
+  EXPECT_EQ(info.dims, (DimVec{12, 10, 14}));
+  EXPECT_EQ(info.error_bound, 1e-3);
+  EXPECT_EQ(info.attributes.at("units"), "K");
+
+  const auto recon = r.read("TEMP");
+  EXPECT_LE(error_stats(data.flat(), recon.flat()).max_abs_error, 1e-3);
+}
+
+TEST(Archive, MultipleVariablesMixedCodecs) {
+  TempFile file("mixed");
+  const auto a = smooth_array({20, 20}, 2);
+  const auto b = smooth_array({8, 10, 12}, 3);
+  const auto c = smooth_array({64}, 4);
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable_with("sz3", "SALT", a, 1e-2);
+    w.add_variable_with("zfp", "RHO", b, 1e-3);
+    w.add_variable_with("sperr", "SHF", c, 1e-4);
+    EXPECT_EQ(w.variable_count(), 3u);
+  }  // destructor finishes
+  ArchiveReader r(file.path());
+  ASSERT_EQ(r.variables().size(), 3u);
+  EXPECT_TRUE(r.contains("SALT"));
+  EXPECT_TRUE(r.contains("RHO"));
+  EXPECT_FALSE(r.contains("TEMP"));
+  EXPECT_LE(error_stats(a.flat(), r.read("SALT").flat()).max_abs_error, 1e-2);
+  EXPECT_LE(error_stats(b.flat(), r.read("RHO").flat()).max_abs_error, 1e-3);
+  EXPECT_LE(error_stats(c.flat(), r.read("SHF").flat()).max_abs_error, 1e-4);
+}
+
+TEST(Archive, MaskedClimateFieldRoundTrip) {
+  TempFile file("masked");
+  const auto field = make_ssh(0.1, 800);
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.period = 12;
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable("SSH", field.data, 1e-3, config, field.mask_ptr(),
+                   {{"units", "m"}});
+  }
+  ArchiveReader r(file.path());
+  const auto recon = r.read("SSH");
+  const auto stats =
+      error_stats(field.data.flat(), recon.flat(), field.mask_ptr());
+  EXPECT_LE(stats.max_abs_error, 1e-3);
+  // Masked positions carry the fill value.
+  for (std::size_t i = 0; i < recon.size(); ++i) {
+    if (!field.mask->valid(i)) {
+      EXPECT_EQ(recon[i], 9.96921e36f);
+    }
+  }
+}
+
+TEST(Archive, RandomAccessDoesNotTouchOtherVariables) {
+  TempFile file("random_access");
+  std::vector<NdArray<float>> arrays;
+  {
+    ArchiveWriter w(file.path());
+    for (int i = 0; i < 5; ++i) {
+      arrays.push_back(smooth_array({16, 16}, 100 + i));
+      w.add_variable_with("sz3", "VAR" + std::to_string(i), arrays.back(),
+                          1e-3);
+    }
+  }
+  ArchiveReader r(file.path());
+  // Read in reverse order.
+  for (int i = 4; i >= 0; --i) {
+    const auto recon = r.read("VAR" + std::to_string(i));
+    EXPECT_LE(error_stats(arrays[static_cast<std::size_t>(i)].flat(),
+                          recon.flat())
+                  .max_abs_error,
+              1e-3)
+        << i;
+  }
+}
+
+TEST(Archive, ReadRawMatchesDirectDecompression) {
+  TempFile file("raw");
+  const auto data = smooth_array({24, 24}, 5);
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable_with("qoz", "Q", data, 1e-3);
+  }
+  ArchiveReader r(file.path());
+  const auto raw = r.read_raw("Q");
+  EXPECT_EQ(raw.size(), r.info("Q").compressed_bytes);
+  const auto recon = make_compressor("qoz")->decompress(raw);
+  EXPECT_LE(error_stats(data.flat(), recon.flat()).max_abs_error, 1e-3);
+}
+
+TEST(Archive, Float64VariableRoundTrip) {
+  TempFile file("f64");
+  const Shape shape({10, 12});
+  NdArray<double> data(shape);
+  Rng rng(55);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1.0 + 1e-10 * rng.normal();
+  }
+  const double eb = 1e-11;  // far below float32 resolution
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable("PRECISE", data, eb, PipelineConfig::defaults(2), nullptr,
+                   {{"units", "m"}});
+  }
+  ArchiveReader r(file.path());
+  EXPECT_EQ(r.info("PRECISE").sample_bytes, 8u);
+  const auto recon = r.read_f64("PRECISE");
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(recon[i] - data[i]), eb);
+  }
+  // The wrong-typed reader must refuse.
+  EXPECT_THROW((void)r.read("PRECISE"), Error);
+}
+
+TEST(Archive, Float32ReadRefusedByF64Reader) {
+  TempFile file("f32_as_f64");
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable_with("sz3", "X", smooth_array({8, 8}, 56), 1e-3);
+  }
+  ArchiveReader r(file.path());
+  EXPECT_EQ(r.info("X").sample_bytes, 4u);
+  EXPECT_THROW((void)r.read_f64("X"), Error);
+}
+
+TEST(Archive, DuplicateNameRejected) {
+  TempFile file("dup");
+  const auto data = smooth_array({8, 8}, 6);
+  ArchiveWriter w(file.path());
+  w.add_variable_with("sz3", "X", data, 1e-3);
+  EXPECT_THROW(w.add_variable_with("sz3", "X", data, 1e-3), Error);
+}
+
+TEST(Archive, UnknownVariableThrows) {
+  TempFile file("unknown");
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable_with("sz3", "X", smooth_array({8, 8}, 7), 1e-3);
+  }
+  ArchiveReader r(file.path());
+  EXPECT_THROW((void)r.read("Y"), Error);
+  EXPECT_THROW((void)r.info("Y"), Error);
+}
+
+TEST(Archive, UnknownCodecRejectedAtWrite) {
+  TempFile file("badcodec");
+  ArchiveWriter w(file.path());
+  EXPECT_THROW(
+      w.add_variable_with("gzip", "X", smooth_array({8, 8}, 8), 1e-3), Error);
+}
+
+TEST(Archive, MissingFileThrows) {
+  EXPECT_THROW(ArchiveReader("/nonexistent/path.clza"), Error);
+}
+
+TEST(Archive, TruncatedArchiveRejected) {
+  TempFile file("trunc");
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable_with("sz3", "X", smooth_array({16, 16}, 9), 1e-3);
+  }
+  // Chop off the trailer.
+  const auto size = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), size - 6);
+  EXPECT_THROW(ArchiveReader{file.path()}, Error);
+}
+
+TEST(Archive, GarbageFileRejected) {
+  TempFile file("garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    for (int i = 0; i < 256; ++i) out.put(static_cast<char>(i * 37));
+  }
+  EXPECT_THROW(ArchiveReader{file.path()}, Error);
+}
+
+TEST(Archive, EmptyArchiveIsValid) {
+  TempFile file("empty");
+  { ArchiveWriter w(file.path()); }
+  ArchiveReader r(file.path());
+  EXPECT_TRUE(r.variables().empty());
+}
+
+TEST(Archive, FinishIsIdempotent) {
+  TempFile file("idem");
+  ArchiveWriter w(file.path());
+  w.add_variable_with("sz3", "X", smooth_array({8, 8}, 10), 1e-3);
+  w.finish();
+  w.finish();  // no-op
+  ArchiveReader r(file.path());
+  EXPECT_EQ(r.variables().size(), 1u);
+}
+
+TEST(Archive, AddAfterFinishRejected) {
+  TempFile file("late");
+  ArchiveWriter w(file.path());
+  w.finish();
+  EXPECT_THROW(
+      w.add_variable_with("sz3", "X", smooth_array({8, 8}, 11), 1e-3), Error);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,97 @@
+#include "src/common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace cliz {
+namespace {
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (const bool b : pattern) w.put_bit(b);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const bool b : pattern) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitIo, MultiBitFieldsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0x5, 3);
+  w.put_bits(0xABCD, 16);
+  w.put_bits(0x1FFFFFFFFFFFFFull, 53);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(3), 0x5u);
+  EXPECT_EQ(r.get_bits(16), 0xABCDu);
+  EXPECT_EQ(r.get_bits(53), 0x1FFFFFFFFFFFFFull);
+}
+
+class BitWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthSweep, RandomValuesRoundTrip) {
+  const int width = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(width));
+  std::vector<std::uint64_t> values(200);
+  const std::uint64_t mask =
+      width == 64 ? ~0ull : (1ull << width) - 1;
+  for (auto& v : values) v = rng.next_u64() & mask;
+
+  BitWriter w;
+  for (const auto v : values) w.put_bits(v, width);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto v : values) EXPECT_EQ(r.get_bits(width), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidthSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 15, 16, 17, 31,
+                                           32, 33, 48, 57));
+
+TEST(BitIo, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put_bits(0, 10);
+  EXPECT_EQ(w.bit_count(), 10u);
+  w.put_bits(0, 60);
+  EXPECT_EQ(w.bit_count(), 70u);
+}
+
+TEST(BitIo, FinishPadsToByte) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);  // MSB-first
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.put_bits(0xFF, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  r.get_bits(8);
+  EXPECT_THROW(r.get_bit(), Error);
+}
+
+TEST(BitIo, EmptyReaderThrowsImmediately) {
+  BitReader r({});
+  EXPECT_THROW(r.get_bit(), Error);
+}
+
+TEST(BitIo, LongStreamCrossesWordBoundaries) {
+  Rng rng(99);
+  std::vector<bool> bits(10000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.uniform() < 0.5;
+  BitWriter w;
+  for (const bool b : bits) w.put_bit(b);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(r.get_bit(), bits[i]) << "at bit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cliz

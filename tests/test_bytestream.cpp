@@ -1,0 +1,122 @@
+#include "src/common/bytestream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace cliz {
+namespace {
+
+TEST(ByteStream, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put<std::uint16_t>(0x1234);
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<std::uint64_t>(0x0123456789ABCDEFull);
+  w.put<float>(3.14f);
+  w.put<double>(-2.718281828);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get<std::uint16_t>(), 0x1234);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789ABCDEFull);
+  EXPECT_FLOAT_EQ(r.get<float>(), 3.14f);
+  EXPECT_DOUBLE_EQ(r.get<double>(), -2.718281828);
+  EXPECT_TRUE(r.exhausted());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Encodes) {
+  ByteWriter w;
+  w.put_varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 123,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+class SvarintRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SvarintRoundTrip, Encodes) {
+  ByteWriter w;
+  w.put_svarint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_svarint(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SvarintRoundTrip,
+    ::testing::Values(std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                      std::int64_t{63}, std::int64_t{-64}, std::int64_t{64},
+                      std::int64_t{-12345678}, std::int64_t{12345678},
+                      std::numeric_limits<std::int64_t>::min(),
+                      std::numeric_limits<std::int64_t>::max()));
+
+TEST(ByteStream, SmallVarintsAreOneByte) {
+  ByteWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(ByteStream, BlocksRoundTrip) {
+  ByteWriter inner;
+  inner.put<std::uint32_t>(42);
+  ByteWriter w;
+  w.put_block(inner.bytes());
+  w.put_string("hello cliz");
+  ByteReader r(w.bytes());
+  ByteReader ir(r.get_block());
+  EXPECT_EQ(ir.get<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.get_string(), "hello cliz");
+}
+
+TEST(ByteStream, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.put<std::uint16_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_THROW(r.get<std::uint32_t>(), Error);
+}
+
+TEST(ByteStream, TruncatedVarintThrows) {
+  const std::uint8_t bad[] = {0x80};  // continuation bit but no next byte
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), Error);
+}
+
+TEST(ByteStream, OverlongVarintThrows) {
+  // 11 bytes of continuation: more than 64 bits of payload.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  bad.back() = 0x01;
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), Error);
+}
+
+TEST(ByteStream, BlockLengthBeyondStreamThrows) {
+  ByteWriter w;
+  w.put_varint(1000);  // claims 1000 bytes follow
+  w.put_u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_block(), Error);
+}
+
+TEST(ByteStream, RemainingAndPos) {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.get_u8();
+  EXPECT_EQ(r.pos(), 1u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace cliz

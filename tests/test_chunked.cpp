@@ -1,0 +1,129 @@
+#include "src/core/chunked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/climate/datasets.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+NdArray<float> smooth_array(const DimVec& dims, std::uint64_t seed) {
+  const Shape shape(dims);
+  NdArray<float> a(shape);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto c = shape.coords(i);
+    double v = 0.0;
+    for (std::size_t d = 0; d < c.size(); ++d) {
+      v += std::sin(0.09 * static_cast<double>(c[d]));
+    }
+    a[i] = static_cast<float>(v + 0.01 * rng.normal());
+  }
+  return a;
+}
+
+class ChunkCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkCountSweep, RoundTripWithinBound) {
+  const auto data = smooth_array({30, 16, 18}, 3);
+  ChunkedOptions opts;
+  opts.chunks = GetParam();
+  const auto stream = chunked_compress(data, 1e-3,
+                                       PipelineConfig::defaults(3), nullptr,
+                                       opts);
+  const auto recon = chunked_decompress(stream);
+  ASSERT_EQ(recon.shape(), data.shape());
+  EXPECT_LE(error_stats(data.flat(), recon.flat()).max_abs_error, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChunkCountSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 30,
+                                           100 /* > extent: clamped */));
+
+TEST(Chunked, DefaultChunkCountWorks) {
+  const auto data = smooth_array({24, 12, 12}, 4);
+  const auto stream =
+      chunked_compress(data, 1e-3, PipelineConfig::defaults(3));
+  const auto recon = chunked_decompress(stream);
+  EXPECT_LE(error_stats(data.flat(), recon.flat()).max_abs_error, 1e-3);
+}
+
+TEST(Chunked, MaskedPeriodicFieldRoundTrip) {
+  const auto field = make_ssh(0.1, 900);
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.period = 12;
+  ChunkedOptions opts;
+  opts.chunks = 3;
+  const double eb = 1e-3;
+  const auto stream =
+      chunked_compress(field.data, eb, config, field.mask_ptr(), opts);
+  const auto recon = chunked_decompress(stream);
+  const auto stats =
+      error_stats(field.data.flat(), recon.flat(), field.mask_ptr());
+  EXPECT_LE(stats.max_abs_error, eb);
+  for (std::size_t i = 0; i < recon.size(); ++i) {
+    if (!field.mask->valid(i)) {
+      ASSERT_EQ(recon[i], 9.96921e36f);
+    }
+  }
+}
+
+TEST(Chunked, PeriodicityDisabledInShortChunks) {
+  // 48 time steps in 12 chunks -> 4 steps per chunk < 2*12: the per-chunk
+  // codec must silently drop periodic extraction yet stay bounded.
+  const auto field = make_ssh(0.1, 901);
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.period = 12;
+  ChunkedOptions opts;
+  opts.chunks = 12;
+  const auto stream =
+      chunked_compress(field.data, 1e-3, config, field.mask_ptr(), opts);
+  const auto recon = chunked_decompress(stream);
+  EXPECT_LE(
+      error_stats(field.data.flat(), recon.flat(), field.mask_ptr())
+          .max_abs_error,
+      1e-3);
+}
+
+TEST(Chunked, EquivalentQualityToMonolithic) {
+  const auto data = smooth_array({32, 14, 14}, 5);
+  ChunkedOptions opts;
+  opts.chunks = 4;
+  const auto chunked = chunked_compress(data, 1e-3,
+                                        PipelineConfig::defaults(3), nullptr,
+                                        opts);
+  const auto mono =
+      ClizCompressor(PipelineConfig::defaults(3)).compress(data, 1e-3);
+  // Chunking costs some ratio (4 headers, shorter prediction context) but
+  // must stay in the same ballpark.
+  EXPECT_LT(chunked.size(), mono.size() * 2);
+}
+
+TEST(Chunked, CorruptStreamsThrow) {
+  const auto data = smooth_array({16, 8, 8}, 6);
+  auto stream =
+      chunked_compress(data, 1e-3, PipelineConfig::defaults(3));
+  auto truncated = stream;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)chunked_decompress(truncated), Error);
+  EXPECT_THROW((void)chunked_decompress({}), Error);
+  auto mutated = stream;
+  mutated[1] ^= 0xFF;  // header magic
+  EXPECT_THROW((void)chunked_decompress(mutated), Error);
+}
+
+TEST(Chunked, MismatchedMaskShapeThrows) {
+  const auto data = smooth_array({8, 8}, 7);
+  const auto mask = MaskMap::all_valid(Shape({8, 9}));
+  EXPECT_THROW((void)chunked_compress(data, 1e-3,
+                                      PipelineConfig::defaults(2), &mask),
+               Error);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,211 @@
+#include "src/climate/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/status.hpp"
+#include "src/core/autotune.hpp"
+#include "src/fft/period.hpp"
+
+namespace cliz {
+namespace {
+
+TEST(Climate, RegistryCoversTableThree) {
+  const auto names = dataset_names();
+  ASSERT_EQ(names.size(), 9u);
+  for (const auto& name : names) {
+    const auto field = make_dataset(name, 0.08);
+    EXPECT_EQ(field.name, name);
+    EXPECT_GT(field.data.size(), 0u);
+  }
+  EXPECT_THROW((void)make_dataset("nonexistent"), Error);
+}
+
+TEST(Climate, DeterministicGeneration) {
+  const auto a = make_ssh(0.1, 77);
+  const auto b = make_ssh(0.1, 77);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_EQ(a.data[i], b.data[i]);
+  }
+}
+
+TEST(Climate, DifferentSeedsDiffer) {
+  const auto a = make_ssh(0.1, 1);
+  const auto b = make_ssh(0.1, 2);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    diffs += a.data[i] != b.data[i] ? 1 : 0;
+  }
+  EXPECT_GT(diffs, a.data.size() / 4);
+}
+
+TEST(Climate, SshHasOceanMaskWithFillValues) {
+  const auto field = make_ssh(0.1, 3);
+  ASSERT_TRUE(field.mask.has_value());
+  const double valid_frac =
+      static_cast<double>(field.mask->count_valid()) /
+      static_cast<double>(field.data.size());
+  EXPECT_GT(valid_frac, 0.3);
+  EXPECT_LT(valid_frac, 0.95);
+  for (std::size_t i = 0; i < field.data.size(); ++i) {
+    if (!field.mask->valid(i)) {
+      ASSERT_EQ(field.data[i], kFillValue);
+    } else {
+      ASSERT_LT(std::abs(field.data[i]), 1e6f);
+    }
+  }
+}
+
+TEST(Climate, SoilliqIsMostlyMasked) {
+  // Paper: ~70% of the surface is water, invalid for the land model.
+  const auto field = make_soilliq(0.3, 4);
+  ASSERT_TRUE(field.mask.has_value());
+  const double valid_frac =
+      static_cast<double>(field.mask->count_valid()) /
+      static_cast<double>(field.data.size());
+  EXPECT_LT(valid_frac, 0.5);
+  EXPECT_EQ(field.data.shape().ndims(), 4u);
+}
+
+TEST(Climate, TsfcOnlyPolarCapsValid) {
+  const auto field = make_tsfc(0.15, 5);
+  ASSERT_TRUE(field.mask.has_value());
+  const Shape& shape = field.data.shape();
+  const std::size_t n_lat = shape.dim(1);
+  // Equatorial band must be fully invalid.
+  std::size_t equator_valid = 0;
+  for (std::size_t lo = 0; lo < shape.dim(2); ++lo) {
+    const DimVec c{0, n_lat / 2, lo};
+    equator_valid += field.mask->valid(shape.offset(c)) ? 1 : 0;
+  }
+  EXPECT_EQ(equator_valid, 0u);
+  EXPECT_GT(field.mask->count_valid(), 0u);
+}
+
+TEST(Climate, PeriodicFieldsCarryDetectableAnnualCycle) {
+  for (const auto& name : {"SSH", "Tsfc"}) {
+    const auto field = make_dataset(name, 0.12);
+    ASSERT_TRUE(field.has_period) << name;
+    const auto rows = sample_time_rows(field.data, field.mask_ptr(),
+                                       field.time_dim, 10, 42);
+    ASSERT_GE(rows.size(), 3u) << name;
+    const auto est = detect_period(rows);
+    ASSERT_TRUE(est.has_value()) << name;
+    EXPECT_EQ(est->period, 12u) << name;
+  }
+}
+
+TEST(Climate, NonPeriodicFieldsShowNoCycle) {
+  const auto field = make_cesm_t(0.04, 7);
+  EXPECT_FALSE(field.has_period);
+  // Treat the height dim as "time" and probe: no annual cycle.
+  const auto rows = sample_time_rows(field.data, nullptr, 0, 10, 42);
+  const auto est = detect_period(rows);
+  EXPECT_FALSE(est.has_value());
+}
+
+TEST(Climate, CesmTemperatureRoughAlongHeightSmoothAlongLatLon) {
+  // Paper Fig. 4 / Section V-B: mean |step| along height is orders of
+  // magnitude above the lat/lon steps.
+  const auto field = make_cesm_t(0.06, 8);
+  const Shape& shape = field.data.shape();
+  double step[3] = {0.0, 0.0, 0.0};
+  std::size_t count[3] = {0, 0, 0};
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t i = 0; i < field.data.size(); ++i) {
+      const auto c = shape.coords(i);
+      if (c[d] + 1 >= shape.dim(d)) continue;
+      auto c2 = c;
+      ++c2[d];
+      step[d] += std::abs(static_cast<double>(field.data[shape.offset(c2)]) -
+                          static_cast<double>(field.data[i]));
+      ++count[d];
+    }
+  }
+  for (int d = 0; d < 3; ++d) step[d] /= static_cast<double>(count[d]);
+  EXPECT_GT(step[0], 10.0 * step[1]);
+  EXPECT_GT(step[0], 10.0 * step[2]);
+}
+
+TEST(Climate, RelhumStaysInPhysicalRange) {
+  const auto field = make_relhum(0.04, 9);
+  for (std::size_t i = 0; i < field.data.size(); ++i) {
+    ASSERT_GE(field.data[i], 0.0f);
+    ASSERT_LE(field.data[i], 100.0f);
+  }
+}
+
+TEST(Climate, HurricaneHasWarmCoreVortex) {
+  const auto field = make_hurricane_t(0.2, 10);
+  EXPECT_FALSE(field.mask.has_value());
+  const Shape& shape = field.data.shape();
+  // Mid-level slice: centre warmer than the domain edge.
+  const std::size_t h = shape.dim(0) / 3;
+  const float centre =
+      field.data[shape.offset(DimVec{h, shape.dim(1) / 2, shape.dim(2) / 2})];
+  const float corner = field.data[shape.offset(DimVec{h, 2, 2})];
+  EXPECT_GT(centre, corner + 2.0f);
+}
+
+TEST(Climate, ScaleControlsSize) {
+  const auto small = make_cesm_t(0.04, 11);
+  const auto large = make_cesm_t(0.08, 11);
+  EXPECT_LT(small.data.size(), large.data.size());
+}
+
+TEST(Climate, OceanModelFieldsShareOneMask) {
+  // SALT/RHO/SHF_QSW belong to the same ocean model as SSH (paper IV):
+  // they must share the land mask at matching scale so one tuned pipeline
+  // serves the family.
+  const auto ssh = make_ssh(0.12);
+  const auto salt = make_salt(0.12);
+  const auto rho = make_rho(0.12);
+  const auto shf = make_shf_qsw(0.12);
+  ASSERT_TRUE(salt.mask.has_value());
+  ASSERT_EQ(salt.data.shape(), ssh.data.shape());
+  for (std::size_t i = 0; i < ssh.data.size(); ++i) {
+    ASSERT_EQ(salt.mask->valid(i), ssh.mask->valid(i));
+    ASSERT_EQ(rho.mask->valid(i), ssh.mask->valid(i));
+    ASSERT_EQ(shf.mask->valid(i), ssh.mask->valid(i));
+  }
+}
+
+TEST(Climate, OceanFieldsArePhysicallyPlausible) {
+  const auto salt = make_salt(0.1);
+  const auto rho = make_rho(0.1);
+  const auto shf = make_shf_qsw(0.1);
+  for (std::size_t i = 0; i < salt.data.size(); ++i) {
+    if (!salt.mask->valid(i)) continue;
+    ASSERT_GT(salt.data[i], 25.0f);  // PSU
+    ASSERT_LT(salt.data[i], 45.0f);
+    ASSERT_GT(rho.data[i], 15.0f);  // sigma-t
+    ASSERT_LT(rho.data[i], 35.0f);
+    ASSERT_GE(shf.data[i], 0.0f);  // W/m^2, never negative
+    ASSERT_LT(shf.data[i], 500.0f);
+  }
+}
+
+TEST(Climate, OceanFieldsCarryAnnualCycle) {
+  for (const auto& name : {"SALT", "RHO", "SHF_QSW"}) {
+    const auto field = make_dataset(name, 0.12);
+    ASSERT_TRUE(field.has_period) << name;
+    const auto rows = sample_time_rows(field.data, field.mask_ptr(),
+                                       field.time_dim, 10, 42);
+    const auto est = detect_period(rows);
+    ASSERT_TRUE(est.has_value()) << name;
+    EXPECT_EQ(est->period, 12u) << name;
+  }
+}
+
+TEST(Climate, TimeExtentIsMultipleOfPeriod) {
+  for (const auto& name : {"SSH", "SOILLIQ", "Tsfc"}) {
+    const auto field = make_dataset(name, 0.15);
+    ASSERT_TRUE(field.has_period);
+    EXPECT_EQ(field.data.shape().dim(field.time_dim) % 12, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/common/timer.hpp"
+#include "src/common/version.hpp"
+
+namespace cliz {
+namespace {
+
+TEST(Version, IsSemver) {
+  const std::string v = version();
+  int dots = 0;
+  for (const char c : v) {
+    if (c == '.') {
+      ++dots;
+    } else {
+      ASSERT_TRUE(c >= '0' && c <= '9') << v;
+    }
+  }
+  EXPECT_EQ(dots, 2);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoOp) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, SubrangeRespected) {
+  std::vector<int> hits(10, 0);
+  parallel_for(3, 7, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hits[i], i >= 3 && i < 7 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,159 @@
+#include "src/fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/fft/period.hpp"
+
+namespace cliz {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> naive_dft(std::span<const Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += x[j] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+class DftMatchesNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DftMatchesNaive, Forward) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 100 + n);
+  const auto fast = dft(x);
+  const auto slow = naive_dft(x, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-8 * static_cast<double>(n));
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-8 * static_cast<double>(n));
+  }
+}
+
+TEST_P(DftMatchesNaive, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 200 + n);
+  auto X = dft(x);
+  const auto back = dft(X, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real() / static_cast<double>(n), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag() / static_cast<double>(n), x[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DftMatchesNaive,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 60, 100, 128, 129, 255));
+
+TEST(Fft, RejectsNonPowerOfTwoInPlace) {
+  std::vector<Complex> a(3);
+  EXPECT_THROW(fft_pow2_inplace(a, false), Error);
+}
+
+TEST(Fft, MagnitudeSpectrumPeaksAtSinusoidFrequency) {
+  const std::size_t n = 240;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 20.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const auto mag = magnitude_spectrum(x);
+  std::size_t argmax = 1;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 20u);
+}
+
+TEST(Period, DetectsAnnualCycleInSshLikeRows) {
+  // Paper Fig. 8: 1032 monthly samples, annual period 12 -> DFT bin 86.
+  const std::size_t n = 1032;
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<double> row(n);
+    const double amp = rng.uniform(0.5, 2.0);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    for (std::size_t t = 0; t < n; ++t) {
+      row[t] = amp * std::cos(2.0 * std::numbers::pi *
+                                  static_cast<double>(t) / 12.0 +
+                              phase) +
+               0.05 * rng.normal();
+    }
+    rows.push_back(std::move(row));
+  }
+  const auto est = detect_period(rows);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->frequency, 86u);
+  EXPECT_EQ(est->period, 12u);
+}
+
+TEST(Period, PicksBasePeriodNotHarmonic) {
+  // Signal with energy at the base frequency AND its second harmonic; the
+  // smallest near-peak frequency (largest period) must win.
+  const std::size_t n = 480;
+  std::vector<double> row(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang =
+        2.0 * std::numbers::pi * static_cast<double>(t) / 24.0;
+    row[t] = std::cos(ang) + 0.9 * std::cos(2.0 * ang);
+  }
+  const std::vector<std::vector<double>> rows{row};
+  const auto est = detect_period(rows);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->period, 24u);
+}
+
+TEST(Period, WhiteNoiseIsNotPeriodic) {
+  Rng rng(13);
+  std::vector<std::vector<double>> rows;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<double> row(512);
+    for (auto& v : row) v = rng.normal();
+    rows.push_back(std::move(row));
+  }
+  EXPECT_FALSE(detect_period(rows).has_value());
+}
+
+TEST(Period, LinearTrendIsNotPeriodic) {
+  std::vector<double> row(300);
+  for (std::size_t t = 0; t < row.size(); ++t) {
+    row[t] = 0.01 * static_cast<double>(t);
+  }
+  const std::vector<std::vector<double>> rows{row};
+  EXPECT_FALSE(detect_period(rows).has_value());
+}
+
+TEST(Period, MismatchedRowLengthsThrow) {
+  std::vector<std::vector<double>> rows{std::vector<double>(16),
+                                        std::vector<double>(17)};
+  EXPECT_THROW(detect_period(rows), Error);
+}
+
+TEST(Period, ShortRowsThrow) {
+  std::vector<std::vector<double>> rows{std::vector<double>(3)};
+  EXPECT_THROW(detect_period(rows), Error);
+}
+
+}  // namespace
+}  // namespace cliz

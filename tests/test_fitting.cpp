@@ -1,0 +1,155 @@
+#include "src/predictor/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace cliz {
+namespace {
+
+/// Evaluates the fit at reference positions -3, -1, +1, +3 (target at 0).
+double apply_fit(const CubicFit& fit, const std::array<double, 4>& d) {
+  double p = 0.0;
+  for (int i = 0; i < 4; ++i) p += fit.p[i] * d[i];
+  return p;
+}
+
+TEST(Fitting, AllValidMatchesFormulaOne) {
+  const CubicFit& f = cubic_fit(0xF);
+  EXPECT_DOUBLE_EQ(f.p[0], -1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.p[1], 9.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.p[2], 9.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.p[3], -1.0 / 16.0);
+}
+
+TEST(Fitting, TableTwoRowsMatchPaper) {
+  // Paper Table II: validity -> coefficients with one masked reference.
+  {
+    const CubicFit& f = cubic_fit(0b1110);  // v0 = 0
+    EXPECT_DOUBLE_EQ(f.p[0], 0.0);
+    EXPECT_DOUBLE_EQ(f.p[1], 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[2], 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(f.p[3], -1.0 / 8.0);
+  }
+  {
+    const CubicFit& f = cubic_fit(0b1101);  // v1 = 0
+    EXPECT_DOUBLE_EQ(f.p[0], 1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[1], 0.0);
+    EXPECT_DOUBLE_EQ(f.p[2], 9.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[3], -1.0 / 4.0);
+  }
+  {
+    const CubicFit& f = cubic_fit(0b1011);  // v2 = 0
+    EXPECT_DOUBLE_EQ(f.p[0], -1.0 / 4.0);
+    EXPECT_DOUBLE_EQ(f.p[1], 9.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[2], 0.0);
+    EXPECT_DOUBLE_EQ(f.p[3], 1.0 / 8.0);
+  }
+  {
+    const CubicFit& f = cubic_fit(0b0111);  // v3 = 0
+    EXPECT_DOUBLE_EQ(f.p[0], -1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[1], 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(f.p[2], 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(f.p[3], 0.0);
+  }
+}
+
+TEST(Fitting, InvalidReferencesNeverContribute) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    const CubicFit& f = cubic_fit(mask);
+    for (unsigned i = 0; i < 4; ++i) {
+      if (((mask >> i) & 1u) == 0) {
+        EXPECT_EQ(f.p[i], 0.0) << "mask=" << mask << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Fitting, CoefficientsSumToOneWheneverAnyReferenceIsValid) {
+  // Exact reproduction of constant fields, for every validity pattern.
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    const CubicFit& f = cubic_fit(mask);
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) sum += f.p[i];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "mask=" << mask;
+  }
+}
+
+TEST(Fitting, ZeroValidPredictsZero) {
+  const CubicFit& f = cubic_fit(0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(f.p[i], 0.0);
+}
+
+class PolynomialReproduction : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialReproduction, FullCubicFitIsExactUpToDegreeThree) {
+  const int degree = GetParam();
+  // Samples of t^degree at t = -3, -1, +1, +3; the cubic fit must predict
+  // the value at t = 0 (i.e. 0 for degree >= 1, 1 for degree 0).
+  const std::array<double, 4> pos{-3.0, -1.0, 1.0, 3.0};
+  std::array<double, 4> d{};
+  for (int i = 0; i < 4; ++i) d[i] = std::pow(pos[i], degree);
+  const double expected = degree == 0 ? 1.0 : 0.0;
+  EXPECT_NEAR(apply_fit(cubic_fit(0xF), d), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialReproduction,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Fitting, OneMaskedFitIsExactUpToDegreeTwo) {
+  // Per the paper, one masked reference degrades cubic to a quadratic fit:
+  // it must still reproduce polynomials of degree <= 2 exactly.
+  const std::array<double, 4> pos{-3.0, -1.0, 1.0, 3.0};
+  for (unsigned missing = 0; missing < 4; ++missing) {
+    const unsigned mask = 0xFu & ~(1u << missing);
+    for (int degree = 0; degree <= 2; ++degree) {
+      std::array<double, 4> d{};
+      for (int i = 0; i < 4; ++i) d[i] = std::pow(pos[i], degree);
+      const double expected = degree == 0 ? 1.0 : 0.0;
+      EXPECT_NEAR(apply_fit(cubic_fit(mask), d), expected, 1e-12)
+          << "missing=" << missing << " degree=" << degree;
+    }
+  }
+}
+
+TEST(Fitting, EveryTwoValidSubsetIsExactlyLinear) {
+  // Whatever pair of references survives the mask, the Theorem-1
+  // coefficients must reproduce linear functions exactly (the degradation
+  // path the paper describes for 2 valid points).
+  const std::array<double, 4> pos{-3.0, -1.0, 1.0, 3.0};
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    if (std::popcount(mask) != 2) continue;
+    for (int degree = 0; degree <= 1; ++degree) {
+      std::array<double, 4> d{};
+      for (int i = 0; i < 4; ++i) d[i] = std::pow(pos[i], degree);
+      const double expected = degree == 0 ? 1.0 : 0.0;
+      EXPECT_NEAR(apply_fit(cubic_fit(mask), d), expected, 1e-12)
+          << "mask=" << mask << " degree=" << degree;
+    }
+  }
+}
+
+TEST(Fitting, TwoValidMiddleRefsReduceToLinearAverage) {
+  const CubicFit& f = cubic_fit(0b0110);  // only d1, d2 valid
+  EXPECT_DOUBLE_EQ(f.p[1], 0.5);
+  EXPECT_DOUBLE_EQ(f.p[2], 0.5);
+}
+
+TEST(Fitting, SingleValidRefCopiesIt) {
+  for (unsigned i = 0; i < 4; ++i) {
+    const CubicFit& f = cubic_fit(1u << i);
+    EXPECT_DOUBLE_EQ(f.p[i], 1.0) << "i=" << i;
+  }
+}
+
+TEST(Fitting, LinearFitCases) {
+  EXPECT_EQ(linear_fit(true, true), (std::array<double, 2>{0.5, 0.5}));
+  EXPECT_EQ(linear_fit(true, false), (std::array<double, 2>{1.0, 0.0}));
+  EXPECT_EQ(linear_fit(false, true), (std::array<double, 2>{0.0, 1.0}));
+  EXPECT_EQ(linear_fit(false, false), (std::array<double, 2>{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace cliz

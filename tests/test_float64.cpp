@@ -1,0 +1,181 @@
+// Double-precision support: CliZ and SZ3 compress float64 data with bounds
+// far below float32 resolution, record the sample type in the stream, and
+// reject mismatched decompress variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/core/cliz.hpp"
+#include "src/qoz/qoz.hpp"
+#include "src/sperr/sperr_like.hpp"
+#include "src/sz3/lorenzo.hpp"
+#include "src/sz3/sz3.hpp"
+#include "src/zfp/zfp_like.hpp"
+
+namespace cliz {
+namespace {
+
+NdArray<double> smooth_f64(const DimVec& dims, std::uint64_t seed,
+                           double noise = 1e-9) {
+  const Shape shape(dims);
+  NdArray<double> a(shape);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto c = shape.coords(i);
+    double v = 1.0;
+    for (std::size_t d = 0; d < c.size(); ++d) {
+      v += 0.1 * std::sin(0.07 * static_cast<double>(c[d]));
+    }
+    a[i] = v + noise * rng.normal();
+  }
+  return a;
+}
+
+double max_err(const NdArray<double>& a, const NdArray<double>& b,
+               const MaskMap* mask = nullptr) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (mask != nullptr && !mask->valid(i)) continue;
+    e = std::max(e, std::abs(a[i] - b[i]));
+  }
+  return e;
+}
+
+class F64BoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(F64BoundSweep, ClizHonoursSubFloatBounds) {
+  const double eb = GetParam();
+  const auto data = smooth_f64({16, 18, 20}, 7, eb * 0.3);
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.classify_bins = true;
+  const auto stream = ClizCompressor(config).compress(data, eb);
+  const auto recon = ClizCompressor::decompress_f64(stream);
+  ASSERT_EQ(recon.shape(), data.shape());
+  EXPECT_LE(max_err(data, recon), eb);
+}
+
+TEST_P(F64BoundSweep, Sz3HonoursSubFloatBounds) {
+  const double eb = GetParam();
+  const auto data = smooth_f64({24, 26}, 8, eb * 0.3);
+  const auto stream = Sz3Compressor().compress(data, eb);
+  const auto recon = Sz3Compressor::decompress_f64(stream);
+  EXPECT_LE(max_err(data, recon), eb);
+}
+
+// Bounds far below float32's ~1e-7 relative resolution at magnitude ~1.
+INSTANTIATE_TEST_SUITE_P(Bounds, F64BoundSweep,
+                         ::testing::Values(1e-3, 1e-6, 1e-9, 1e-12));
+
+TEST(Float64, PrecisionActuallyExceedsFloat32) {
+  // Round-tripping through a float32 pipeline could never satisfy a 1e-12
+  // bound on O(1) data; the f64 path must.
+  const auto data = smooth_f64({32, 32}, 9, 1e-13);
+  const double eb = 1e-12;
+  const auto stream = ClizCompressor(PipelineConfig::defaults(2))
+                          .compress(data, eb);
+  const auto recon = ClizCompressor::decompress_f64(stream);
+  EXPECT_LE(max_err(data, recon), eb);
+  // Sanity: casting to float32 would already violate the bound.
+  double cast_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cast_err = std::max(
+        cast_err,
+        std::abs(data[i] - static_cast<double>(static_cast<float>(data[i]))));
+  }
+  EXPECT_GT(cast_err, eb);
+}
+
+TEST(Float64, MaskedPeriodicClassifiedRoundTrip) {
+  const Shape shape({24, 10, 12});
+  NdArray<double> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  Rng rng(10);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 7 == 0) {
+      mask.mutable_data()[i] = 0;
+      data[i] = 9.96921e36;
+    } else {
+      data[i] = std::cos(2.0 * std::numbers::pi *
+                         static_cast<double>(i / 120) / 12.0) +
+                1e-10 * rng.normal();
+    }
+  }
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.period = 12;
+  config.classify_bins = true;
+  const double eb = 1e-9;
+  const auto stream = ClizCompressor(config).compress(data, eb, &mask);
+  const auto recon = ClizCompressor::decompress_f64(stream);
+  EXPECT_LE(max_err(data, recon, &mask), eb);
+  for (std::size_t i = 0; i < recon.size(); ++i) {
+    if (!mask.valid(i)) {
+      EXPECT_EQ(recon[i], static_cast<double>(9.96921e36f));
+    }
+  }
+}
+
+TEST(Float64, EveryBaselineCodecHonoursSubFloatBounds) {
+  const auto data = smooth_f64({16, 18, 20}, 13, 3e-10);
+  const double eb = 1e-9;
+  {
+    const auto s = QozCompressor().compress(data, eb);
+    EXPECT_LE(max_err(data, QozCompressor::decompress_f64(s)), eb) << "qoz";
+  }
+  {
+    const auto s = LorenzoCompressor().compress(data, eb);
+    EXPECT_LE(max_err(data, LorenzoCompressor::decompress_f64(s)), eb)
+        << "sz2";
+  }
+  {
+    const auto s = ZfpLikeCompressor().compress(data, eb);
+    EXPECT_LE(max_err(data, ZfpLikeCompressor::decompress_f64(s)), eb)
+        << "zfp";
+  }
+  {
+    const auto s = SperrLikeCompressor().compress(data, eb);
+    EXPECT_LE(max_err(data, SperrLikeCompressor::decompress_f64(s)), eb)
+        << "sperr";
+  }
+}
+
+TEST(Float64, BaselineDtypeMismatchRejected) {
+  const auto data = smooth_f64({12, 12}, 14);
+  EXPECT_THROW((void)QozCompressor::decompress(
+                   QozCompressor().compress(data, 1e-6)),
+               Error);
+  EXPECT_THROW((void)LorenzoCompressor::decompress(
+                   LorenzoCompressor().compress(data, 1e-6)),
+               Error);
+  EXPECT_THROW((void)ZfpLikeCompressor::decompress(
+                   ZfpLikeCompressor().compress(data, 1e-6)),
+               Error);
+  EXPECT_THROW((void)SperrLikeCompressor::decompress(
+                   SperrLikeCompressor().compress(data, 1e-6)),
+               Error);
+}
+
+TEST(Float64, DtypeMismatchRejected) {
+  const auto d64 = smooth_f64({12, 12}, 11);
+  NdArray<float> d32(Shape({12, 12}));
+  for (std::size_t i = 0; i < d32.size(); ++i) {
+    d32[i] = static_cast<float>(d64[i]);
+  }
+  const ClizCompressor codec(PipelineConfig::defaults(2));
+  const auto s64 = codec.compress(d64, 1e-6);
+  const auto s32 = codec.compress(d32, 1e-6);
+  EXPECT_THROW((void)ClizCompressor::decompress(s64), Error);
+  EXPECT_THROW((void)ClizCompressor::decompress_f64(s32), Error);
+  const auto s64_sz3 = Sz3Compressor().compress(d64, 1e-6);
+  EXPECT_THROW((void)Sz3Compressor::decompress(s64_sz3), Error);
+}
+
+TEST(Float64, DoubleStreamsSmallerThanRawDouble) {
+  const auto data = smooth_f64({40, 40}, 12, 1e-8);
+  const auto stream = Sz3Compressor().compress(data, 1e-6);
+  EXPECT_LT(stream.size(), data.size() * sizeof(double) / 4);
+}
+
+}  // namespace
+}  // namespace cliz

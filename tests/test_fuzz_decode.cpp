@@ -1,0 +1,191 @@
+// Failure-injection / fuzz-style robustness tests: every decoder in the
+// library must either produce output or throw cliz::Error (or bad_alloc)
+// on arbitrary garbage, truncations, and bit flips of valid streams —
+// never crash, hang, or read out of bounds. Deterministic seeds keep the
+// suite reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/compressor.hpp"
+#include "src/huffman/huffman.hpp"
+#include "src/lossless/lossless.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+/// Runs a decoder on hostile input; anything but an exception-or-success
+/// outcome (i.e. a crash) fails the whole test binary, which is the point.
+template <typename Fn>
+void expect_no_crash(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error&) {
+    // fine: detected corruption
+  } catch (const std::bad_alloc&) {
+    // fine: corrupt header demanded an absurd (but bounded) allocation
+  }
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+NdArray<float> sample_data() {
+  const Shape shape({16, 12, 10});
+  NdArray<float> a(shape);
+  Rng rng(77);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(std::sin(0.1 * static_cast<double>(i)) +
+                              0.01 * rng.normal());
+  }
+  return a;
+}
+
+class FuzzCodec : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCodec, RandomGarbageNeverCrashes) {
+  auto comp = make_compressor(GetParam());
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const auto garbage = random_bytes(8 + seed * 37, 1000 + seed);
+    expect_no_crash([&] { (void)comp->decompress(garbage); });
+  }
+}
+
+TEST_P(FuzzCodec, TruncationsNeverCrash) {
+  auto comp = make_compressor(GetParam());
+  const auto data = sample_data();
+  const auto stream = comp->compress(data, 1e-3);
+  for (std::size_t cut = 0; cut < stream.size();
+       cut += std::max<std::size_t>(1, stream.size() / 50)) {
+    std::vector<std::uint8_t> truncated(stream.begin(),
+                                        stream.begin() +
+                                            static_cast<std::ptrdiff_t>(cut));
+    expect_no_crash([&] { (void)comp->decompress(truncated); });
+  }
+}
+
+TEST_P(FuzzCodec, BitFlipsNeverCrash) {
+  auto comp = make_compressor(GetParam());
+  const auto data = sample_data();
+  const auto stream = comp->compress(data, 1e-3);
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.uniform_index(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(
+          1u << rng.uniform_index(8));
+    }
+    expect_no_crash([&] { (void)comp->decompress(mutated); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FuzzCodec,
+                         ::testing::Values("cliz", "sz3", "qoz", "zfp",
+                                           "sperr", "sz2"));
+
+TEST(FuzzClizFeatureful, MutationsOfMaskedPeriodicClassifiedStream) {
+  // The richest stream layout: mask + template + classification + dynamic
+  // fitting. Bit flips must never crash the decoder.
+  const Shape shape({24, 10, 12});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  Rng rng(5);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 11 == 0) {
+      mask.mutable_data()[i] = 0;
+      data[i] = 9.96921e36f;
+    } else {
+      data[i] = static_cast<float>(
+          std::cos(2.0 * std::numbers::pi *
+                   static_cast<double>(i / 120) / 12.0) +
+          0.01 * rng.normal());
+    }
+  }
+  PipelineConfig config = PipelineConfig::defaults(3);
+  config.period = 12;
+  config.classify_bins = true;
+  const auto stream = ClizCompressor(config).compress(data, 1e-3, &mask);
+
+  Rng mutator(6);
+  for (int trial = 0; trial < 120; ++trial) {
+    auto mutated = stream;
+    const std::size_t byte = mutator.uniform_index(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(
+        1u << mutator.uniform_index(8));
+    expect_no_crash([&] { (void)ClizCompressor::decompress(mutated); });
+  }
+}
+
+TEST(FuzzLossless, GarbageAndMutations) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    expect_no_crash([&] {
+      (void)lossless_decompress(random_bytes(3 + seed * 13, seed));
+    });
+  }
+  const auto payload = random_bytes(5000, 99);
+  const auto stream = lossless_compress(payload);
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto mutated = stream;
+    mutated[rng.uniform_index(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    expect_no_crash([&] { (void)lossless_decompress(mutated); });
+  }
+}
+
+TEST(FuzzHuffman, GarbageTablesAndStreams) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    expect_no_crash([&] {
+      auto bytes = random_bytes(2 + seed * 7, 200 + seed);
+      ByteReader r(bytes);
+      const auto codec = HuffmanCodec::deserialize(r);
+      auto payload = random_bytes(64, 300 + seed);
+      BitReader bits(payload);
+      for (int i = 0; i < 100; ++i) (void)codec.decode_one(bits);
+    });
+  }
+}
+
+TEST(FuzzMask, GarbageRle) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    expect_no_crash([&] {
+      auto bytes = random_bytes(4 + seed * 11, 400 + seed);
+      ByteReader r(bytes);
+      (void)MaskMap::deserialize(r);
+    });
+  }
+}
+
+TEST(FuzzCrossCodec, StreamsFedToWrongDecoder) {
+  // Every codec's stream handed to every other codec's decoder must be
+  // rejected cleanly (magic mismatch), and detect_codec must name the
+  // right one.
+  const auto data = sample_data();
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> streams;
+  for (const auto& name : compressor_names()) {
+    streams.emplace_back(name,
+                         make_compressor(name)->compress(data, 1e-2));
+  }
+  for (const auto& [name, stream] : streams) {
+    EXPECT_EQ(detect_codec(stream), name);
+    for (const auto& other : compressor_names()) {
+      if (other == name) continue;
+      auto comp = make_compressor(other);
+      EXPECT_THROW((void)comp->decompress(stream), Error)
+          << name << " stream into " << other;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cliz

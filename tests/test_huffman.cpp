@@ -1,0 +1,206 @@
+#include "src/huffman/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+
+namespace cliz {
+namespace {
+
+std::vector<std::uint32_t> roundtrip(const std::vector<std::uint32_t>& syms) {
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  ByteWriter table;
+  codec.serialize(table);
+  BitWriter bits;
+  codec.encode(syms, bits);
+  const auto payload = bits.finish();
+
+  ByteReader tr(table.bytes());
+  const auto decoder = HuffmanCodec::deserialize(tr);
+  BitReader br(payload);
+  std::vector<std::uint32_t> out;
+  out.reserve(syms.size());
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    out.push_back(decoder.decode_one(br));
+  }
+  return out;
+}
+
+TEST(Huffman, UniformAlphabetRoundTrip) {
+  std::vector<std::uint32_t> syms;
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    for (int k = 0; k < 5; ++k) syms.push_back(v);
+  }
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, SkewedDistributionRoundTrip) {
+  Rng rng(5);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 20000; ++i) {
+    // Geometric-ish: mostly 32768 (bin 0) with exponential tails, matching
+    // real quantization-bin statistics.
+    const double u = rng.uniform();
+    const int mag = static_cast<int>(std::floor(-std::log2(1.0 - u) * 1.2));
+    const int sign = rng.uniform() < 0.5 ? -1 : 1;
+    syms.push_back(static_cast<std::uint32_t>(32768 + sign * mag));
+  }
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, SkewedCodesShorterThanRareCodes) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq{
+      {1, 1000}, {2, 10}, {3, 10}, {4, 1}};
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  const std::vector<std::uint32_t> common{1};
+  const std::vector<std::uint32_t> rare{4};
+  EXPECT_LT(codec.encoded_bits(common), codec.encoded_bits(rare));
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> syms(100, 7);
+  EXPECT_EQ(roundtrip(syms), syms);
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  EXPECT_EQ(codec.alphabet_size(), 1u);
+  // One-symbol codes still cost one bit each.
+  EXPECT_EQ(codec.encoded_bits(syms), 100u);
+}
+
+TEST(Huffman, EmptyInputProducesEmptyCodec) {
+  const auto codec = HuffmanCodec::from_symbols({});
+  EXPECT_EQ(codec.alphabet_size(), 0u);
+  BitWriter bits;
+  codec.encode({}, bits);  // no-op
+  EXPECT_EQ(bits.bit_count(), 0u);
+}
+
+TEST(Huffman, LargeSymbolValues) {
+  std::vector<std::uint32_t> syms{0, 0xFFFFFFFFu, 0x80000000u, 0, 42,
+                                  0xFFFFFFFFu};
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, RandomAlphabetsRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint32_t> syms(5000);
+    const std::uint32_t alphabet = 1u << (4 + 3 * seed % 12);
+    for (auto& s : syms) {
+      s = static_cast<std::uint32_t>(rng.uniform_index(alphabet));
+    }
+    EXPECT_EQ(roundtrip(syms), syms) << "seed " << seed;
+  }
+}
+
+TEST(Huffman, UnknownSymbolThrowsOnEncode) {
+  const std::vector<std::uint32_t> syms{1, 2, 3};
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  const std::vector<std::uint32_t> bad{99};
+  BitWriter bits;
+  EXPECT_THROW(codec.encode(bad, bits), Error);
+  EXPECT_THROW((void)codec.encoded_bits(bad), Error);
+}
+
+TEST(Huffman, PayloadBitsMatchesEncodedBits) {
+  Rng rng(17);
+  std::vector<std::uint32_t> syms(3000);
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  for (auto& s : syms) {
+    s = static_cast<std::uint32_t>(rng.uniform_index(50));
+    ++freq[s];
+  }
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  EXPECT_EQ(codec.payload_bits(freq), codec.encoded_bits(syms));
+}
+
+TEST(Huffman, NearEntropyOnSkewedData) {
+  // A heavily skewed stream must code close to its empirical entropy.
+  std::vector<std::uint32_t> syms;
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  const std::vector<std::pair<std::uint32_t, int>> spec{
+      {0, 9000}, {1, 500}, {2, 300}, {3, 150}, {4, 50}};
+  for (const auto& [sym, count] : spec) {
+    for (int i = 0; i < count; ++i) syms.push_back(sym);
+    freq[sym] = static_cast<std::uint64_t>(count);
+  }
+  double entropy_bits = 0.0;
+  const double total = static_cast<double>(syms.size());
+  for (const auto& [sym, f] : freq) {
+    const double p = static_cast<double>(f) / total;
+    entropy_bits += -static_cast<double>(f) * std::log2(p);
+  }
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  const double coded = static_cast<double>(codec.encoded_bits(syms));
+  // Huffman cannot beat one bit per symbol; within that floor it must sit
+  // close to the entropy (redundancy < 1 bit/symbol by Huffman's theorem).
+  const double floor_bits =
+      std::max(entropy_bits, static_cast<double>(syms.size()));
+  EXPECT_GE(coded, entropy_bits);
+  EXPECT_LT(coded, floor_bits + static_cast<double>(syms.size()) * 0.25);
+}
+
+TEST(Huffman, CorruptTableThrows) {
+  ByteWriter w;
+  w.put_varint(2);
+  w.put_varint(5);
+  w.put_varint(0);  // code length 0 is invalid
+  w.put_varint(1);
+  w.put_varint(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(HuffmanCodec::deserialize(r), Error);
+}
+
+TEST(Huffman, DuplicateSymbolTableRejected) {
+  // Regression (found by ASan fuzzing): a zero symbol delta after the first
+  // entry means duplicate symbols, which would desynchronize the canonical
+  // code assignment and overflow the fast decode table.
+  ByteWriter w;
+  w.put_varint(3);
+  w.put_varint(5);
+  w.put_varint(2);
+  w.put_varint(0);  // duplicate of symbol 5
+  w.put_varint(2);
+  w.put_varint(1);
+  w.put_varint(2);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(HuffmanCodec::deserialize(r), Error);
+}
+
+TEST(Huffman, TruncatedPayloadThrows) {
+  const std::vector<std::uint32_t> syms{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  BitReader empty({});
+  EXPECT_THROW((void)codec.decode_one(empty), Error);
+}
+
+TEST(Huffman, DecodeWithEmptyTableThrows) {
+  const auto codec = HuffmanCodec::from_symbols({});
+  std::vector<std::uint8_t> bytes{0xFF};
+  BitReader r(bytes);
+  EXPECT_THROW((void)codec.decode_one(r), Error);
+}
+
+TEST(Huffman, PathologicalSkewStaysWithinLengthCap) {
+  // Fibonacci-like frequencies force maximal code lengths; the rebuild
+  // loop must cap them without breaking decodability.
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  std::uint64_t a = 1;
+  std::uint64_t b = 1;
+  for (std::uint32_t s = 0; s < 80; ++s) {
+    freq[s] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+    if (b > (1ull << 55)) break;
+  }
+  const auto codec = HuffmanCodec::from_frequencies(freq);
+  std::vector<std::uint32_t> syms;
+  for (const auto& [sym, f] : freq) syms.push_back(sym);
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+}  // namespace
+}  // namespace cliz

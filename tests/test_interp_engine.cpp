@@ -1,0 +1,208 @@
+#include "src/predictor/interp_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/rng.hpp"
+
+namespace cliz {
+namespace {
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> o(n);
+  std::iota(o.begin(), o.end(), std::size_t{0});
+  return o;
+}
+
+/// Smooth synthetic field plus noise.
+std::vector<float> smooth_field(const Shape& shape, std::uint64_t seed,
+                                double noise) {
+  Rng rng(seed);
+  std::vector<float> data(shape.size());
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    const auto c = shape.coords(i);
+    double v = 0.0;
+    for (std::size_t d = 0; d < c.size(); ++d) {
+      v += std::sin(0.15 * static_cast<double>(c[d]) +
+                    0.7 * static_cast<double>(d));
+    }
+    data[i] = static_cast<float>(v + noise * rng.normal());
+  }
+  return data;
+}
+
+struct EngineCase {
+  DimVec dims;
+  double eb;
+  FittingKind fit;
+};
+
+class EngineRoundTrip : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineRoundTrip, EncodeDecodeParityAndBound) {
+  const auto& param = GetParam();
+  const Shape shape(param.dims);
+  const auto axes = fused_axes(shape, FusionSpec::none(shape.ndims()));
+  const auto order = identity_order(shape.ndims());
+  const LinearQuantizer<float> q(param.eb);
+
+  const auto original = smooth_field(shape, 77, 0.05);
+  std::vector<float> work = original;
+  std::vector<std::uint32_t> codes;
+  std::vector<float> outliers;
+  interp_encode(work.data(), axes, order, param.fit, q, outliers, nullptr,
+                [&](std::size_t, std::uint32_t code) {
+                  codes.push_back(code);
+                });
+  EXPECT_EQ(codes.size(), shape.size());
+
+  // Encoder's working buffer must already satisfy the bound (it holds the
+  // reconstruction).
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    ASSERT_LE(std::abs(static_cast<double>(work[i]) -
+                       static_cast<double>(original[i])),
+              param.eb);
+  }
+
+  std::vector<float> decoded(shape.size(), 0.0f);
+  std::size_t cursor = 0;
+  std::size_t next = 0;
+  interp_decode(decoded.data(), axes, order, param.fit, q,
+                std::span<const float>(outliers), cursor, nullptr,
+                [&](std::size_t) { return codes[next++]; });
+
+  // Decoder output must match the encoder's reconstruction bit-exactly.
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    ASSERT_EQ(decoded[i], work[i]) << "offset " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineRoundTrip,
+    ::testing::Values(
+        EngineCase{{64}, 1e-2, FittingKind::kCubic},
+        EngineCase{{64}, 1e-2, FittingKind::kLinear},
+        EngineCase{{33, 17}, 1e-3, FittingKind::kCubic},
+        EngineCase{{33, 17}, 1e-3, FittingKind::kLinear},
+        EngineCase{{8, 9, 10}, 1e-4, FittingKind::kCubic},
+        EngineCase{{8, 9, 10}, 1e-2, FittingKind::kLinear},
+        EngineCase{{5, 4, 3, 6}, 1e-3, FittingKind::kCubic}));
+
+TEST(Engine, MaskedPointsAreSkippedAndDoNotPolluteNeighbours) {
+  const Shape shape({32, 32});
+  const auto axes = fused_axes(shape, FusionSpec::none(2));
+  const auto order = identity_order(2);
+  const LinearQuantizer<float> q(1e-3);
+
+  auto clean = smooth_field(shape, 5, 0.0);
+  // Masked version: garbage fill values in a block.
+  auto dirty = clean;
+  std::vector<std::uint8_t> validity(shape.size(), 1);
+  for (std::size_t r = 10; r < 20; ++r) {
+    for (std::size_t c = 10; c < 20; ++c) {
+      validity[r * 32 + c] = 0;
+      dirty[r * 32 + c] = 1e30f;
+    }
+  }
+
+  std::vector<std::uint32_t> codes;
+  std::vector<float> outliers;
+  std::vector<float> work = dirty;
+  interp_encode(work.data(), axes, order, FittingKind::kCubic, q, outliers,
+                validity.data(),
+                [&](std::size_t off, std::uint32_t code) {
+                  ASSERT_EQ(validity[off], 1) << "masked point emitted";
+                  codes.push_back(code);
+                });
+  // 100 masked points are skipped.
+  EXPECT_EQ(codes.size(), shape.size() - 100);
+
+  // No outlier explosion: garbage never entered a prediction, so the valid
+  // field stays smooth and predictable.
+  EXPECT_LT(outliers.size(), 8u);
+
+  // Valid points obey the bound relative to the clean data.
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (validity[i] == 0) continue;
+    ASSERT_LE(std::abs(static_cast<double>(work[i]) -
+                       static_cast<double>(clean[i])),
+              1e-3);
+  }
+
+  // Decode parity on the valid region.
+  std::vector<float> decoded(shape.size(), 0.0f);
+  std::size_t cursor = 0;
+  std::size_t next = 0;
+  interp_decode(decoded.data(), axes, order, FittingKind::kCubic, q,
+                std::span<const float>(outliers), cursor, validity.data(),
+                [&](std::size_t) { return codes[next++]; });
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (validity[i] == 0) continue;
+    ASSERT_EQ(decoded[i], work[i]);
+  }
+}
+
+TEST(Engine, MaskedAnchorIsSkipped) {
+  const Shape shape({8});
+  const auto axes = fused_axes(shape, FusionSpec::none(1));
+  const auto order = identity_order(1);
+  const LinearQuantizer<float> q(0.1);
+  std::vector<std::uint8_t> validity(8, 1);
+  validity[0] = 0;
+  std::vector<float> work{1e30f, 1.0f, 1.1f, 1.2f, 1.1f, 1.0f, 0.9f, 1.0f};
+  std::vector<std::uint32_t> codes;
+  std::vector<float> outliers;
+  interp_encode(work.data(), axes, order, FittingKind::kLinear, q, outliers,
+                validity.data(),
+                [&](std::size_t off, std::uint32_t code) {
+                  EXPECT_NE(off, 0u);
+                  codes.push_back(code);
+                });
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(Engine, ProbeErrorPrefersCubicOnSmoothCurves) {
+  const Shape shape({256});
+  const auto axes = fused_axes(shape, FusionSpec::none(1));
+  const auto order = identity_order(1);
+  std::vector<float> data(shape.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double t = static_cast<double>(i) / 255.0;
+    data[i] = static_cast<float>(t * t * t - 0.5 * t);
+  }
+  const double cubic_err = interp_probe_error(
+      data.data(), axes, order, FittingKind::kCubic, nullptr);
+  const double linear_err = interp_probe_error(
+      data.data(), axes, order, FittingKind::kLinear, nullptr);
+  EXPECT_LT(cubic_err, linear_err);
+}
+
+TEST(Engine, ProbeErrorPrefersLinearOnNoisyData) {
+  const Shape shape({4096});
+  const auto axes = fused_axes(shape, FusionSpec::none(1));
+  const auto order = identity_order(1);
+  Rng rng(9);
+  std::vector<float> data(shape.size());
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  const double cubic_err = interp_probe_error(
+      data.data(), axes, order, FittingKind::kCubic, nullptr);
+  const double linear_err = interp_probe_error(
+      data.data(), axes, order, FittingKind::kLinear, nullptr);
+  // On white noise the wider cubic stencil only adds variance.
+  EXPECT_LT(linear_err, cubic_err);
+}
+
+TEST(Engine, PredictWithAllInvalidRefsGivesZero) {
+  const float data[4] = {100.0f, 200.0f, 300.0f, 400.0f};
+  InterpRefs refs{};
+  refs.offset = {0, 1, 2, 3};
+  refs.in_range = {true, true, true, true};
+  const std::uint8_t validity[4] = {0, 0, 0, 0};
+  EXPECT_EQ(interp_predict(data, refs, validity, FittingKind::kCubic), 0.0f);
+  EXPECT_EQ(interp_predict(data, refs, validity, FittingKind::kLinear), 0.0f);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,164 @@
+#include "src/core/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+
+namespace cliz {
+namespace {
+
+TEST(Periodic, TemplateOfPerfectlyPeriodicDataIsOnePeriod) {
+  // data[t][x] = pattern[t % 4][x]; the template must equal the pattern and
+  // the residual must be zero.
+  const Shape shape({12, 5});
+  NdArray<float> data(shape);
+  for (std::size_t t = 0; t < 12; ++t) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      data.at({t, x}) =
+          static_cast<float>(std::sin(static_cast<double>(t % 4)) +
+                             static_cast<double>(x));
+    }
+  }
+  const auto tmpl = periodic_template(data, 0, 4, nullptr);
+  EXPECT_EQ(tmpl.shape(), Shape({4, 5}));
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      EXPECT_NEAR(tmpl.at({t, x}), data.at({t, x}), 1e-6);
+    }
+  }
+
+  NdArray<float> residual = data;
+  subtract_template(residual, tmpl, 0, nullptr);
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    EXPECT_NEAR(residual[i], 0.0f, 1e-5);
+  }
+}
+
+TEST(Periodic, SubtractThenAddIsIdentity) {
+  const Shape shape({10, 4, 3});
+  NdArray<float> data(shape);
+  Rng rng(5);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(rng.uniform(-3.0, 3.0));
+  }
+  const auto original = data;
+  const auto tmpl = periodic_template(data, 0, 5, nullptr);
+  subtract_template(data, tmpl, 0, nullptr);
+  add_template(data, tmpl, 0, nullptr);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], original[i], 1e-5);
+  }
+}
+
+TEST(Periodic, TimeDimNeedNotBeFirst) {
+  // Time as the middle dimension.
+  const Shape shape({3, 8, 2});
+  NdArray<float> data(shape);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t t = 0; t < 8; ++t) {
+      for (std::size_t b = 0; b < 2; ++b) {
+        data.at({a, t, b}) = static_cast<float>((t % 4) * 10 + a + b);
+      }
+    }
+  }
+  const auto tmpl = periodic_template(data, 1, 4, nullptr);
+  EXPECT_EQ(tmpl.shape(), Shape({3, 4, 2}));
+  NdArray<float> residual = data;
+  subtract_template(residual, tmpl, 1, nullptr);
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    EXPECT_NEAR(residual[i], 0.0f, 1e-5);
+  }
+}
+
+TEST(Periodic, PartialLastPeriodHandled) {
+  // 10 samples with period 4: the last period is incomplete; averaging
+  // counts differ per phase but reassembly must still be exact.
+  const Shape shape({10, 2});
+  NdArray<float> data(shape);
+  Rng rng(6);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  const auto original = data;
+  const auto tmpl = periodic_template(data, 0, 4, nullptr);
+  subtract_template(data, tmpl, 0, nullptr);
+  add_template(data, tmpl, 0, nullptr);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], original[i], 1e-5);
+  }
+}
+
+TEST(Periodic, MaskedPointsExcludedFromAverages) {
+  const Shape shape({4, 3});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  // Column 0: values 1, 3, garbage(masked), 5 over time -> mean of valid = 3.
+  data.at({0, 0}) = 1.0f;
+  data.at({1, 0}) = 3.0f;
+  data.at({2, 0}) = 1e30f;
+  mask.mutable_data()[shape.offset(DimVec{2, 0})] = 0;
+  data.at({3, 0}) = 5.0f;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t x = 1; x < 3; ++x) data.at({t, x}) = 2.0f;
+  }
+  const auto tmpl = periodic_template(data, 0, 1, &mask);
+  EXPECT_NEAR(tmpl.at({0, 0}), 3.0f, 1e-6);
+  EXPECT_NEAR(tmpl.at({0, 1}), 2.0f, 1e-6);
+}
+
+TEST(Periodic, FullyMaskedColumnTemplateIsZero) {
+  const Shape shape({4, 2});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  for (std::size_t t = 0; t < 4; ++t) {
+    data.at({t, 0}) = 1e30f;
+    mask.mutable_data()[shape.offset(DimVec{t, 0})] = 0;
+    data.at({t, 1}) = 7.0f;
+  }
+  const auto tmpl = periodic_template(data, 0, 2, &mask);
+  EXPECT_EQ(tmpl.at({0, 0}), 0.0f);
+  EXPECT_EQ(tmpl.at({1, 0}), 0.0f);
+  EXPECT_NEAR(tmpl.at({0, 1}), 7.0f, 1e-6);
+}
+
+TEST(Periodic, TemplateMaskMarksAnyValidContribution) {
+  const Shape shape({4, 2});
+  auto mask = MaskMap::all_valid(shape);
+  // Column 0 fully masked; column 1 masked at t=0 only.
+  for (std::size_t t = 0; t < 4; ++t) {
+    mask.mutable_data()[shape.offset(DimVec{t, 0})] = 0;
+  }
+  mask.mutable_data()[shape.offset(DimVec{0, 1})] = 0;
+  const auto tmask = periodic_template_mask(mask, 0, 2);
+  EXPECT_EQ(tmask.shape(), Shape({2, 2}));
+  EXPECT_FALSE(tmask.valid(0));  // (0, 0)
+  EXPECT_TRUE(tmask.valid(1));   // (0, 1): t=2 contributes
+  EXPECT_FALSE(tmask.valid(2));  // (1, 0)
+  EXPECT_TRUE(tmask.valid(3));   // (1, 1)
+}
+
+TEST(Periodic, SubtractSkipsMaskedPoints) {
+  const Shape shape({4, 2});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = 10.0f;
+  data.at({1, 1}) = 1e30f;
+  mask.mutable_data()[shape.offset(DimVec{1, 1})] = 0;
+  const auto tmpl = periodic_template(data, 0, 2, &mask);
+  subtract_template(data, tmpl, 0, &mask);
+  EXPECT_EQ(data.at({1, 1}), 1e30f);  // untouched
+  EXPECT_NEAR(data.at({0, 0}), 0.0f, 1e-5);
+}
+
+TEST(Periodic, RejectsBadPeriod) {
+  NdArray<float> data(Shape({4, 2}));
+  EXPECT_THROW((void)periodic_template(data, 0, 5, nullptr), Error);
+  EXPECT_THROW((void)periodic_template(data, 0, 0, nullptr), Error);
+  EXPECT_THROW((void)periodic_template(data, 3, 2, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,146 @@
+#include "src/quantizer/linear_quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+
+namespace cliz {
+namespace {
+
+TEST(Quantizer, RejectsBadParameters) {
+  EXPECT_THROW(LinearQuantizer<float>(0.0), Error);
+  EXPECT_THROW(LinearQuantizer<float>(-1.0), Error);
+  EXPECT_THROW(LinearQuantizer<float>(1.0, 1), Error);
+}
+
+TEST(Quantizer, ExactPredictionGivesCenterCode) {
+  const LinearQuantizer<float> q(0.1);
+  std::vector<float> outliers;
+  float v = 5.0f;
+  const auto code = q.quantize(v, 5.0f, outliers);
+  EXPECT_EQ(code, q.radius());
+  EXPECT_EQ(q.signed_bin(code), 0);
+  EXPECT_TRUE(outliers.empty());
+}
+
+TEST(Quantizer, ReconstructionMatchesBetweenSides) {
+  const LinearQuantizer<float> q(0.05);
+  Rng rng(1);
+  std::vector<float> outliers;
+  std::vector<std::uint32_t> codes;
+  std::vector<float> recons;
+  std::vector<float> preds;
+  for (int i = 0; i < 1000; ++i) {
+    const float pred = static_cast<float>(rng.uniform(-10.0, 10.0));
+    float v = pred + static_cast<float>(rng.normal() * 0.3);
+    const float orig = v;
+    codes.push_back(q.quantize(v, pred, outliers));
+    EXPECT_LE(std::abs(static_cast<double>(v) - static_cast<double>(orig)),
+              0.05);
+    recons.push_back(v);
+    preds.push_back(pred);
+  }
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(q.recover(codes[i], preds[i], outliers, cursor), recons[i]);
+  }
+  EXPECT_EQ(cursor, outliers.size());
+}
+
+TEST(Quantizer, HugeDifferenceBecomesOutlier) {
+  const LinearQuantizer<float> q(1e-3, 256);
+  std::vector<float> outliers;
+  float v = 1e9f;
+  const auto code = q.quantize(v, 0.0f, outliers);
+  EXPECT_EQ(code, 0u);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 1e9f);
+  EXPECT_EQ(v, 1e9f);  // outliers keep the exact value
+
+  std::size_t cursor = 0;
+  EXPECT_EQ(q.recover(0, 0.0f, outliers, cursor), 1e9f);
+}
+
+TEST(Quantizer, LargeMagnitudeFloatRoundingFallsBackToOutlier) {
+  // At value ~1e8 a float ULP is ~8, far above this bound; the recon check
+  // must route the point to the escape path instead of breaking the bound.
+  const LinearQuantizer<float> q(1e-4);
+  std::vector<float> outliers;
+  float v = 1.00000008e8f;
+  const float orig = v;
+  q.quantize(v, 1.0e8f, outliers);
+  EXPECT_LE(std::abs(static_cast<double>(v) - static_cast<double>(orig)),
+            1e-4);
+}
+
+TEST(Quantizer, OutlierStreamTruncationThrows) {
+  const LinearQuantizer<float> q(0.1);
+  std::vector<float> empty;
+  std::size_t cursor = 0;
+  EXPECT_THROW(q.recover(0, 0.0f, empty, cursor), Error);
+}
+
+TEST(Quantizer, OutOfRangeCodeThrows) {
+  const LinearQuantizer<float> q(0.1, 128);
+  std::vector<float> outliers;
+  std::size_t cursor = 0;
+  EXPECT_THROW(q.recover(256, 0.0f, outliers, cursor), Error);
+}
+
+struct BoundCase {
+  double eb;
+  double spread;
+};
+
+class QuantizerBoundSweep : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(QuantizerBoundSweep, ErrorBoundHolds) {
+  const auto [eb, spread] = GetParam();
+  const LinearQuantizer<float> q(eb);
+  Rng rng(42);
+  std::vector<float> outliers;
+  for (int i = 0; i < 5000; ++i) {
+    const float pred = static_cast<float>(rng.uniform(-100.0, 100.0));
+    float v = pred + static_cast<float>(rng.normal() * spread);
+    const float orig = v;
+    const auto code = q.quantize(v, pred, outliers);
+    EXPECT_LE(std::abs(static_cast<double>(v) - static_cast<double>(orig)),
+              eb)
+        << "eb=" << eb << " spread=" << spread << " code=" << code;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuantizerBoundSweep,
+    ::testing::Values(BoundCase{1e-1, 0.01}, BoundCase{1e-1, 10.0},
+                      BoundCase{1e-3, 0.01}, BoundCase{1e-3, 10.0},
+                      BoundCase{1e-5, 0.001}, BoundCase{1e-5, 100.0},
+                      BoundCase{10.0, 1.0}, BoundCase{1e-7, 0.1}));
+
+TEST(Quantizer, DoubleSpecializationBoundHolds) {
+  const LinearQuantizer<double> q(1e-9);
+  Rng rng(43);
+  std::vector<double> outliers;
+  for (int i = 0; i < 2000; ++i) {
+    const double pred = rng.uniform(-1.0, 1.0);
+    double v = pred + rng.normal() * 1e-8;
+    const double orig = v;
+    q.quantize(v, pred, outliers);
+    EXPECT_LE(std::abs(v - orig), 1e-9);
+  }
+}
+
+TEST(Quantizer, SignedBinSymmetry) {
+  const LinearQuantizer<float> q(0.5);
+  std::vector<float> outliers;
+  float above = 1.0f;
+  float below = -1.0f;
+  const auto ca = q.quantize(above, 0.0f, outliers);
+  const auto cb = q.quantize(below, 0.0f, outliers);
+  EXPECT_EQ(q.signed_bin(ca), -q.signed_bin(cb));
+  EXPECT_EQ(q.signed_bin(ca), 1);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,178 @@
+#include "src/core/snapshot_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/climate/datasets.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+/// One synthetic snapshot at time t with an annual cycle.
+NdArray<float> make_snapshot(const Shape& spatial, std::size_t t,
+                             std::uint64_t seed) {
+  NdArray<float> s(spatial);
+  Rng rng(seed * 10000 + t);
+  const double season =
+      std::cos(2.0 * std::numbers::pi * static_cast<double>(t) / 12.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto c = spatial.coords(i);
+    s[i] = static_cast<float>(
+        std::sin(0.2 * static_cast<double>(c[0])) +
+        0.5 * season * std::cos(0.1 * static_cast<double>(c[1])) +
+        0.005 * rng.normal());
+  }
+  return s;
+}
+
+PipelineConfig stream_config(std::size_t spatial_ndims, std::size_t period) {
+  PipelineConfig config = PipelineConfig::defaults(spatial_ndims + 1);
+  config.period = period;
+  config.time_dim = 0;
+  return config;
+}
+
+struct StreamCase {
+  std::size_t n_snapshots;
+  std::size_t per_block;
+};
+
+class SnapshotSweep : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(SnapshotSweep, RoundTripWithinBound) {
+  const auto& [n, per_block] = GetParam();
+  const Shape spatial({14, 18});
+  const double eb = 1e-3;
+  SnapshotStreamWriter writer(spatial, eb, stream_config(2, 0), nullptr,
+                              per_block);
+  std::vector<NdArray<float>> originals;
+  for (std::size_t t = 0; t < n; ++t) {
+    originals.push_back(make_snapshot(spatial, t, 1));
+    writer.append(originals.back());
+  }
+  EXPECT_EQ(writer.snapshots_appended(), n);
+  const auto stream = writer.finish();
+  const auto recon = snapshot_stream_decompress(stream);
+  ASSERT_EQ(recon.shape().dim(0), n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < spatial.size(); ++i) {
+      ASSERT_LE(std::abs(static_cast<double>(
+                    recon[t * spatial.size() + i]) -
+                    static_cast<double>(originals[t][i])),
+                eb)
+          << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SnapshotSweep,
+                         ::testing::Values(StreamCase{1, 12},
+                                           StreamCase{5, 12},
+                                           StreamCase{12, 12},
+                                           StreamCase{13, 12},
+                                           StreamCase{36, 12},
+                                           StreamCase{37, 5},
+                                           StreamCase{24, 24}));
+
+TEST(SnapshotStream, BlocksFlushIncrementally) {
+  const Shape spatial({8, 8});
+  SnapshotStreamWriter writer(spatial, 1e-2, stream_config(2, 0), nullptr, 4);
+  for (std::size_t t = 0; t < 9; ++t) {
+    writer.append(make_snapshot(spatial, t, 2));
+  }
+  EXPECT_EQ(writer.blocks_flushed(), 2u);  // two full blocks of 4
+  const auto stream = writer.finish();     // flushes the ninth
+  const auto recon = snapshot_stream_decompress(stream);
+  EXPECT_EQ(recon.shape().dim(0), 9u);
+}
+
+TEST(SnapshotStream, MaskedStreamingRoundTrip) {
+  // Persistent spatial mask applied to every block.
+  const Shape spatial({10, 12});
+  auto mask = MaskMap::all_valid(spatial);
+  for (std::size_t i = 0; i < mask.size(); i += 3) mask.mutable_data()[i] = 0;
+
+  const double eb = 1e-3;
+  SnapshotStreamWriter writer(spatial, eb, stream_config(2, 0), &mask, 6);
+  std::vector<NdArray<float>> originals;
+  for (std::size_t t = 0; t < 14; ++t) {
+    auto snap = make_snapshot(spatial, t, 3);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (!mask.valid(i)) snap[i] = 9.96921e36f;
+    }
+    originals.push_back(snap);
+    writer.append(snap);
+  }
+  const auto recon = snapshot_stream_decompress(writer.finish());
+  for (std::size_t t = 0; t < 14; ++t) {
+    for (std::size_t i = 0; i < spatial.size(); ++i) {
+      const float got = recon[t * spatial.size() + i];
+      if (mask.valid(i)) {
+        ASSERT_LE(std::abs(static_cast<double>(got) -
+                           static_cast<double>(originals[t][i])),
+                  eb);
+      } else {
+        ASSERT_EQ(got, 9.96921e36f);
+      }
+    }
+  }
+}
+
+TEST(SnapshotStream, PeriodicPipelinePerYearBlock) {
+  // 24 monthly snapshots in 24-slice blocks: periodic extraction active.
+  const Shape spatial({12, 12});
+  const double eb = 1e-3;
+  SnapshotStreamWriter writer(spatial, eb, stream_config(2, 12), nullptr,
+                              24);
+  std::vector<NdArray<float>> originals;
+  for (std::size_t t = 0; t < 24; ++t) {
+    originals.push_back(make_snapshot(spatial, t, 4));
+    writer.append(originals.back());
+  }
+  const auto recon = snapshot_stream_decompress(writer.finish());
+  for (std::size_t t = 0; t < 24; ++t) {
+    for (std::size_t i = 0; i < spatial.size(); ++i) {
+      ASSERT_LE(std::abs(static_cast<double>(
+                    recon[t * spatial.size() + i]) -
+                    static_cast<double>(originals[t][i])),
+                eb);
+    }
+  }
+}
+
+TEST(SnapshotStream, MisuseRejected) {
+  const Shape spatial({8, 8});
+  EXPECT_THROW(SnapshotStreamWriter(spatial, 0.0, stream_config(2, 0)),
+               Error);
+  // Wrong pipeline arity.
+  EXPECT_THROW(
+      SnapshotStreamWriter(spatial, 1e-3, PipelineConfig::defaults(2)),
+      Error);
+  // Wrong snapshot shape.
+  SnapshotStreamWriter writer(spatial, 1e-3, stream_config(2, 0));
+  EXPECT_THROW(writer.append(NdArray<float>(Shape({8, 9}))), Error);
+  // Finish twice / append after finish.
+  writer.append(NdArray<float>(spatial));
+  (void)writer.finish();
+  EXPECT_THROW((void)writer.finish(), Error);
+  EXPECT_THROW(writer.append(NdArray<float>(spatial)), Error);
+}
+
+TEST(SnapshotStream, CorruptStreamThrows) {
+  const Shape spatial({8, 8});
+  SnapshotStreamWriter writer(spatial, 1e-2, stream_config(2, 0));
+  writer.append(make_snapshot(spatial, 0, 5));
+  auto stream = writer.finish();
+  auto truncated = stream;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)snapshot_stream_decompress(truncated), Error);
+  EXPECT_THROW((void)snapshot_stream_decompress({}), Error);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,107 @@
+#include "src/transfer/globus_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/status.hpp"
+
+namespace cliz {
+namespace {
+
+TransferPlan base_plan() {
+  TransferPlan p;
+  p.cores = 256;
+  p.n_files = 1024;
+  p.compress_seconds_per_file = 2.0;
+  p.compressed_bytes_per_file = 64ull << 20;  // 64 MiB
+  return p;
+}
+
+TEST(Transfer, CompressionMakespanIsWaveCount) {
+  auto p = base_plan();
+  const auto out = simulate_transfer(p);
+  // 1024 files on 256 cores = 4 waves of 2 s.
+  EXPECT_DOUBLE_EQ(out.compress_seconds, 8.0);
+}
+
+TEST(Transfer, MoreCoresShortenCompression) {
+  auto p = base_plan();
+  const auto c256 = simulate_transfer(p);
+  p.cores = 512;
+  const auto c512 = simulate_transfer(p);
+  p.cores = 1024;
+  const auto c1024 = simulate_transfer(p);
+  EXPECT_GT(c256.compress_seconds, c512.compress_seconds);
+  EXPECT_GT(c512.compress_seconds, c1024.compress_seconds);
+  // Transfer is independent of the compressing core count.
+  EXPECT_DOUBLE_EQ(c256.transfer_seconds, c1024.transfer_seconds);
+}
+
+TEST(Transfer, SmallerFilesTransferFaster) {
+  auto p = base_plan();
+  const auto big = simulate_transfer(p);
+  p.compressed_bytes_per_file /= 4;
+  const auto small = simulate_transfer(p);
+  EXPECT_LT(small.transfer_seconds, big.transfer_seconds);
+  EXPECT_LT(small.total_seconds(), big.total_seconds());
+}
+
+TEST(Transfer, AggregateBandwidthCapsParallelStreams) {
+  auto p = base_plan();
+  WanLink narrow;
+  narrow.aggregate_bandwidth_mbps = 100.0;
+  WanLink wide;
+  wide.aggregate_bandwidth_mbps = 10000.0;
+  const auto slow = simulate_transfer(p, narrow);
+  const auto fast = simulate_transfer(p, wide);
+  EXPECT_GT(slow.transfer_seconds, fast.transfer_seconds);
+}
+
+TEST(Transfer, PerFileOverheadMatters) {
+  auto p = base_plan();
+  p.compressed_bytes_per_file = 1024;  // tiny files: overhead-dominated
+  WanLink cheap;
+  cheap.per_file_overhead_s = 0.0;
+  WanLink pricey;
+  pricey.per_file_overhead_s = 1.0;
+  const auto a = simulate_transfer(p, cheap);
+  const auto b = simulate_transfer(p, pricey);
+  EXPECT_GT(b.transfer_seconds, a.transfer_seconds + 10.0);
+}
+
+TEST(Transfer, SingleFileSingleCore) {
+  TransferPlan p;
+  p.cores = 1;
+  p.n_files = 1;
+  p.compress_seconds_per_file = 3.0;
+  p.compressed_bytes_per_file = 10ull << 20;
+  const auto out = simulate_transfer(p);
+  EXPECT_DOUBLE_EQ(out.compress_seconds, 3.0);
+  EXPECT_GT(out.transfer_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.total_seconds(),
+                   out.compress_seconds + out.transfer_seconds);
+}
+
+TEST(Transfer, StreamCountCappedByFiles) {
+  TransferPlan p;
+  p.cores = 4;
+  p.n_files = 2;  // fewer files than max streams
+  p.compress_seconds_per_file = 0.1;
+  p.compressed_bytes_per_file = 1 << 20;
+  const auto out = simulate_transfer(p);
+  EXPECT_GT(out.transfer_seconds, 0.0);
+}
+
+TEST(Transfer, InvalidPlansThrow) {
+  TransferPlan p = base_plan();
+  p.cores = 0;
+  EXPECT_THROW((void)simulate_transfer(p), Error);
+  p = base_plan();
+  p.n_files = 0;
+  EXPECT_THROW((void)simulate_transfer(p), Error);
+  WanLink bad;
+  bad.aggregate_bandwidth_mbps = 0.0;
+  EXPECT_THROW((void)simulate_transfer(base_plan(), bad), Error);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -1,0 +1,470 @@
+// clizc — command-line front end for the CliZ compression library.
+//
+//   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
+//                    [-c cliz|sz3|qoz|zfp|sperr] [--mask-fill] [--tune RATE]
+//                    [--time-dim N]
+//   clizc decompress <in>      -o <out.f32>
+//   clizc info       <in>                      (compressed stream or .clza)
+//   clizc gen        <dataset> -o <out.f32> [--scale S]
+//   clizc archive-list    <in.clza>
+//   clizc archive-extract <in.clza> <var> -o <out.f32>
+//
+// Raw data files are flat little-endian float32 in row-major order.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/climate/datasets.hpp"
+#include "src/core/autotune.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/compressor.hpp"
+#include "src/io/archive.hpp"
+#include "src/metrics/metrics.hpp"
+#include "src/metrics/report.hpp"
+
+namespace {
+
+using namespace cliz;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "clizc: %s\n\n", msg);
+  std::fprintf(stderr, R"(usage:
+  clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
+                   [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
+                   [--tune RATE] [--time-dim N]
+  clizc decompress <in>      -o <out.f32>   (f64 streams auto-detected)
+  clizc info       <in>
+  clizc analyze    <orig.f32> <recon.f32> -d T,Y,X [-e ABS] [--mask-fill]
+                   [--compressed-bytes N]
+  clizc gen        <SSH|CESM-T|RELHUM|SOILLIQ|Tsfc|Hurricane-T|SALT|RHO|SHF_QSW>
+                   -o <out.f32>
+                   [--scale S]
+  clizc archive-create  <out.clza> NAME=FILE:DIMS[:CODEC] ...
+                   [-r REL | -e ABS] [--mask-fill] [--tune RATE]
+  clizc archive-list    <in.clza>
+  clizc archive-extract <in.clza> <var> -o <out.f32>
+
+raw files are flat little-endian float32, row-major.
+)");
+  std::exit(2);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "clizc: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!out.good()) {
+    std::fprintf(stderr, "clizc: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+DimVec parse_dims(const std::string& spec) {
+  DimVec dims;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const long long v = std::atoll(tok.c_str());
+    if (v <= 0) usage("bad dimension list");
+    dims.push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (dims.empty()) usage("empty dimension list");
+  return dims;
+}
+
+/// Tiny argv cursor.
+struct Args {
+  int argc;
+  char** argv;
+  int pos = 2;
+
+  bool done() const { return pos >= argc; }
+  std::string next(const char* what) {
+    if (done()) usage((std::string("missing ") + what).c_str());
+    return argv[pos++];
+  }
+};
+
+template <typename T>
+NdArray<T> load_raw_t(const std::string& path, const DimVec& dims) {
+  const Shape shape(dims);
+  const auto bytes = read_file(path);
+  if (bytes.size() != shape.size() * sizeof(T)) {
+    std::fprintf(stderr,
+                 "clizc: %s is %zu bytes but dims %s need %zu bytes\n",
+                 path.c_str(), bytes.size(), shape.to_string().c_str(),
+                 shape.size() * sizeof(T));
+    std::exit(1);
+  }
+  std::vector<T> values(shape.size());
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return NdArray<T>(shape, std::move(values));
+}
+
+NdArray<float> load_raw(const std::string& path, const DimVec& dims) {
+  return load_raw_t<float>(path, dims);
+}
+
+int cmd_compress(Args& args) {
+  const std::string input = args.next("input file");
+  std::optional<DimVec> dims;
+  std::string output;
+  std::string codec = "cliz";
+  std::optional<double> abs_eb;
+  double rel_eb = 1e-3;
+  bool mask_fill = false;
+  bool f64 = false;
+  double tune_rate = 0.01;
+  std::size_t time_dim = 0;
+
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-d") {
+      dims = parse_dims(args.next("dims"));
+    } else if (opt == "-o") {
+      output = args.next("output path");
+    } else if (opt == "-e") {
+      abs_eb = std::atof(args.next("absolute bound").c_str());
+    } else if (opt == "-r") {
+      rel_eb = std::atof(args.next("relative bound").c_str());
+    } else if (opt == "-c") {
+      codec = args.next("codec name");
+    } else if (opt == "--mask-fill") {
+      mask_fill = true;
+    } else if (opt == "--f64") {
+      f64 = true;
+    } else if (opt == "--tune") {
+      tune_rate = std::atof(args.next("sampling rate").c_str());
+    } else if (opt == "--time-dim") {
+      time_dim = static_cast<std::size_t>(
+          std::atoll(args.next("time dim").c_str()));
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (!dims.has_value()) usage("compress needs -d DIMS");
+  if (output.empty()) usage("compress needs -o OUTPUT");
+
+  if (f64) {
+    const auto data = load_raw_t<double>(input, *dims);
+    std::optional<MaskMap> mask;
+    if (mask_fill) mask = MaskMap::from_fill_values(data);
+    const MaskMap* mask_ptr = mask.has_value() ? &*mask : nullptr;
+    double eb = abs_eb.has_value() ? *abs_eb : 0.0;
+    if (!abs_eb.has_value()) {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (mask_ptr != nullptr && !mask_ptr->valid(i)) continue;
+        lo = std::min(lo, data[i]);
+        hi = std::max(hi, data[i]);
+      }
+      eb = hi > lo ? rel_eb * (hi - lo) : rel_eb;
+    }
+    const auto stream = compress_f64(codec, data, eb, mask_ptr, time_dim);
+    write_file(output, stream.data(), stream.size());
+    std::fprintf(stderr,
+                 "%s (f64): %zu -> %zu bytes (ratio %.2fx, abs bound %.4g)\n",
+                 codec.c_str(), data.size() * sizeof(double), stream.size(),
+                 compression_ratio(data.size() * sizeof(double),
+                                   stream.size()),
+                 eb);
+    return 0;
+  }
+
+  const auto data = load_raw(input, *dims);
+  std::optional<MaskMap> mask;
+  if (mask_fill) mask = MaskMap::from_fill_values(data);
+  const MaskMap* mask_ptr = mask.has_value() ? &*mask : nullptr;
+
+  const double eb = abs_eb.has_value()
+                        ? *abs_eb
+                        : abs_bound_from_relative(data.flat(), rel_eb,
+                                                  mask_ptr);
+
+  std::vector<std::uint8_t> stream;
+  if (codec == "cliz") {
+    AutotuneOptions opts;
+    opts.sampling_rate = tune_rate;
+    opts.time_dim = time_dim;
+    const auto tuned = autotune(data, eb, mask_ptr, opts);
+    std::fprintf(stderr, "tuned pipeline: %s (%zu candidates, %.2f s)\n",
+                 tuned.best.label().c_str(), tuned.candidates.size(),
+                 tuned.tuning_seconds);
+    stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr);
+  } else {
+    stream = make_compressor(codec)->compress(data, eb);
+  }
+  write_file(output, stream.data(), stream.size());
+  std::fprintf(stderr,
+               "%s: %zu -> %zu bytes (ratio %.2fx, %.3f bits/value, "
+               "abs bound %.4g)\n",
+               codec.c_str(), data.size() * sizeof(float), stream.size(),
+               compression_ratio(data.size() * sizeof(float), stream.size()),
+               bit_rate(data.size(), stream.size()), eb);
+  return 0;
+}
+
+int cmd_decompress(Args& args) {
+  const std::string input = args.next("input file");
+  std::string output;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-o") {
+      output = args.next("output path");
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (output.empty()) usage("decompress needs -o OUTPUT");
+
+  const auto stream = read_file(input);
+  if (detect_sample_bytes(stream) == 8) {
+    const auto data = decompress_any_f64(stream);
+    write_file(output, data.data(), data.size() * sizeof(double));
+    std::fprintf(stderr, "%s -> %s %s (%zu float64 values)\n", input.c_str(),
+                 output.c_str(), data.shape().to_string().c_str(),
+                 data.size());
+    return 0;
+  }
+  const auto data = decompress_any(stream);
+  write_file(output, data.data(), data.size() * sizeof(float));
+  std::fprintf(stderr, "%s -> %s %s (%zu values)\n", input.c_str(),
+               output.c_str(), data.shape().to_string().c_str(),
+               data.size());
+  return 0;
+}
+
+bool looks_like_archive(const std::vector<std::uint8_t>& bytes) {
+  return bytes.size() >= 4 && bytes[0] == 0x41 && bytes[1] == 0x5A &&
+         bytes[2] == 0x4C && bytes[3] == 0x43;  // little-endian "CLZA"
+}
+
+int cmd_info(Args& args) {
+  const std::string input = args.next("input file");
+  const auto bytes = read_file(input);
+  if (looks_like_archive(bytes)) {
+    const ArchiveReader reader(input);
+    std::printf("CLZA archive with %zu variable(s)\n",
+                reader.variables().size());
+    for (const auto& v : reader.variables()) {
+      const Shape shape(v.dims);
+      std::printf("  %-12s %-14s codec=%-6s eb=%.4g  %llu bytes (%.2fx)\n",
+                  v.name.c_str(), shape.to_string().c_str(), v.codec.c_str(),
+                  v.error_bound,
+                  static_cast<unsigned long long>(v.compressed_bytes),
+                  compression_ratio(shape.size() * sizeof(float),
+                                    static_cast<std::size_t>(
+                                        v.compressed_bytes)));
+    }
+    return 0;
+  }
+  const std::string codec = detect_codec(bytes);
+  const auto data = decompress_any(bytes);
+  std::printf("%s stream: %s, %zu values, %zu compressed bytes (%.2fx)\n",
+              codec.c_str(), data.shape().to_string().c_str(), data.size(),
+              bytes.size(),
+              compression_ratio(data.size() * sizeof(float), bytes.size()));
+  return 0;
+}
+
+int cmd_gen(Args& args) {
+  const std::string name = args.next("dataset name");
+  std::string output;
+  double scale = 0.0;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-o") {
+      output = args.next("output path");
+    } else if (opt == "--scale") {
+      scale = std::atof(args.next("scale").c_str());
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (output.empty()) usage("gen needs -o OUTPUT");
+  const ClimateField field =
+      scale > 0.0 ? make_dataset(name, scale) : make_dataset(name);
+  write_file(output, field.data.data(), field.data.size() * sizeof(float));
+  std::fprintf(stderr, "%s %s -> %s (%zu values%s)\n", field.name.c_str(),
+               field.data.shape().to_string().c_str(), output.c_str(),
+               field.data.size(),
+               field.mask.has_value() ? ", masked: use --mask-fill" : "");
+  return 0;
+}
+
+int cmd_analyze(Args& args) {
+  const std::string orig_path = args.next("original file");
+  const std::string recon_path = args.next("reconstruction file");
+  std::optional<DimVec> dims;
+  double eb = 0.0;
+  bool mask_fill = false;
+  std::size_t compressed_bytes = 0;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-d") {
+      dims = parse_dims(args.next("dims"));
+    } else if (opt == "-e") {
+      eb = std::atof(args.next("absolute bound").c_str());
+    } else if (opt == "--mask-fill") {
+      mask_fill = true;
+    } else if (opt == "--compressed-bytes") {
+      compressed_bytes = static_cast<std::size_t>(
+          std::atoll(args.next("byte count").c_str()));
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (!dims.has_value()) usage("analyze needs -d DIMS");
+
+  const auto original = load_raw(orig_path, *dims);
+  const auto recon = load_raw(recon_path, *dims);
+  std::optional<MaskMap> mask;
+  if (mask_fill) mask = MaskMap::from_fill_values(original);
+  const auto report =
+      quality_report(original, recon, mask.has_value() ? &*mask : nullptr,
+                     eb, compressed_bytes);
+  std::fputs(report.to_text().c_str(), stdout);
+  return report.bound_satisfied ? 0 : 3;
+}
+
+int cmd_archive_create(Args& args) {
+  const std::string output = args.next("archive path");
+  double rel_eb = 1e-3;
+  std::optional<double> abs_eb;
+  bool mask_fill = false;
+  double tune_rate = 0.01;
+  std::vector<std::string> specs;
+  while (!args.done()) {
+    const std::string opt = args.next("spec or option");
+    if (opt == "-r") {
+      rel_eb = std::atof(args.next("relative bound").c_str());
+    } else if (opt == "-e") {
+      abs_eb = std::atof(args.next("absolute bound").c_str());
+    } else if (opt == "--mask-fill") {
+      mask_fill = true;
+    } else if (opt == "--tune") {
+      tune_rate = std::atof(args.next("sampling rate").c_str());
+    } else {
+      specs.push_back(opt);
+    }
+  }
+  if (specs.empty()) {
+    usage("archive-create needs at least one NAME=FILE:DIMS[:CODEC] spec");
+  }
+
+  ArchiveWriter writer(output);
+  for (const std::string& spec : specs) {
+    // NAME=FILE:DIMS[:CODEC]
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) usage(("bad spec " + spec).c_str());
+    const std::string name = spec.substr(0, eq);
+    std::string rest = spec.substr(eq + 1);
+    const std::size_t c1 = rest.find(':');
+    if (c1 == std::string::npos) usage(("bad spec " + spec).c_str());
+    const std::string file = rest.substr(0, c1);
+    rest = rest.substr(c1 + 1);
+    std::string codec = "cliz";
+    std::string dims_spec = rest;
+    const std::size_t c2 = rest.find(':');
+    if (c2 != std::string::npos) {
+      dims_spec = rest.substr(0, c2);
+      codec = rest.substr(c2 + 1);
+    }
+    const DimVec dims = parse_dims(dims_spec);
+    const auto data = load_raw(file, dims);
+    std::optional<MaskMap> mask;
+    if (mask_fill) mask = MaskMap::from_fill_values(data);
+    const MaskMap* mask_ptr = mask.has_value() ? &*mask : nullptr;
+    const double eb = abs_eb.has_value()
+                          ? *abs_eb
+                          : abs_bound_from_relative(data.flat(), rel_eb,
+                                                    mask_ptr);
+    if (codec == "cliz") {
+      AutotuneOptions opts;
+      opts.sampling_rate = tune_rate;
+      const auto tuned = autotune(data, eb, mask_ptr, opts);
+      writer.add_variable(name, data, eb, tuned.best, mask_ptr,
+                          {{"source", file},
+                           {"pipeline", tuned.best.label()}});
+    } else {
+      writer.add_variable_with(codec, name, data, eb, {{"source", file}});
+    }
+    std::fprintf(stderr, "added %s (%s, %s, eb %.4g)\n", name.c_str(),
+                 Shape(dims).to_string().c_str(), codec.c_str(), eb);
+  }
+  writer.finish();
+  std::fprintf(stderr, "wrote %s with %zu variable(s)\n", output.c_str(),
+               specs.size());
+  return 0;
+}
+
+int cmd_archive_list(Args& args) {
+  const std::string input = args.next("archive path");
+  const ArchiveReader reader(input);
+  for (const auto& v : reader.variables()) {
+    std::printf("%s\n", v.name.c_str());
+  }
+  return 0;
+}
+
+int cmd_archive_extract(Args& args) {
+  const std::string input = args.next("archive path");
+  const std::string var = args.next("variable name");
+  std::string output;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-o") {
+      output = args.next("output path");
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (output.empty()) usage("archive-extract needs -o OUTPUT");
+  const ArchiveReader reader(input);
+  const auto data = reader.read(var);
+  write_file(output, data.data(), data.size() * sizeof(float));
+  std::fprintf(stderr, "extracted %s %s -> %s\n", var.c_str(),
+               data.shape().to_string().c_str(), output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  Args args{argc, argv};
+  try {
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "archive-create") return cmd_archive_create(args);
+    if (cmd == "archive-list") return cmd_archive_list(args);
+    if (cmd == "archive-extract") return cmd_archive_extract(args);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clizc: %s\n", e.what());
+    return 1;
+  }
+}
