@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hurricane.dir/bench_ablation_hurricane.cpp.o"
+  "CMakeFiles/bench_ablation_hurricane.dir/bench_ablation_hurricane.cpp.o.d"
+  "bench_ablation_hurricane"
+  "bench_ablation_hurricane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hurricane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

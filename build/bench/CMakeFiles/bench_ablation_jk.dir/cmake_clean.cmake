@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jk.dir/bench_ablation_jk.cpp.o"
+  "CMakeFiles/bench_ablation_jk.dir/bench_ablation_jk.cpp.o.d"
+  "bench_ablation_jk"
+  "bench_ablation_jk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ssh.dir/bench_ablation_ssh.cpp.o"
+  "CMakeFiles/bench_ablation_ssh.dir/bench_ablation_ssh.cpp.o.d"
+  "bench_ablation_ssh"
+  "bench_ablation_ssh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ssh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_fitting.dir/bench_dynamic_fitting.cpp.o"
+  "CMakeFiles/bench_dynamic_fitting.dir/bench_dynamic_fitting.cpp.o.d"
+  "bench_dynamic_fitting"
+  "bench_dynamic_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

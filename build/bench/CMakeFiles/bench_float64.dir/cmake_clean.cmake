@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_float64.dir/bench_float64.cpp.o"
+  "CMakeFiles/bench_float64.dir/bench_float64.cpp.o.d"
+  "bench_float64"
+  "bench_float64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_float64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_period.dir/bench_period.cpp.o"
+  "CMakeFiles/bench_period.dir/bench_period.cpp.o.d"
+  "bench_period"
+  "bench_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

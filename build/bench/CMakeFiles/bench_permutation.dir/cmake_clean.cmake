@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_permutation.dir/bench_permutation.cpp.o"
+  "CMakeFiles/bench_permutation.dir/bench_permutation.cpp.o.d"
+  "bench_permutation"
+  "bench_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

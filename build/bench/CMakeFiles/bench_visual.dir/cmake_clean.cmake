@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_visual.dir/bench_visual.cpp.o"
+  "CMakeFiles/bench_visual.dir/bench_visual.cpp.o.d"
+  "bench_visual"
+  "bench_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmosphere_tuning.dir/atmosphere_tuning.cpp.o"
+  "CMakeFiles/atmosphere_tuning.dir/atmosphere_tuning.cpp.o.d"
+  "atmosphere_tuning"
+  "atmosphere_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmosphere_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

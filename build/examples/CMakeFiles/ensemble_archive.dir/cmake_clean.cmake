@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_archive.dir/ensemble_archive.cpp.o"
+  "CMakeFiles/ensemble_archive.dir/ensemble_archive.cpp.o.d"
+  "ensemble_archive"
+  "ensemble_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ocean_pipeline.cpp" "examples/CMakeFiles/ocean_pipeline.dir/ocean_pipeline.cpp.o" "gcc" "examples/CMakeFiles/ocean_pipeline.dir/ocean_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/cliz_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/climate/CMakeFiles/cliz_climate.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cliz_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cliz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cliz_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz3/CMakeFiles/cliz_sz3.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoz/CMakeFiles/cliz_qoz.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/cliz_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/cliz_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sperr/CMakeFiles/cliz_sperr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/cliz_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/cliz_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/cliz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/cliz_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/cliz_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cliz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_pipeline.dir/ocean_pipeline.cpp.o"
+  "CMakeFiles/ocean_pipeline.dir/ocean_pipeline.cpp.o.d"
+  "ocean_pipeline"
+  "ocean_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_climate.dir/datasets.cpp.o"
+  "CMakeFiles/cliz_climate.dir/datasets.cpp.o.d"
+  "CMakeFiles/cliz_climate.dir/noise.cpp.o"
+  "CMakeFiles/cliz_climate.dir/noise.cpp.o.d"
+  "libcliz_climate.a"
+  "libcliz_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_common.dir/version.cpp.o"
+  "CMakeFiles/cliz_common.dir/version.cpp.o.d"
+  "libcliz_common.a"
+  "libcliz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/cliz_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/bin_classify.cpp" "src/core/CMakeFiles/cliz_core.dir/bin_classify.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/bin_classify.cpp.o.d"
+  "/root/repo/src/core/chunked.cpp" "src/core/CMakeFiles/cliz_core.dir/chunked.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/chunked.cpp.o.d"
+  "/root/repo/src/core/cliz.cpp" "src/core/CMakeFiles/cliz_core.dir/cliz.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/cliz.cpp.o.d"
+  "/root/repo/src/core/compressor.cpp" "src/core/CMakeFiles/cliz_core.dir/compressor.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/compressor.cpp.o.d"
+  "/root/repo/src/core/mask.cpp" "src/core/CMakeFiles/cliz_core.dir/mask.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/mask.cpp.o.d"
+  "/root/repo/src/core/periodic.cpp" "src/core/CMakeFiles/cliz_core.dir/periodic.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/periodic.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/cliz_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/snapshot_stream.cpp" "src/core/CMakeFiles/cliz_core.dir/snapshot_stream.cpp.o" "gcc" "src/core/CMakeFiles/cliz_core.dir/snapshot_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cliz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/cliz_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cliz_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/cliz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/cliz_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/cliz_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/cliz_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz3/CMakeFiles/cliz_sz3.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoz/CMakeFiles/cliz_qoz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/cliz_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sperr/CMakeFiles/cliz_sperr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_core.dir/autotune.cpp.o"
+  "CMakeFiles/cliz_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/bin_classify.cpp.o"
+  "CMakeFiles/cliz_core.dir/bin_classify.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/chunked.cpp.o"
+  "CMakeFiles/cliz_core.dir/chunked.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/cliz.cpp.o"
+  "CMakeFiles/cliz_core.dir/cliz.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/compressor.cpp.o"
+  "CMakeFiles/cliz_core.dir/compressor.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/mask.cpp.o"
+  "CMakeFiles/cliz_core.dir/mask.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/periodic.cpp.o"
+  "CMakeFiles/cliz_core.dir/periodic.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cliz_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cliz_core.dir/snapshot_stream.cpp.o"
+  "CMakeFiles/cliz_core.dir/snapshot_stream.cpp.o.d"
+  "libcliz_core.a"
+  "libcliz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

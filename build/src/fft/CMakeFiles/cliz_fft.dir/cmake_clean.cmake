@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_fft.dir/fft.cpp.o"
+  "CMakeFiles/cliz_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/cliz_fft.dir/period.cpp.o"
+  "CMakeFiles/cliz_fft.dir/period.cpp.o.d"
+  "libcliz_fft.a"
+  "libcliz_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

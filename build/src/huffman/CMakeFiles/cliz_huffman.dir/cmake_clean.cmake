@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_huffman.dir/huffman.cpp.o"
+  "CMakeFiles/cliz_huffman.dir/huffman.cpp.o.d"
+  "libcliz_huffman.a"
+  "libcliz_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_io.dir/archive.cpp.o"
+  "CMakeFiles/cliz_io.dir/archive.cpp.o.d"
+  "libcliz_io.a"
+  "libcliz_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

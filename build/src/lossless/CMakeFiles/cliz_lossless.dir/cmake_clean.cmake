@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_lossless.dir/lossless.cpp.o"
+  "CMakeFiles/cliz_lossless.dir/lossless.cpp.o.d"
+  "libcliz_lossless.a"
+  "libcliz_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

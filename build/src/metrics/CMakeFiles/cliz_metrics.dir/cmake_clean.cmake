@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/cliz_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/cliz_metrics.dir/rate_control.cpp.o"
+  "CMakeFiles/cliz_metrics.dir/rate_control.cpp.o.d"
+  "CMakeFiles/cliz_metrics.dir/report.cpp.o"
+  "CMakeFiles/cliz_metrics.dir/report.cpp.o.d"
+  "libcliz_metrics.a"
+  "libcliz_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

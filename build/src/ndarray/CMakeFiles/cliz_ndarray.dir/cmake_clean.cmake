@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_ndarray.dir/layout.cpp.o"
+  "CMakeFiles/cliz_ndarray.dir/layout.cpp.o.d"
+  "libcliz_ndarray.a"
+  "libcliz_ndarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_ndarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

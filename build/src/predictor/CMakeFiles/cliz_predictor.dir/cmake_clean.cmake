@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_predictor.dir/predictor.cpp.o"
+  "CMakeFiles/cliz_predictor.dir/predictor.cpp.o.d"
+  "libcliz_predictor.a"
+  "libcliz_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qoz/qoz.cpp" "src/qoz/CMakeFiles/cliz_qoz.dir/qoz.cpp.o" "gcc" "src/qoz/CMakeFiles/cliz_qoz.dir/qoz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cliz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/cliz_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/cliz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/cliz_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/cliz_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/cliz_predictor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_qoz.dir/qoz.cpp.o"
+  "CMakeFiles/cliz_qoz.dir/qoz.cpp.o.d"
+  "libcliz_qoz.a"
+  "libcliz_qoz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_qoz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_quantizer.dir/quantizer.cpp.o"
+  "CMakeFiles/cliz_quantizer.dir/quantizer.cpp.o.d"
+  "libcliz_quantizer.a"
+  "libcliz_quantizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

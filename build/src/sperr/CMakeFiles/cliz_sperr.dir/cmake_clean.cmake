@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_sperr.dir/sperr_like.cpp.o"
+  "CMakeFiles/cliz_sperr.dir/sperr_like.cpp.o.d"
+  "CMakeFiles/cliz_sperr.dir/wavelet.cpp.o"
+  "CMakeFiles/cliz_sperr.dir/wavelet.cpp.o.d"
+  "libcliz_sperr.a"
+  "libcliz_sperr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_sperr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sz3/lorenzo.cpp" "src/sz3/CMakeFiles/cliz_sz3.dir/lorenzo.cpp.o" "gcc" "src/sz3/CMakeFiles/cliz_sz3.dir/lorenzo.cpp.o.d"
+  "/root/repo/src/sz3/sz3.cpp" "src/sz3/CMakeFiles/cliz_sz3.dir/sz3.cpp.o" "gcc" "src/sz3/CMakeFiles/cliz_sz3.dir/sz3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cliz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/cliz_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/cliz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/cliz_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantizer/CMakeFiles/cliz_quantizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/cliz_predictor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_sz3.dir/lorenzo.cpp.o"
+  "CMakeFiles/cliz_sz3.dir/lorenzo.cpp.o.d"
+  "CMakeFiles/cliz_sz3.dir/sz3.cpp.o"
+  "CMakeFiles/cliz_sz3.dir/sz3.cpp.o.d"
+  "libcliz_sz3.a"
+  "libcliz_sz3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_sz3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

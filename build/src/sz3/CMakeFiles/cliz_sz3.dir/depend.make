@@ -1,0 +1,2 @@
+# Empty dependencies file for cliz_sz3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_transfer.dir/globus_sim.cpp.o"
+  "CMakeFiles/cliz_transfer.dir/globus_sim.cpp.o.d"
+  "libcliz_transfer.a"
+  "libcliz_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

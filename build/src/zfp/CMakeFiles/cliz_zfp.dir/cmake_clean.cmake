@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliz_zfp.dir/zfp_like.cpp.o"
+  "CMakeFiles/cliz_zfp.dir/zfp_like.cpp.o.d"
+  "libcliz_zfp.a"
+  "libcliz_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliz_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

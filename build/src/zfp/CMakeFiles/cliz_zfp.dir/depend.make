@@ -1,0 +1,2 @@
+# Empty dependencies file for cliz_zfp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bin_classify.dir/test_bin_classify.cpp.o"
+  "CMakeFiles/test_bin_classify.dir/test_bin_classify.cpp.o.d"
+  "test_bin_classify"
+  "test_bin_classify.pdb"
+  "test_bin_classify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bin_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytestream.dir/test_bytestream.cpp.o"
+  "CMakeFiles/test_bytestream.dir/test_bytestream.cpp.o.d"
+  "test_bytestream"
+  "test_bytestream.pdb"
+  "test_bytestream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytestream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cliz.dir/test_cliz.cpp.o"
+  "CMakeFiles/test_cliz.dir/test_cliz.cpp.o.d"
+  "test_cliz"
+  "test_cliz.pdb"
+  "test_cliz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cliz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

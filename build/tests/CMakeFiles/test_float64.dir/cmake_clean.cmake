@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float64.dir/test_float64.cpp.o"
+  "CMakeFiles/test_float64.dir/test_float64.cpp.o.d"
+  "test_float64"
+  "test_float64.pdb"
+  "test_float64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qoz.dir/test_qoz.cpp.o"
+  "CMakeFiles/test_qoz.dir/test_qoz.cpp.o.d"
+  "test_qoz"
+  "test_qoz.pdb"
+  "test_qoz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qoz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_layout.dir/test_shape_layout.cpp.o"
+  "CMakeFiles/test_shape_layout.dir/test_shape_layout.cpp.o.d"
+  "test_shape_layout"
+  "test_shape_layout.pdb"
+  "test_shape_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

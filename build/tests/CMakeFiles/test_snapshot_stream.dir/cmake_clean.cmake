@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_stream.dir/test_snapshot_stream.cpp.o"
+  "CMakeFiles/test_snapshot_stream.dir/test_snapshot_stream.cpp.o.d"
+  "test_snapshot_stream"
+  "test_snapshot_stream.pdb"
+  "test_snapshot_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sperr.dir/test_sperr.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_sperr.cpp.o.d"
+  "test_sperr"
+  "test_sperr.pdb"
+  "test_sperr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sperr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sz3.dir/test_sz3.cpp.o"
+  "CMakeFiles/test_sz3.dir/test_sz3.cpp.o.d"
+  "test_sz3"
+  "test_sz3.pdb"
+  "test_sz3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sz3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clizc.dir/clizc.cpp.o"
+  "CMakeFiles/clizc.dir/clizc.cpp.o.d"
+  "clizc"
+  "clizc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clizc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
