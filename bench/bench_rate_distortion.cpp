@@ -42,6 +42,8 @@ void run() {
         const double eb =
             abs_bound_from_relative(field.data.flat(), rel, field.mask_ptr());
         const RunResult r = bench::run_codec(*comp, field, eb);
+        bench::record_json("rate_distortion",
+                           dataset + "/" + name + "/" + fmt_sci(rel), r);
         t.add_row({name, fmt_sci(rel), fmt(r.bitrate(), 4), fmt(r.ratio(), 1),
                    fmt(r.psnr, 1), fmt(r.ssim, 4), fmt(r.compress_seconds, 2),
                    fmt(r.decompress_seconds, 2)});

@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +30,10 @@ struct RunResult {
   double psnr = 0.0;
   double ssim = 0.0;
   double max_abs_error = 0.0;
+  /// Per-stage breakdown of the compression, when the codec reports one
+  /// (CliZ's staged pipeline does; the baselines do not).
+  StageStats stage_stats;
+  bool has_stage_stats = false;
 
   [[nodiscard]] double ratio() const {
     return compression_ratio(original_bytes, compressed_bytes);
@@ -47,6 +53,10 @@ inline RunResult run_codec(Compressor& comp, const ClimateField& field,
   const auto stream = comp.compress(field.data, abs_eb);
   r.compress_seconds = tc.seconds();
   r.compressed_bytes = stream.size();
+  if (const StageStats* s = comp.stage_stats(); s != nullptr) {
+    r.stage_stats = *s;
+    r.has_stage_stats = true;
+  }
   Timer td;
   const auto recon = comp.decompress(stream);
   r.decompress_seconds = td.seconds();
@@ -58,6 +68,31 @@ inline RunResult run_codec(Compressor& comp, const ClimateField& field,
     r.ssim = mean_ssim(field.data, recon, field.mask_ptr());
   }
   return r;
+}
+
+/// Appends one JSON line ({bench, label, metrics, optional stage stats}) to
+/// the file named by the CLIZ_BENCH_JSON environment variable. No-op when
+/// the variable is unset, so benches can always call it unconditionally.
+inline void record_json(const std::string& bench, const std::string& label,
+                        const RunResult& r) {
+  const char* path = std::getenv("CLIZ_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out.good()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"%s\",\"label\":\"%s\",\"original_bytes\":%zu,"
+                "\"compressed_bytes\":%zu,\"ratio\":%.4f,"
+                "\"compress_seconds\":%.6f,\"decompress_seconds\":%.6f,"
+                "\"psnr\":%.4f,\"max_abs_error\":%.6g",
+                bench.c_str(), label.c_str(), r.original_bytes,
+                r.compressed_bytes, r.ratio(), r.compress_seconds,
+                r.decompress_seconds, r.psnr, r.max_abs_error);
+  out << buf;
+  if (r.has_stage_stats) {
+    out << ",\"stage_stats\":" << r.stage_stats.to_json();
+  }
+  out << "}\n";
 }
 
 /// Bisects the relative error bound until metric(result) lands within

@@ -23,6 +23,14 @@ class BitWriter {
 
   /// Pads to a byte boundary and returns the assembled buffer.
   [[nodiscard]] std::vector<std::uint8_t> finish() {
+    (void)finish_view();
+    return std::move(out_);
+  }
+
+  /// Pads to a byte boundary like finish(), but the buffer stays owned by
+  /// the writer so reset() can reuse its capacity (CodecContext steady-state
+  /// reuse). The view is valid until the next mutating call.
+  [[nodiscard]] std::span<const std::uint8_t> finish_view() {
     while (nbits_ % 8 != 0) put_bit(false);
     if (nbits_ > 0) {
       for (int i = static_cast<int>(nbits_) - 8; i >= 0; i -= 8) {
@@ -31,7 +39,14 @@ class BitWriter {
       acc_ = 0;
       nbits_ = 0;
     }
-    return std::move(out_);
+    return out_;
+  }
+
+  /// Drops all written bits, keeping the buffer capacity.
+  void reset() {
+    out_.clear();
+    acc_ = 0;
+    nbits_ = 0;
   }
 
   [[nodiscard]] std::size_t bit_count() const noexcept {

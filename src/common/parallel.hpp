@@ -17,6 +17,18 @@ inline int hardware_threads() {
 #endif
 }
 
+/// Index of the calling thread inside a parallel_for body, in
+/// [0, hardware_threads()); 0 outside parallel regions and in serial
+/// builds. Lets bodies pick a per-thread scratch slot (e.g. a CodecContext
+/// from a pool) without locking.
+inline int thread_index() {
+#if defined(_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
 /// Data-parallel loop over [begin, end). Falls back to a plain loop in
 /// serial builds; the body must be free of loop-carried dependencies.
 template <typename Body>

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <optional>
 
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/codec_context.hpp"
 
 namespace cliz {
 
@@ -201,6 +203,15 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
   std::vector<bool> classifications{false};
   if (opts.consider_classification && nd >= 3) classifications.push_back(true);
 
+  // Flatten the search grid into an indexed trial list so the trial loop
+  // can run in parallel while the result order (and therefore every
+  // stable_sort tie-break downstream) stays exactly that of the serial
+  // nested loops.
+  struct TrialSpec {
+    PipelineConfig config;
+    const SampledData* sample;
+  };
+  std::vector<TrialSpec> trials;
   for (const std::size_t period : periods) {
     const SampledData& s = period > 0 ? *periodic_sample : sample;
     for (const bool classify : classifications) {
@@ -214,18 +225,42 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
             config.period = period;
             config.time_dim = opts.time_dim;
             config.classify_bins = classify;
-
-            const ClizCompressor comp(config, opts.codec);
-            const auto stream =
-                comp.compress(s.data, abs_error_bound, s.mask_ptr());
-            const double ratio =
-                static_cast<double>(s.data.size() * sizeof(float)) /
-                static_cast<double>(stream.size());
-            result.candidates.push_back({config, ratio});
+            trials.push_back({std::move(config), &s});
           }
         }
       }
     }
+  }
+
+  // One context per thread: trial compressions after the first reuse the
+  // previous trial's buffers (LZ hash chains, code vectors, Huffman
+  // scratch), which is where the tuning loop spends its allocations.
+  const std::size_t n_slots =
+      opts.parallel_trials
+          ? static_cast<std::size_t>(std::max(1, hardware_threads()))
+          : 1;
+  std::vector<CodecContext> pool(n_slots);
+  result.candidates.resize(trials.size());
+  const auto run_trial = [&](std::size_t i) {
+    const TrialSpec& t = trials[i];
+    CodecContext local;  // reuse_contexts=false: fresh scratch per trial
+    CodecContext& ctx =
+        opts.reuse_contexts
+            ? pool[static_cast<std::size_t>(thread_index()) % pool.size()]
+            : local;
+    const ClizCompressor comp(t.config, opts.codec);
+    const auto stream =
+        comp.compress(t.sample->data, abs_error_bound, t.sample->mask_ptr(),
+                      ctx);
+    const double ratio =
+        static_cast<double>(t.sample->data.size() * sizeof(float)) /
+        static_cast<double>(stream.size());
+    result.candidates[i] = {t.config, ratio, ctx.stats};
+  };
+  if (opts.parallel_trials) {
+    parallel_for(0, trials.size(), run_trial);
+  } else {
+    for (std::size_t i = 0; i < trials.size(); ++i) run_trial(i);
   }
 
   std::stable_sort(result.candidates.begin(), result.candidates.end(),
@@ -256,10 +291,11 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
       }
       const ClizCompressor comp(cand.config, opts.codec);
       const auto stream =
-          comp.compress(s->data, abs_error_bound, s->mask_ptr());
+          comp.compress(s->data, abs_error_bound, s->mask_ptr(), pool[0]);
       cand.estimated_ratio =
           static_cast<double>(s->data.size() * sizeof(float)) /
           static_cast<double>(stream.size());
+      cand.stats = pool[0].stats;
     }
     std::stable_sort(result.candidates.begin(),
                      result.candidates.begin() + static_cast<std::ptrdiff_t>(k),

@@ -32,6 +32,15 @@ struct AutotuneOptions {
   std::size_t refine_top_k = 0;
   /// Seed for the deterministic row sampling.
   std::uint64_t seed = 42;
+  /// Run the trial compressions with parallel_for over per-thread
+  /// CodecContexts. The ranking is identical to the serial loop: trial
+  /// results are gathered by index before the (stable) sort, so ties break
+  /// the same way regardless of thread count.
+  bool parallel_trials = true;
+  /// Reuse one CodecContext per thread across trials (no steady-state
+  /// allocations in the trial loop). Off: every trial gets a fresh context.
+  /// Exists for A/B benching; streams and ranking are identical either way.
+  bool reuse_contexts = true;
   /// Codec options forwarded to the trial compressions.
   ClizOptions codec;
 };
@@ -40,6 +49,9 @@ struct AutotuneOptions {
 struct PipelineCandidate {
   PipelineConfig config;
   double estimated_ratio = 0.0;
+  /// Per-stage breakdown of this candidate's trial compression (refined
+  /// candidates keep the stats of the refinement run).
+  StageStats stats;
 };
 
 /// Output of autotune().

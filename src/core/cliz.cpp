@@ -1,5 +1,7 @@
 #include "src/core/cliz.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -8,6 +10,7 @@
 
 #include "src/common/bitio.hpp"
 #include "src/core/bin_classify.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/core/periodic.hpp"
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
@@ -18,6 +21,12 @@ namespace cliz {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x434C495Au;  // "CLIZ"
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 /// In classified mode, shifted symbols (biased by +j) occupy
 /// [1, 2*radius-1+2j]; the outlier escape is remapped above that range so a
@@ -36,23 +45,30 @@ std::size_t classification_plane(const Shape& shape) {
 }
 
 template <typename T>
-NdArray<T> decompress_impl(std::span<const std::uint8_t> stream);
+NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
+                           CodecContext& ctx);
 
 template <typename T>
-std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
-                                        double abs_error_bound,
-                                        const MaskMap* mask,
-                                        const PipelineConfig& config,
-                                        const ClizOptions& options) {
-  CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
-  const Shape& shape = data.shape();
-  CLIZ_REQUIRE(config.permutation.size() == shape.ndims(),
-               "pipeline arity does not match data");
-  if (mask != nullptr) {
-    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
-  }
+void compress_impl(const NdArray<T>& data, double abs_error_bound,
+                   const MaskMap* mask, const PipelineConfig& config,
+                   const ClizOptions& options, CodecContext& ctx,
+                   std::vector<std::uint8_t>& out);
 
-  ByteWriter out;
+// ---------------------------------------------------------------------------
+// Compression stages. Each stage reads/writes buffers owned by the
+// CodecContext, appends its portion of the pre-lossless stream to `out`
+// (ctx.raw_stream), and records wall time plus byte counts in ctx.stats.
+// Stream layout is unchanged from the monolithic implementation — stage
+// boundaries fall exactly on the original write order.
+// ---------------------------------------------------------------------------
+
+/// Fixed stream header: magic, sample type, shape, bound, quantizer radius,
+/// fill value, pipeline config, and the optional validity mask.
+template <typename T>
+void write_header(const NdArray<T>& data, double abs_error_bound,
+                  const MaskMap* mask, const PipelineConfig& config,
+                  const ClizOptions& options, ByteWriter& out) {
+  const Shape& shape = data.shape();
   out.put(kMagic);
   out.put_u8(static_cast<std::uint8_t>(sizeof(T)));  // 4 = f32, 8 = f64
   out.put_varint(shape.ndims());
@@ -61,199 +77,312 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   out.put_varint(options.radius);
   out.put(static_cast<T>(options.fill_value));
   config.serialize(out);
-
   out.put_u8(mask != nullptr ? 1 : 0);
   if (mask != nullptr) mask->serialize(out);
+}
 
-  // Periodic component extraction: compress the template recursively (at
-  // half the bound), then code the residual against the *reconstructed*
-  // template so the template's own error does not eat into the budget.
-  NdArray<T> work(shape,
-                  std::vector<T>(data.flat().begin(), data.flat().end()));
-  const bool periodic =
-      config.period >= 2 && config.time_dim < shape.ndims() &&
-      config.period < shape.dim(config.time_dim);
-  // Bound handed to the residual quantizer. In periodic mode the decoder
-  // computes data = template + residual in the sample type, so two
-  // roundings at that precision ride on top of the quantizer's guarantee;
-  // shave that slack off the residual bound to keep the end-to-end promise
-  // exact.
-  double quant_eb = abs_error_bound;
-  if (periodic) {
-    const auto tmpl =
-        periodic_template(data, config.time_dim, config.period, mask);
-    PipelineConfig tconfig = config;
-    tconfig.period = 0;
-    tconfig.classify_bins = false;
-    std::vector<std::uint8_t> tstream;
-    if (mask != nullptr) {
-      const MaskMap tmask =
-          periodic_template_mask(*mask, config.time_dim, config.period);
-      tstream = compress_impl<T>(tmpl, abs_error_bound / 2.0, &tmask,
-                                 tconfig, options);
-    } else {
-      tstream = compress_impl<T>(tmpl, abs_error_bound / 2.0, nullptr,
-                                 tconfig, options);
-    }
-    const NdArray<T> tmpl_recon = decompress_impl<T>(tstream);
-    out.put_block(tstream);
+/// Stage 1 (kPeriodic): extract the periodic component. The template is
+/// compressed recursively (at half the bound, through ctx.child()), its
+/// reconstruction subtracted from `work`, and the residual bound tightened
+/// by the float-rounding slack of the add-back. Returns the residual
+/// quantizer bound.
+template <typename T>
+double stage_periodic(NdArray<T>& work, double abs_error_bound,
+                      const MaskMap* mask, const PipelineConfig& config,
+                      const ClizOptions& options, CodecContext& ctx,
+                      ByteWriter& out) {
+  const auto t0 = Clock::now();
+  auto& st = ctx.stats.at(CodecStage::kPeriodic);
+  st.input_bytes = work.size() * sizeof(T);
 
-    double max_abs = 0.0;
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      if (mask != nullptr && !mask->valid(i)) continue;
-      max_abs = std::max(max_abs, std::abs(static_cast<double>(work[i])));
-    }
-    subtract_template(work, tmpl_recon, config.time_dim, mask);
-    double max_res = 0.0;
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      if (mask != nullptr && !mask->valid(i)) continue;
-      max_res = std::max(max_res, std::abs(static_cast<double>(work[i])));
-    }
-    const double slack =
-        4.0 * static_cast<double>(std::numeric_limits<T>::epsilon()) *
-        (max_abs + max_res);
-    quant_eb = std::max(abs_error_bound / 2.0, abs_error_bound - slack);
+  const auto tmpl =
+      periodic_template(work, config.time_dim, config.period, mask);
+  PipelineConfig tconfig = config;
+  tconfig.period = 0;
+  tconfig.classify_bins = false;
+  if (mask != nullptr) {
+    const MaskMap tmask =
+        periodic_template_mask(*mask, config.time_dim, config.period);
+    compress_impl<T>(tmpl, abs_error_bound / 2.0, &tmask, tconfig, options,
+                     ctx.child(), ctx.template_stream);
+  } else {
+    compress_impl<T>(tmpl, abs_error_bound / 2.0, nullptr, tconfig, options,
+                     ctx.child(), ctx.template_stream);
   }
+  // Code the residual against the *reconstructed* template so the
+  // template's own error does not eat into the budget.
+  const NdArray<T> tmpl_recon =
+      decompress_impl<T>(ctx.template_stream, ctx.child());
+  out.put_block(ctx.template_stream);
 
-  // Mask-aware interpolation prediction + quantization over the permuted /
-  // fused logical axes.
-  out.put(quant_eb);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (mask != nullptr && !mask->valid(i)) continue;
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(work[i])));
+  }
+  subtract_template(work, tmpl_recon, config.time_dim, mask);
+  double max_res = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (mask != nullptr && !mask->valid(i)) continue;
+    max_res = std::max(max_res, std::abs(static_cast<double>(work[i])));
+  }
+  // The decoder computes data = template + residual in the sample type, so
+  // two roundings at that precision ride on top of the quantizer's
+  // guarantee; shave that slack off the residual bound to keep the
+  // end-to-end promise exact.
+  const double slack =
+      4.0 * static_cast<double>(std::numeric_limits<T>::epsilon()) *
+      (max_abs + max_res);
 
-  const auto axes = fused_axes(shape, config.fusion);
+  st.output_bytes = ctx.template_stream.size();
+  st.seconds = seconds_since(t0);
+  return std::max(abs_error_bound / 2.0, abs_error_bound - slack);
+}
+
+/// Stage 2 (kPredict): mask-aware interpolation prediction + linear-scale
+/// quantization over the permuted/fused logical axes. Fills ctx.offsets,
+/// ctx.codes, ctx.outliers<T>() and (dynamic fitting) ctx.pass_fits; writes
+/// the pass-fit table, outlier side stream, and code count.
+template <typename T>
+void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
+                   const PipelineConfig& config, const ClizOptions& options,
+                   CodecContext& ctx, ByteWriter& out) {
+  const auto t0 = Clock::now();
+  auto& st = ctx.stats.at(CodecStage::kPredict);
+  st.input_bytes = work.size() * sizeof(T);
+  const std::size_t base = out.size();
+
+  const auto axes = fused_axes(work.shape(), config.fusion);
   const auto order = induced_axis_order(config.fusion, config.permutation);
   const LinearQuantizer<T> quantizer(quant_eb, options.radius);
-  std::vector<std::uint64_t> offsets;
-  std::vector<std::uint32_t> codes;
-  offsets.reserve(shape.size());
-  codes.reserve(shape.size());
-  std::vector<T> outliers;
+  auto& offsets = ctx.offsets;
+  auto& codes = ctx.codes;
+  auto& outliers = ctx.outliers<T>();
+  auto& pass_fits = ctx.pass_fits;  // 1 = cubic, one entry per pass
+  offsets.clear();
+  offsets.reserve(work.size());
+  codes.clear();
+  codes.reserve(work.size());
+  outliers.clear();
+  pass_fits.clear();
   const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
-  std::vector<std::uint8_t> pass_fits;  // 1 = cubic, one entry per pass
+  const auto sink = [&](std::size_t off, std::uint32_t code) {
+    offsets.push_back(off);
+    codes.push_back(code);
+  };
 
   if (!config.dynamic_fitting) {
     interp_encode(work.data(), axes, order, config.fitting, quantizer,
-                  outliers, validity,
-                  [&](std::size_t off, std::uint32_t code) {
-                    offsets.push_back(off);
-                    codes.push_back(code);
-                  });
+                  outliers, validity, sink);
   } else {
-    // QoZ-style per-pass dynamic fitting: probe linear vs cubic on this
-    // pass's actual targets (masked points skipped), then commit; the
-    // decoder replays the stored choice.
-    T* data_ptr = work.data();
-    if (validity == nullptr || validity[0] != 0) {
-      offsets.push_back(0);
-      codes.push_back(quantizer.quantize(data_ptr[0], T{0}, outliers));
-    }
-    constexpr std::size_t kProbeStride = 8;
-    interp_traverse_passes(
-        axes, order,
-        [&](std::size_t /*s*/, std::size_t /*h*/, std::size_t /*d*/,
-            auto&& run) {
-          double err_lin = 0.0;
-          double err_cub = 0.0;
-          std::size_t count = 0;
-          std::size_t probed = 0;
-          run([&](std::size_t off, std::size_t, std::size_t,
-                  const InterpRefs& refs) {
-            if (count++ % kProbeStride != 0) return;
-            if (validity != nullptr && validity[off] == 0) return;
-            const double v = static_cast<double>(data_ptr[off]);
-            err_lin += std::abs(static_cast<double>(interp_predict(
-                           data_ptr, refs, validity, FittingKind::kLinear)) -
-                       v);
-            err_cub += std::abs(static_cast<double>(interp_predict(
-                           data_ptr, refs, validity, FittingKind::kCubic)) -
-                       v);
-            ++probed;
-          });
-          const FittingKind fit =
-              probed == 0 ? config.fitting
-                          : (err_cub <= err_lin ? FittingKind::kCubic
-                                                : FittingKind::kLinear);
-          pass_fits.push_back(fit == FittingKind::kCubic ? 1 : 0);
-          run([&](std::size_t off, std::size_t, std::size_t,
-                  const InterpRefs& refs) {
-            if (validity != nullptr && validity[off] == 0) return;
-            const T pred = interp_predict(data_ptr, refs, validity, fit);
-            offsets.push_back(off);
-            codes.push_back(
-                quantizer.quantize(data_ptr[off], pred, outliers));
-          });
-        });
+    interp_encode_dynamic(work.data(), axes, order, config.fitting, quantizer,
+                          outliers, validity, pass_fits, sink);
   }
   out.put_varint(pass_fits.size());
   out.put_bytes(pass_fits);
-
   out.put_varint(outliers.size());
   for (const T v : outliers) out.put(v);
   out.put_varint(codes.size());
 
+  ctx.stats.code_count = codes.size();
+  ctx.stats.outlier_count = outliers.size();
+  st.output_bytes =
+      codes.size() * sizeof(std::uint32_t) + (out.size() - base);
+  st.seconds = seconds_since(t0);
+}
+
+/// Stage 3 (kClassify): quantization-bin classification. In classified mode
+/// builds the per-column shift/group tables, serializes them, and produces
+/// the shifted symbol stream plus the per-group census; otherwise the
+/// census of the raw codes lands in ctx.freq[0]. Either way the census
+/// yields the symbol-stream entropy recorded in ctx.stats.
+void stage_classify(const Shape& shape, const PipelineConfig& config,
+                    const ClizOptions& options, CodecContext& ctx,
+                    ByteWriter& out,
+                    std::optional<BinClassification>& classification) {
+  const auto t0 = Clock::now();
+  auto& st = ctx.stats.at(CodecStage::kClassify);
+  st.input_bytes = ctx.codes.size() * sizeof(std::uint32_t);
+  const std::size_t base = out.size();
+
   const std::size_t plane = classification_plane(shape);
   const bool classify = config.classify_bins && plane > 0;
   out.put_u8(classify ? 1 : 0);
+  std::size_t n_groups = 1;
 
   if (classify) {
-    const auto classification = BinClassification::build(
-        offsets, codes, plane, options.radius, options.classify);
-    classification.serialize(out);
-    const unsigned n_groups = options.classify.group_types();
+    classification.emplace(BinClassification::build(
+        ctx.offsets, ctx.codes, plane, options.radius, options.classify));
+    classification->serialize(out);
+    n_groups = options.classify.group_types();
+    ctx.reset_freq(n_groups);
 
     // Shift codes per column and split the census by group.
     const std::uint32_t escape =
         escape_symbol(options.radius, options.classify.j);
-    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> freq(
-        n_groups);
-    std::vector<std::uint32_t> shifted(codes.size());
-    std::vector<std::uint8_t> group(codes.size());
-    for (std::size_t i = 0; i < codes.size(); ++i) {
-      const std::size_t col = offsets[i] % plane;
-      const int shift = classification.shift_of(col);
+    auto& shifted = ctx.shifted;
+    auto& group = ctx.group;
+    shifted.resize(ctx.codes.size());
+    group.resize(ctx.codes.size());
+    for (std::size_t i = 0; i < ctx.codes.size(); ++i) {
+      const std::size_t col = ctx.offsets[i] % plane;
+      const int shift = classification->shift_of(col);
       // Bias by +j so the shifted symbol stays positive for any shift.
       const std::uint32_t sym =
-          codes[i] == 0
+          ctx.codes[i] == 0
               ? escape
               : static_cast<std::uint32_t>(
-                    static_cast<std::int64_t>(codes[i]) - shift +
+                    static_cast<std::int64_t>(ctx.codes[i]) - shift +
                     static_cast<std::int64_t>(options.classify.j));
       shifted[i] = sym;
-      group[i] = static_cast<std::uint8_t>(classification.group_of(col));
-      ++freq[group[i]][sym];
+      group[i] = static_cast<std::uint8_t>(classification->group_of(col));
+      ++ctx.freq[group[i]][sym];
     }
-
-    std::vector<HuffmanCodec> trees;
-    trees.reserve(n_groups);
-    for (unsigned g = 0; g < n_groups; ++g) {
-      trees.push_back(HuffmanCodec::from_frequencies(freq[g]));
-      ByteWriter tw;
-      trees.back().serialize(tw);
-      out.put_block(tw.bytes());
-    }
-
-    BitWriter bits;
-    for (std::size_t i = 0; i < shifted.size(); ++i) {
-      trees[group[i]].encode(std::span<const std::uint32_t>(&shifted[i], 1),
-                             bits);
-    }
-    out.put_block(bits.finish());
   } else {
-    const auto tree = HuffmanCodec::from_symbols(codes);
-    ByteWriter table;
-    tree.serialize(table);
-    out.put_block(table.bytes());
-    BitWriter bits;
-    tree.encode(codes, bits);
-    out.put_block(bits.finish());
+    ctx.reset_freq(1);
+    for (const std::uint32_t c : ctx.codes) ++ctx.freq[0][c];
   }
 
-  return lossless_compress(out.bytes());
+  // Per-group-weighted Shannon entropy of the stream the entropy coder will
+  // see: sum_g (n_g/n) * H_g, the lower bound for the multi-Huffman stage.
+  double entropy_num = 0.0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    std::uint64_t n_g = 0;
+    for (const auto& [sym, f] : ctx.freq[g]) n_g += f;
+    if (n_g == 0) continue;
+    for (const auto& [sym, f] : ctx.freq[g]) {
+      if (f == 0) continue;  // zeroed node kept alive by reset_freq
+      entropy_num += static_cast<double>(f) *
+                     std::log2(static_cast<double>(n_g) /
+                               static_cast<double>(f));
+    }
+  }
+  ctx.stats.code_entropy_bits =
+      ctx.codes.empty() ? 0.0
+                        : entropy_num / static_cast<double>(ctx.codes.size());
+
+  st.output_bytes =
+      ctx.codes.size() * sizeof(std::uint32_t) + (out.size() - base);
+  st.seconds = seconds_since(t0);
+}
+
+/// Stage 4 (kEncode): multi-Huffman entropy coding. Trees are rebuilt in
+/// place from the stage-3 censuses (one per group, or the single table in
+/// unclassified mode), serialized, and the symbol stream is bit-packed.
+void stage_encode(const ClizOptions& options,
+                  const std::optional<BinClassification>& classification,
+                  CodecContext& ctx, ByteWriter& out) {
+  const auto t0 = Clock::now();
+  auto& st = ctx.stats.at(CodecStage::kEncode);
+  st.input_bytes = ctx.codes.size() * sizeof(std::uint32_t);
+  const std::size_t base = out.size();
+
+  if (classification.has_value()) {
+    const unsigned n_groups = options.classify.group_types();
+    ctx.reserve_trees(n_groups);
+    for (unsigned g = 0; g < n_groups; ++g) {
+      ctx.trees[g].rebuild_from_frequencies(ctx.freq[g]);
+      ctx.tree_bytes.clear();
+      ctx.trees[g].serialize(ctx.tree_bytes);
+      out.put_block(ctx.tree_bytes.bytes());
+    }
+    ctx.bits.reset();
+    for (std::size_t i = 0; i < ctx.shifted.size(); ++i) {
+      ctx.trees[ctx.group[i]].encode(
+          std::span<const std::uint32_t>(&ctx.shifted[i], 1), ctx.bits);
+    }
+    out.put_block(ctx.bits.finish_view());
+  } else {
+    ctx.reserve_trees(1);
+    ctx.trees[0].rebuild_from_frequencies(ctx.freq[0]);
+    ctx.tree_bytes.clear();
+    ctx.trees[0].serialize(ctx.tree_bytes);
+    out.put_block(ctx.tree_bytes.bytes());
+    ctx.bits.reset();
+    ctx.trees[0].encode(ctx.codes, ctx.bits);
+    out.put_block(ctx.bits.finish_view());
+  }
+
+  st.output_bytes = out.size() - base;
+  st.seconds = seconds_since(t0);
+}
+
+/// Stage 5 (kLossless): byte-stream backend over the assembled stream.
+void stage_lossless(CodecContext& ctx, std::vector<std::uint8_t>& out) {
+  const auto t0 = Clock::now();
+  auto& st = ctx.stats.at(CodecStage::kLossless);
+  st.input_bytes = ctx.raw_stream.size();
+  lossless_compress_into(ctx.raw_stream.bytes(), ctx.lossless, out);
+  st.output_bytes = out.size();
+  st.seconds = seconds_since(t0);
 }
 
 template <typename T>
-NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
-  const auto raw = lossless_decompress(stream);
-  ByteReader in(raw);
+void compress_impl(const NdArray<T>& data, double abs_error_bound,
+                   const MaskMap* mask, const PipelineConfig& config,
+                   const ClizOptions& options, CodecContext& ctx,
+                   std::vector<std::uint8_t>& out) {
+  const auto t_all = Clock::now();
+  ctx.stats.reset();
+  CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
+  const Shape& shape = data.shape();
+  CLIZ_REQUIRE(config.permutation.size() == shape.ndims(),
+               "pipeline arity does not match data");
+  if (mask != nullptr) {
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+  }
+
+  ByteWriter& raw = ctx.raw_stream;
+  raw.clear();
+  write_header(data, abs_error_bound, mask, config, options, raw);
+
+  // Work copy (mutated to the reconstruction during prediction), drawn from
+  // the context so steady-state reuse does not reallocate it.
+  auto& wbuf = ctx.work<T>();
+  wbuf.assign(data.flat().begin(), data.flat().end());
+  NdArray<T> work(shape, std::move(wbuf));
+
+  const bool periodic =
+      config.period >= 2 && config.time_dim < shape.ndims() &&
+      config.period < shape.dim(config.time_dim);
+  double quant_eb = abs_error_bound;
+  if (periodic) {
+    quant_eb =
+        stage_periodic(work, abs_error_bound, mask, config, options, ctx, raw);
+  }
+  raw.put(quant_eb);
+
+  stage_predict(work, quant_eb, mask, config, options, ctx, raw);
+  std::optional<BinClassification> classification;
+  stage_classify(shape, config, options, ctx, raw, classification);
+  stage_encode(options, classification, ctx, raw);
+  stage_lossless(ctx, out);
+
+  // Return the work buffer to the context for the next run.
+  ctx.work<T>() = std::move(work).take_flat();
+  ctx.stats.total_seconds = seconds_since(t_all);
+}
+
+// ---------------------------------------------------------------------------
+// Decompression. The inverse stages run bottom-up; entropy decoding is
+// interleaved with prediction (the decoder pulls one symbol per point), so
+// kPredict's time covers both and kEncode's covers table parsing only.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
+                           CodecContext& ctx) {
+  const auto t_all = Clock::now();
+  ctx.stats.reset();
+  {
+    const auto t0 = Clock::now();
+    auto& st = ctx.stats.at(CodecStage::kLossless);
+    st.input_bytes = stream.size();
+    lossless_decompress_into(stream, ctx.lossless, ctx.raw);
+    st.output_bytes = ctx.raw.size();
+    st.seconds = seconds_since(t0);
+  }
+  ByteReader in(ctx.raw);
   CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a CliZ stream");
   CLIZ_REQUIRE(in.get_u8() == sizeof(T),
                "stream sample type does not match the decompress variant");
@@ -264,7 +393,12 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
   const Shape shape(dims);
   const auto eb = in.get<double>();
   CLIZ_REQUIRE(eb > 0, "corrupt error bound");
-  const auto radius = static_cast<std::uint32_t>(in.get_varint());
+  // Validate before any arithmetic: a corrupt radius would overflow the
+  // code/escape-symbol math downstream.
+  const std::uint64_t radius64 = in.get_varint();
+  CLIZ_REQUIRE(radius64 >= 2 && radius64 <= LinearQuantizer<T>::kMaxRadius,
+               "corrupt quantizer radius");
+  const auto radius = static_cast<std::uint32_t>(radius64);
   const auto fill_value = in.get<T>();
   const PipelineConfig config = PipelineConfig::deserialize(in);
   CLIZ_REQUIRE(config.permutation.size() == ndims, "pipeline arity mismatch");
@@ -281,7 +415,9 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
       config.period < shape.dim(config.time_dim);
   NdArray<T> tmpl_recon;
   if (periodic) {
-    tmpl_recon = decompress_impl<T>(in.get_block());
+    const auto t0 = Clock::now();
+    tmpl_recon = decompress_impl<T>(in.get_block(), ctx.child());
+    ctx.stats.at(CodecStage::kPeriodic).seconds += seconds_since(t0);
   }
   const auto quant_eb = in.get<double>();
   CLIZ_REQUIRE(quant_eb > 0 && quant_eb <= eb, "corrupt residual bound");
@@ -294,11 +430,14 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
 
   const std::size_t n_outliers = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_outliers <= shape.size(), "corrupt outlier count");
-  std::vector<T> outliers(n_outliers);
+  auto& outliers = ctx.outliers<T>();
+  outliers.resize(n_outliers);
   for (auto& v : outliers) v = in.get<T>();
   const std::size_t n_codes = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_codes <= shape.size(), "corrupt code count");
   const bool classify = in.get_u8() != 0;
+  ctx.stats.code_count = n_codes;
+  ctx.stats.outlier_count = n_outliers;
 
   const auto axes = fused_axes(shape, config.fusion);
   const auto order = induced_axis_order(config.fusion, config.permutation);
@@ -309,36 +448,40 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
   std::size_t cursor = 0;
   std::size_t decoded = 0;
 
-  // Symbol source for the quantization codes, classified or plain.
+  // Symbol source for the quantization codes, classified or plain. Tables
+  // are parsed into the context's tree pool (kEncode's inverse).
+  const auto t_tables = Clock::now();
   std::optional<BinClassification> classification;
-  std::vector<HuffmanCodec> trees;
   std::optional<BitReader> bits;
   std::size_t plane = 0;
   std::uint32_t escape = 0;
+  std::size_t n_trees = 1;
   if (classify) {
     plane = classification_plane(shape);
     CLIZ_REQUIRE(plane > 0, "classified stream with < 3 dims");
     classification = BinClassification::deserialize(in);
     CLIZ_REQUIRE(classification->plane_size() == plane,
                  "classification plane mismatch");
-    const unsigned n_groups = classification->params().group_types();
-    trees.reserve(n_groups);
-    for (unsigned g = 0; g < n_groups; ++g) {
+    n_trees = classification->params().group_types();
+    ctx.reserve_trees(n_trees);
+    for (std::size_t g = 0; g < n_trees; ++g) {
       ByteReader tr(in.get_block());
-      trees.push_back(HuffmanCodec::deserialize(tr));
+      ctx.trees[g].parse(tr);
     }
     bits.emplace(in.get_block());
     escape = escape_symbol(radius, classification->params().j);
   } else {
+    ctx.reserve_trees(1);
     ByteReader table_reader(in.get_block());
-    trees.push_back(HuffmanCodec::deserialize(table_reader));
+    ctx.trees[0].parse(table_reader);
     bits.emplace(in.get_block());
   }
+  ctx.stats.at(CodecStage::kEncode).seconds = seconds_since(t_tables);
   const auto read_code = [&](std::size_t off) -> std::uint32_t {
     ++decoded;
-    if (!classify) return trees[0].decode_one(*bits);
+    if (!classify) return ctx.trees[0].decode_one(*bits);
     const std::size_t col = off % plane;
-    const HuffmanCodec& tree = trees[classification->group_of(col)];
+    const HuffmanCodec& tree = ctx.trees[classification->group_of(col)];
     const std::uint32_t sym = tree.decode_one(*bits);
     if (sym == escape) return 0;
     const int shift = classification->shift_of(col);
@@ -347,43 +490,34 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
         static_cast<std::int64_t>(classification->params().j));
   };
 
+  const auto t_decode = Clock::now();
   if (!config.dynamic_fitting) {
     interp_decode(out.data(), axes, order, config.fitting, quantizer,
                   std::span<const T>(outliers), cursor, validity, read_code);
   } else {
-    T* data_ptr = out.data();
-    if (validity == nullptr || validity[0] != 0) {
-      data_ptr[0] = quantizer.recover(read_code(0), T{0}, outliers, cursor);
-    }
-    std::size_t pass_idx = 0;
-    interp_traverse_passes(
-        axes, order,
-        [&](std::size_t /*s*/, std::size_t /*h*/, std::size_t /*d*/,
-            auto&& run) {
-          CLIZ_REQUIRE(pass_idx < n_passes, "pass-fit table truncated");
-          const FittingKind fit = pass_fit_bytes[pass_idx++] != 0
-                                      ? FittingKind::kCubic
-                                      : FittingKind::kLinear;
-          run([&](std::size_t off, std::size_t, std::size_t,
-                  const InterpRefs& refs) {
-            if (validity != nullptr && validity[off] == 0) return;
-            const T pred = interp_predict(data_ptr, refs, validity, fit);
-            data_ptr[off] = quantizer.recover(read_code(off), pred, outliers,
-                                              cursor);
-          });
-        });
-    CLIZ_REQUIRE(pass_idx == n_passes, "pass-fit table not fully consumed");
+    interp_decode_dynamic(out.data(), axes, order, quantizer,
+                          std::span<const T>(outliers), cursor, validity,
+                          pass_fit_bytes, read_code);
   }
   CLIZ_REQUIRE(decoded == n_codes, "code count mismatch after decode");
+  {
+    auto& st = ctx.stats.at(CodecStage::kPredict);
+    st.seconds = seconds_since(t_decode);
+    st.input_bytes = n_codes * sizeof(std::uint32_t);
+    st.output_bytes = shape.size() * sizeof(T);
+  }
 
   if (periodic) {
+    const auto t0 = Clock::now();
     add_template(out, tmpl_recon, config.time_dim, mask.get());
+    ctx.stats.at(CodecStage::kPeriodic).seconds += seconds_since(t0);
   }
   if (mask != nullptr) {
     for (std::size_t i = 0; i < out.size(); ++i) {
       if (!mask->valid(i)) out[i] = fill_value;
     }
   }
+  ctx.stats.total_seconds = seconds_since(t_all);
   return out;
 }
 
@@ -392,23 +526,73 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream) {
 std::vector<std::uint8_t> ClizCompressor::compress(
     const NdArray<float>& data, double abs_error_bound,
     const MaskMap* mask) const {
-  return compress_impl(data, abs_error_bound, mask, config_, options_);
+  CodecContext ctx;
+  std::vector<std::uint8_t> out;
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  last_stats_ = ctx.stats;
+  return out;
 }
 
 std::vector<std::uint8_t> ClizCompressor::compress(
     const NdArray<double>& data, double abs_error_bound,
     const MaskMap* mask) const {
-  return compress_impl(data, abs_error_bound, mask, config_, options_);
+  CodecContext ctx;
+  std::vector<std::uint8_t> out;
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  last_stats_ = ctx.stats;
+  return out;
+}
+
+std::vector<std::uint8_t> ClizCompressor::compress(
+    const NdArray<float>& data, double abs_error_bound, const MaskMap* mask,
+    CodecContext& ctx) const {
+  std::vector<std::uint8_t> out;
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  return out;
+}
+
+std::vector<std::uint8_t> ClizCompressor::compress(
+    const NdArray<double>& data, double abs_error_bound, const MaskMap* mask,
+    CodecContext& ctx) const {
+  std::vector<std::uint8_t> out;
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  return out;
+}
+
+void ClizCompressor::compress_into(const NdArray<float>& data,
+                                   double abs_error_bound,
+                                   const MaskMap* mask, CodecContext& ctx,
+                                   std::vector<std::uint8_t>& out) const {
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+}
+
+void ClizCompressor::compress_into(const NdArray<double>& data,
+                                   double abs_error_bound,
+                                   const MaskMap* mask, CodecContext& ctx,
+                                   std::vector<std::uint8_t>& out) const {
+  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
 }
 
 NdArray<float> ClizCompressor::decompress(
     std::span<const std::uint8_t> stream) {
-  return decompress_impl<float>(stream);
+  CodecContext ctx;
+  return decompress_impl<float>(stream, ctx);
 }
 
 NdArray<double> ClizCompressor::decompress_f64(
     std::span<const std::uint8_t> stream) {
-  return decompress_impl<double>(stream);
+  CodecContext ctx;
+  return decompress_impl<double>(stream, ctx);
+}
+
+NdArray<float> ClizCompressor::decompress(std::span<const std::uint8_t> stream,
+                                          CodecContext& ctx) {
+  return decompress_impl<float>(stream, ctx);
+}
+
+NdArray<double> ClizCompressor::decompress_f64(
+    std::span<const std::uint8_t> stream, CodecContext& ctx) {
+  return decompress_impl<double>(stream, ctx);
 }
 
 }  // namespace cliz

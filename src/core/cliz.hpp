@@ -7,9 +7,12 @@
 #include "src/core/bin_classify.hpp"
 #include "src/core/mask.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/stage_stats.hpp"
 #include "src/ndarray/ndarray.hpp"
 
 namespace cliz {
+
+class CodecContext;
 
 /// Options orthogonal to the tuned pipeline.
 struct ClizOptions {
@@ -44,6 +47,8 @@ class ClizCompressor {
 
   /// Compresses `data`; `mask` may be nullptr (all points valid). When a
   /// mask is given it is embedded (run-length coded) in the stream.
+  /// Runs on a private scratch context; per-stage telemetry of the call is
+  /// available afterwards via last_stats().
   [[nodiscard]] std::vector<std::uint8_t> compress(const NdArray<float>& data,
                                                    double abs_error_bound,
                                                    const MaskMap* mask = nullptr) const;
@@ -51,18 +56,52 @@ class ClizCompressor {
       const NdArray<double>& data, double abs_error_bound,
       const MaskMap* mask = nullptr) const;
 
+  /// Context-reusing variants: all scratch state is drawn from `ctx`, so
+  /// repeated same-shape compressions allocate nothing in steady state.
+  /// Telemetry lands in ctx.stats (last_stats() is NOT updated — these
+  /// overloads stay safe to call from concurrent threads with distinct
+  /// contexts). Streams are byte-identical to the convenience overloads.
+  [[nodiscard]] std::vector<std::uint8_t> compress(const NdArray<float>& data,
+                                                   double abs_error_bound,
+                                                   const MaskMap* mask,
+                                                   CodecContext& ctx) const;
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      const NdArray<double>& data, double abs_error_bound,
+      const MaskMap* mask, CodecContext& ctx) const;
+
+  /// Fully allocation-free steady state: also reuses `out`'s capacity.
+  void compress_into(const NdArray<float>& data, double abs_error_bound,
+                     const MaskMap* mask, CodecContext& ctx,
+                     std::vector<std::uint8_t>& out) const;
+  void compress_into(const NdArray<double>& data, double abs_error_bound,
+                     const MaskMap* mask, CodecContext& ctx,
+                     std::vector<std::uint8_t>& out) const;
+
   [[nodiscard]] static NdArray<float> decompress(
       std::span<const std::uint8_t> stream);
   [[nodiscard]] static NdArray<double> decompress_f64(
       std::span<const std::uint8_t> stream);
 
+  /// Context-reusing decompression (telemetry in ctx.stats).
+  [[nodiscard]] static NdArray<float> decompress(
+      std::span<const std::uint8_t> stream, CodecContext& ctx);
+  [[nodiscard]] static NdArray<double> decompress_f64(
+      std::span<const std::uint8_t> stream, CodecContext& ctx);
+
   [[nodiscard]] const PipelineConfig& config() const noexcept {
     return config_;
+  }
+
+  /// Per-stage telemetry of the most recent convenience compress() call on
+  /// this object. Context-taking overloads report through ctx.stats instead.
+  [[nodiscard]] const StageStats& last_stats() const noexcept {
+    return last_stats_;
   }
 
  private:
   PipelineConfig config_;
   ClizOptions options_;
+  mutable StageStats last_stats_;
 };
 
 }  // namespace cliz

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+#include "src/common/bytestream.hpp"
+#include "src/core/stage_stats.hpp"
+#include "src/huffman/huffman.hpp"
+#include "src/lossless/lossless.hpp"
+
+namespace cliz {
+
+/// Reusable scratch arena for the staged codec pipeline.
+///
+/// Every stage of compress/decompress reads and writes buffers owned here
+/// instead of allocating locals, so repeated (de)compressions of same-shape
+/// data through one context perform no steady-state heap allocations for
+/// the hot buffers: the work copy, offset/code/outlier vectors, the
+/// classification shift/group arrays, Huffman frequency tables and trees,
+/// the bit/byte stream staging, and the lossless backend's hash chains.
+///
+/// Ownership rules:
+///  - A context may be reused across any sequence of compress/decompress
+///    calls, with any shapes, sample types, and pipeline configs; each call
+///    resets the state it needs. Streams produced through a reused context
+///    are byte-identical to ones produced through a fresh context.
+///  - A context must not be shared by two concurrent calls. For parallel
+///    work (e.g. autotune trial compressions) use one context per thread.
+///  - `stats` holds the telemetry of the most recent call.
+///
+/// The periodic-extraction stage compresses its template recursively; the
+/// nested call runs on `child()`, a lazily created sub-context that is
+/// itself reused across runs.
+class CodecContext {
+ public:
+  CodecContext() = default;
+  CodecContext(const CodecContext&) = delete;
+  CodecContext& operator=(const CodecContext&) = delete;
+  CodecContext(CodecContext&&) noexcept = default;
+  CodecContext& operator=(CodecContext&&) noexcept = default;
+
+  /// Per-stage telemetry of the most recent (de)compression run.
+  StageStats stats;
+
+  // --- prediction / quantization stage ---
+  std::vector<std::uint64_t> offsets;   ///< linear offset per emitted code
+  std::vector<std::uint32_t> codes;     ///< quantization bin codes
+  std::vector<std::uint8_t> pass_fits;  ///< dynamic-fitting choice per pass
+
+  // --- classification / entropy-coding stage ---
+  std::vector<std::uint32_t> shifted;  ///< per-point shifted symbols
+  std::vector<std::uint8_t> group;     ///< per-point Huffman group id
+  /// Per-group symbol census; index 0 doubles as the single-tree census
+  /// (and the entropy histogram) in unclassified mode.
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> freq;
+  /// Huffman codecs, rebuilt in place each run (capacity retained).
+  std::vector<HuffmanCodec> trees;
+  ByteWriter tree_bytes;  ///< staging for one serialized tree
+  BitWriter bits;         ///< entropy-coded payload staging
+
+  // --- stream assembly ---
+  ByteWriter raw_stream;  ///< the assembled pre-lossless stream
+  /// Output of the recursive periodic-template compression.
+  std::vector<std::uint8_t> template_stream;
+  LosslessScratch lossless;  ///< LZ hash chains + section staging
+
+  // --- decode-side scratch ---
+  std::vector<std::uint8_t> raw;  ///< lossless-decompressed input stream
+
+  /// Work copy of the data (mutated to the reconstruction during
+  /// prediction), selected by sample type.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& work();
+
+  /// Outlier side stream, selected by sample type.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& outliers();
+
+  /// Nested context for the recursive periodic-template compression
+  /// (created on first use, then reused).
+  [[nodiscard]] CodecContext& child() {
+    if (!child_) child_ = std::make_unique<CodecContext>();
+    return *child_;
+  }
+
+  /// Ensures `freq` holds at least `n` maps and zeroes the counts of the
+  /// first `n`. Entries are zeroed rather than erased so the map nodes are
+  /// reused by the next census (steady-state: no per-symbol allocations);
+  /// every consumer of the census skips zero-count entries.
+  void reset_freq(std::size_t n) {
+    if (freq.size() < n) freq.resize(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      for (auto& [sym, f] : freq[g]) f = 0;
+    }
+  }
+
+  /// Ensures `trees` holds at least `n` codecs (existing codecs keep their
+  /// internal storage for in-place rebuilds).
+  void reserve_trees(std::size_t n) {
+    if (trees.size() < n) trees.resize(n);
+  }
+
+ private:
+  std::vector<float> work_f32_;
+  std::vector<double> work_f64_;
+  std::vector<float> outliers_f32_;
+  std::vector<double> outliers_f64_;
+  std::unique_ptr<CodecContext> child_;
+};
+
+template <>
+[[nodiscard]] inline std::vector<float>& CodecContext::work<float>() {
+  return work_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<double>& CodecContext::work<double>() {
+  return work_f64_;
+}
+template <>
+[[nodiscard]] inline std::vector<float>& CodecContext::outliers<float>() {
+  return outliers_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<double>& CodecContext::outliers<double>() {
+  return outliers_f64_;
+}
+
+}  // namespace cliz

@@ -6,6 +6,7 @@
 #include "src/core/autotune.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/qoz/qoz.hpp"
 #include "src/sperr/sperr_like.hpp"
 #include "src/sz3/lorenzo.hpp"
@@ -40,11 +41,17 @@ class ClizAdapter final : public Compressor {
       tuned_shape_ = data.shape();
     }
     const ClizCompressor comp(*tuned_);
-    return comp.compress(data, abs_error_bound, mask_);
+    // The adapter owns a context, so the compress-many phase after the
+    // one-time tune runs with steady-state buffer reuse.
+    return comp.compress(data, abs_error_bound, mask_, ctx_);
   }
 
   NdArray<float> decompress(std::span<const std::uint8_t> stream) override {
-    return ClizCompressor::decompress(stream);
+    return ClizCompressor::decompress(stream, ctx_);
+  }
+
+  [[nodiscard]] const StageStats* stage_stats() const override {
+    return &ctx_.stats;
   }
 
  private:
@@ -52,6 +59,7 @@ class ClizAdapter final : public Compressor {
   std::size_t time_dim_ = 0;
   std::optional<PipelineConfig> tuned_;
   Shape tuned_shape_;
+  CodecContext ctx_;
 };
 
 class Sz3Adapter final : public Compressor {

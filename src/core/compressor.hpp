@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/mask.hpp"
+#include "src/core/stage_stats.hpp"
 #include "src/ndarray/ndarray.hpp"
 
 namespace cliz {
@@ -32,6 +33,13 @@ class Compressor {
 
   /// Hints which dimension is time (periodicity probing). Default: ignored.
   virtual void set_time_dim(std::size_t dim) { (void)dim; }
+
+  /// Per-stage telemetry of the most recent compress() call, for codecs
+  /// with a staged pipeline (CliZ). nullptr: the codec does not report
+  /// stage stats.
+  [[nodiscard]] virtual const StageStats* stage_stats() const {
+    return nullptr;
+  }
 };
 
 /// Factory for "cliz", "sz3", "qoz", "zfp", "sperr". Throws Error on an

@@ -1,0 +1,78 @@
+#include "src/core/stage_stats.hpp"
+
+#include <cstdio>
+
+namespace cliz {
+
+const char* codec_stage_name(CodecStage stage) {
+  switch (stage) {
+    case CodecStage::kPeriodic:
+      return "periodic";
+    case CodecStage::kPredict:
+      return "predict";
+    case CodecStage::kClassify:
+      return "classify";
+    case CodecStage::kEncode:
+      return "encode";
+    case CodecStage::kLossless:
+      return "lossless";
+  }
+  return "?";
+}
+
+void StageStats::accumulate(const StageStats& other) {
+  for (std::size_t i = 0; i < kNumCodecStages; ++i) {
+    stages[i].seconds += other.stages[i].seconds;
+    stages[i].input_bytes += other.stages[i].input_bytes;
+    stages[i].output_bytes += other.stages[i].output_bytes;
+  }
+  code_count += other.code_count;
+  outlier_count += other.outlier_count;
+  total_seconds += other.total_seconds;
+  // Entropy does not sum; keep the outermost (residual) stream's value.
+  if (code_entropy_bits == 0.0) code_entropy_bits = other.code_entropy_bits;
+}
+
+std::string StageStats::to_text() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%-9s %10s %12s %12s\n", "stage",
+                "time (ms)", "in (bytes)", "out (bytes)");
+  out += buf;
+  for (std::size_t i = 0; i < kNumCodecStages; ++i) {
+    const Stage& s = stages[i];
+    std::snprintf(buf, sizeof(buf), "%-9s %10.3f %12zu %12zu\n",
+                  codec_stage_name(static_cast<CodecStage>(i)),
+                  s.seconds * 1e3, s.input_bytes, s.output_bytes);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "codes=%zu outliers=%zu entropy=%.3f bits/code total=%.3f ms\n",
+                code_count, outlier_count, code_entropy_bits,
+                total_seconds * 1e3);
+  out += buf;
+  return out;
+}
+
+std::string StageStats::to_json() const {
+  char buf[256];
+  std::string out = "{\"stages\":{";
+  for (std::size_t i = 0; i < kNumCodecStages; ++i) {
+    const Stage& s = stages[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"seconds\":%.6f,\"input_bytes\":%zu,"
+                  "\"output_bytes\":%zu}",
+                  i == 0 ? "" : ",",
+                  codec_stage_name(static_cast<CodecStage>(i)), s.seconds,
+                  s.input_bytes, s.output_bytes);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"code_entropy_bits\":%.6f,\"code_count\":%zu,"
+                "\"outlier_count\":%zu,\"total_seconds\":%.6f}",
+                code_entropy_bits, code_count, outlier_count, total_seconds);
+  out += buf;
+  return out;
+}
+
+}  // namespace cliz

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cliz {
+
+/// The five stages of the CliZ codec pipeline, in execution order.
+/// compress runs them top to bottom; decompress runs the inverses bottom
+/// to top.
+enum class CodecStage : unsigned {
+  kPeriodic = 0,   ///< periodic-component extraction (template + residual)
+  kPredict = 1,    ///< mask-aware interpolation prediction + quantization
+  kClassify = 2,   ///< quantization-bin classification (column shifts/groups)
+  kEncode = 3,     ///< multi-Huffman entropy coding of the code stream
+  kLossless = 4,   ///< final byte-stream lossless backend
+};
+inline constexpr std::size_t kNumCodecStages = 5;
+
+const char* codec_stage_name(CodecStage stage);
+
+/// Per-stage telemetry populated by every pipeline stage of one compress
+/// (or decompress) call. Stored inside CodecContext; a stage that does not
+/// run (e.g. kPeriodic with period=0) leaves its entry zeroed.
+struct StageStats {
+  struct Stage {
+    double seconds = 0.0;          ///< wall time spent in the stage
+    std::size_t input_bytes = 0;   ///< bytes the stage consumed
+    std::size_t output_bytes = 0;  ///< bytes the stage produced
+  };
+
+  std::array<Stage, kNumCodecStages> stages{};
+  /// Shannon entropy (bits/symbol) of the stream handed to the entropy
+  /// coder: per-group-weighted in classified mode, so it is the lower bound
+  /// the multi-Huffman stage could reach. Zero on decompression.
+  double code_entropy_bits = 0.0;
+  /// Codes emitted by the prediction stage (== valid points).
+  std::size_t code_count = 0;
+  /// Points escaped to the outlier side stream.
+  std::size_t outlier_count = 0;
+  /// End-to-end wall time of the call that produced these stats.
+  double total_seconds = 0.0;
+
+  [[nodiscard]] Stage& at(CodecStage s) {
+    return stages[static_cast<unsigned>(s)];
+  }
+  [[nodiscard]] const Stage& at(CodecStage s) const {
+    return stages[static_cast<unsigned>(s)];
+  }
+
+  void reset() { *this = StageStats{}; }
+
+  /// Sums another run's stats into this one (used to aggregate the
+  /// recursive periodic-template compression into the parent's view, and
+  /// by autotune reporting).
+  void accumulate(const StageStats& other);
+
+  /// Multi-line human-readable table (clizc --stats).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Single JSON object, keys stable for the bench tooling.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace cliz

@@ -1,7 +1,7 @@
 #include "src/huffman/huffman.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "src/common/status.hpp"
 
@@ -11,40 +11,51 @@ namespace {
 
 constexpr std::uint8_t kMaxCodeLength = 57;  // fits BitWriter's 64-bit staging
 
-/// Computes Huffman code lengths with the classic two-node merge. Returns
-/// lengths parallel to `freqs`.
-std::vector<std::uint8_t> code_lengths(const std::vector<std::uint64_t>& freqs) {
-  const std::size_t n = freqs.size();
-  if (n == 0) return {};
-  if (n == 1) return {1};
+}  // namespace
 
-  struct Node {
-    std::uint64_t weight;
-    std::uint32_t index;  // < n: leaf; >= n: internal
-  };
-  const auto cmp = [](const Node& a, const Node& b) {
-    // Tie-break on index so tree shape (and thus lengths) is deterministic.
-    return a.weight > b.weight || (a.weight == b.weight && a.index > b.index);
-  };
-  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
-  std::vector<std::uint32_t> parent(2 * n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    heap.push({freqs[i], static_cast<std::uint32_t>(i)});
+/// Computes Huffman code lengths with the classic two-node merge, into
+/// `lengths` (parallel to `freqs`). Scratch buffers live on the codec so
+/// repeated rebuilds do not allocate.
+void HuffmanCodec::compute_code_lengths(
+    const std::vector<std::uint64_t>& freqs,
+    std::vector<std::uint8_t>& lengths) {
+  const std::size_t n = freqs.size();
+  lengths.resize(n);
+  if (n == 0) return;
+  if (n == 1) {
+    lengths[0] = 1;
+    return;
   }
+
+  // Min-heap of (weight, node index < n: leaf, >= n: internal). greater<>
+  // pops the smallest weight, smallest index on ties, so the tree shape
+  // (and thus the lengths) is deterministic. All pairs are distinct — the
+  // index is unique — so the pop order does not depend on heap layout.
+  const auto cmp = std::greater<std::pair<std::uint64_t, std::uint32_t>>();
+  auto& heap = heap_scratch_;
+  heap.clear();
+  auto& parent = parent_scratch_;
+  parent.assign(2 * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.emplace_back(freqs[i], static_cast<std::uint32_t>(i));
+  }
+  std::make_heap(heap.begin(), heap.end(), cmp);
   std::uint32_t next = static_cast<std::uint32_t>(n);
   while (heap.size() > 1) {
-    const Node a = heap.top();
-    heap.pop();
-    const Node b = heap.top();
-    heap.pop();
-    parent[a.index] = next;
-    parent[b.index] = next;
-    heap.push({a.weight + b.weight, next});
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto a = heap.back();
+    heap.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto b = heap.back();
+    heap.pop_back();
+    parent[a.second] = next;
+    parent[b.second] = next;
+    heap.emplace_back(a.first + b.first, next);
+    std::push_heap(heap.begin(), heap.end(), cmp);
     ++next;
   }
-  const std::uint32_t root = heap.top().index;
+  const std::uint32_t root = heap.front().second;
 
-  std::vector<std::uint8_t> lengths(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     std::uint8_t len = 0;
     for (std::uint32_t v = static_cast<std::uint32_t>(i); v != root;
@@ -53,41 +64,45 @@ std::vector<std::uint8_t> code_lengths(const std::vector<std::uint64_t>& freqs) 
     }
     lengths[i] = len;
   }
-  return lengths;
 }
-
-}  // namespace
 
 HuffmanCodec HuffmanCodec::from_frequencies(
     const std::unordered_map<std::uint32_t, std::uint64_t>& freq) {
   HuffmanCodec codec;
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
-  entries.reserve(freq.size());
+  codec.rebuild_from_frequencies(freq);
+  return codec;
+}
+
+void HuffmanCodec::rebuild_from_frequencies(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& freq) {
+  auto& entries = entry_scratch_;
+  entries.clear();
   for (const auto& [sym, f] : freq) {
     if (f > 0) entries.emplace_back(sym, f);
   }
   std::sort(entries.begin(), entries.end());
 
-  std::vector<std::uint64_t> freqs(entries.size());
+  auto& freqs = freq_scratch_;
+  freqs.resize(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) freqs[i] = entries[i].second;
 
-  auto lengths = code_lengths(freqs);
+  auto& lengths = length_scratch_;
+  compute_code_lengths(freqs, lengths);
   // Extremely skewed distributions can exceed the coder's length cap; halve
   // frequencies (keeping them positive) until the tree fits. This perturbs
   // optimality negligibly and only triggers on pathological inputs.
   while (!lengths.empty() &&
          *std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLength) {
     for (auto& f : freqs) f = f / 2 + 1;
-    lengths = code_lengths(freqs);
+    compute_code_lengths(freqs, lengths);
   }
 
-  codec.symbols_.resize(entries.size());
-  codec.lengths_ = std::move(lengths);
+  symbols_.resize(entries.size());
+  lengths_.assign(lengths.begin(), lengths.end());
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    codec.symbols_[i] = entries[i].first;
+    symbols_[i] = entries[i].first;
   }
-  codec.build_canonical();
-  return codec;
+  build_canonical();
 }
 
 HuffmanCodec HuffmanCodec::from_symbols(
@@ -101,21 +116,27 @@ void HuffmanCodec::build_canonical() {
   const std::size_t n = symbols_.size();
   CLIZ_REQUIRE(lengths_.size() == n, "length/symbol arity mismatch");
 
-  // Canonical order: by (length, symbol).
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
-    return symbols_[a] < symbols_[b];
-  });
-  std::vector<std::uint32_t> sym2(n);
-  std::vector<std::uint8_t> len2(n);
+  // Canonical order: by (length, symbol). The permuted copies land in
+  // member scratch and are swapped in, so both buffers keep their capacity
+  // for the next rebuild.
+  auto& order = order_scratch_;
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
+              return symbols_[a] < symbols_[b];
+            });
+  auto& sym2 = symbol_scratch_;
+  auto& len2 = canon_scratch_;
+  sym2.resize(n);
+  len2.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     sym2[i] = symbols_[order[i]];
     len2[i] = lengths_[order[i]];
   }
-  symbols_ = std::move(sym2);
-  lengths_ = std::move(len2);
+  symbols_.swap(sym2);
+  lengths_.swap(len2);
 
   max_length_ = n == 0 ? 0 : lengths_.back();
   count_.assign(max_length_ + 1, 0);
@@ -134,13 +155,25 @@ void HuffmanCodec::build_canonical() {
                  "invalid canonical code lengths");
   }
 
-  code_of_.clear();
-  code_of_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  const auto code_at = [&](std::size_t i) {
     const std::uint8_t l = lengths_[i];
-    const std::uint64_t c =
-        first_code_[l] + (static_cast<std::uint32_t>(i) - first_index_[l]);
-    code_of_[symbols_[i]] = Code{c, l};
+    return first_code_[l] +
+           (static_cast<std::uint32_t>(i) - first_index_[l]);
+  };
+
+  // Encode table: canonical indices re-sorted by symbol value, so lookups
+  // are a binary search and serialize() walks it directly.
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return symbols_[a] < symbols_[b];
+  });
+  enc_symbols_.resize(n);
+  enc_codes_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t i = order[k];
+    enc_symbols_[k] = symbols_[i];
+    enc_codes_[k] = Code{code_at(i), lengths_[i]};
   }
 
   // One-shot decode table: every kTableBits-bit prefix of a short code maps
@@ -149,8 +182,7 @@ void HuffmanCodec::build_canonical() {
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t l = lengths_[i];
     if (l > kTableBits) continue;
-    const std::uint64_t c = code_of_[symbols_[i]].bits;
-    const std::uint64_t base = c << (kTableBits - l);
+    const std::uint64_t base = code_at(i) << (kTableBits - l);
     const std::uint64_t fill = std::uint64_t{1} << (kTableBits - l);
     CLIZ_REQUIRE(base + fill <= fast_table_.size(),
                  "corrupt huffman table (code overflow)");
@@ -160,32 +192,42 @@ void HuffmanCodec::build_canonical() {
   }
 }
 
+const HuffmanCodec::Code* HuffmanCodec::find_code(std::uint32_t symbol) const {
+  const auto it =
+      std::lower_bound(enc_symbols_.begin(), enc_symbols_.end(), symbol);
+  if (it == enc_symbols_.end() || *it != symbol) return nullptr;
+  return &enc_codes_[static_cast<std::size_t>(it - enc_symbols_.begin())];
+}
+
+bool HuffmanCodec::contains(std::uint32_t symbol) const {
+  return find_code(symbol) != nullptr;
+}
+
 void HuffmanCodec::serialize(ByteWriter& out) const {
   out.put_varint(symbols_.size());
-  // Table is in canonical order; re-sort symbols for delta coding, storing
-  // each symbol's length alongside.
-  std::vector<std::pair<std::uint32_t, std::uint8_t>> by_symbol;
-  by_symbol.reserve(symbols_.size());
-  for (std::size_t i = 0; i < symbols_.size(); ++i) {
-    by_symbol.emplace_back(symbols_[i], lengths_[i]);
-  }
-  std::sort(by_symbol.begin(), by_symbol.end());
+  // The encode table is already sorted by symbol — exactly the delta-coded
+  // order the format stores.
   std::uint32_t prev = 0;
-  for (const auto& [sym, len] : by_symbol) {
-    out.put_varint(sym - prev);
-    out.put_varint(len);
-    prev = sym;
+  for (std::size_t k = 0; k < enc_symbols_.size(); ++k) {
+    out.put_varint(enc_symbols_[k] - prev);
+    out.put_varint(enc_codes_[k].length);
+    prev = enc_symbols_[k];
   }
 }
 
 HuffmanCodec HuffmanCodec::deserialize(ByteReader& in) {
   HuffmanCodec codec;
+  codec.parse(in);
+  return codec;
+}
+
+void HuffmanCodec::parse(ByteReader& in) {
   const std::uint64_t n = in.get_varint();
   // The quantizer alphabet tops out around 2*radius + escapes; anything
   // beyond a few million symbols is a corrupt stream, not a real table.
   CLIZ_REQUIRE(n <= (std::uint64_t{1} << 24), "huffman table too large");
-  codec.symbols_.resize(static_cast<std::size_t>(n));
-  codec.lengths_.resize(static_cast<std::size_t>(n));
+  symbols_.resize(static_cast<std::size_t>(n));
+  lengths_.resize(static_cast<std::size_t>(n));
   std::uint32_t prev = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t delta = in.get_varint();
@@ -197,19 +239,18 @@ HuffmanCodec HuffmanCodec::deserialize(ByteReader& in) {
     prev += static_cast<std::uint32_t>(delta);
     const std::uint64_t len = in.get_varint();
     CLIZ_REQUIRE(len >= 1 && len <= kMaxCodeLength, "corrupt code length");
-    codec.symbols_[i] = prev;
-    codec.lengths_[i] = static_cast<std::uint8_t>(len);
+    symbols_[i] = prev;
+    lengths_[i] = static_cast<std::uint8_t>(len);
   }
-  codec.build_canonical();
-  return codec;
+  build_canonical();
 }
 
 void HuffmanCodec::encode(std::span<const std::uint32_t> symbols,
                           BitWriter& bits) const {
   for (const std::uint32_t s : symbols) {
-    const auto it = code_of_.find(s);
-    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
-    bits.put_bits(it->second.bits, it->second.length);
+    const Code* c = find_code(s);
+    CLIZ_REQUIRE(c != nullptr, "symbol not in huffman table");
+    bits.put_bits(c->bits, c->length);
   }
 }
 
@@ -241,9 +282,9 @@ std::uint64_t HuffmanCodec::encoded_bits(
     std::span<const std::uint32_t> symbols) const {
   std::uint64_t total = 0;
   for (const std::uint32_t s : symbols) {
-    const auto it = code_of_.find(s);
-    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
-    total += it->second.length;
+    const Code* c = find_code(s);
+    CLIZ_REQUIRE(c != nullptr, "symbol not in huffman table");
+    total += c->length;
   }
   return total;
 }
@@ -253,9 +294,9 @@ std::uint64_t HuffmanCodec::payload_bits(
   std::uint64_t total = 0;
   for (const auto& [sym, f] : freq) {
     if (f == 0) continue;
-    const auto it = code_of_.find(sym);
-    CLIZ_REQUIRE(it != code_of_.end(), "symbol not in huffman table");
-    total += f * it->second.length;
+    const Code* c = find_code(sym);
+    CLIZ_REQUIRE(c != nullptr, "symbol not in huffman table");
+    total += f * c->length;
   }
   return total;
 }

@@ -28,9 +28,19 @@ class HuffmanCodec {
   /// Convenience: histogram `symbols` then build.
   static HuffmanCodec from_symbols(std::span<const std::uint32_t> symbols);
 
+  /// In-place variant of from_frequencies: rebuilds this codec's tables,
+  /// reusing its internal storage (CodecContext steady-state reuse keeps
+  /// one codec per Huffman group and rebuilds it every run).
+  void rebuild_from_frequencies(
+      const std::unordered_map<std::uint32_t, std::uint64_t>& freq);
+
   /// Writes the code table (sorted symbols as deltas + code lengths).
   void serialize(ByteWriter& out) const;
   static HuffmanCodec deserialize(ByteReader& in);
+
+  /// In-place variant of deserialize: parses into this codec, reusing its
+  /// internal storage.
+  void parse(ByteReader& in);
 
   /// Appends the codes for `symbols` to `bits`. Every symbol must be in the
   /// table (Error otherwise).
@@ -51,9 +61,7 @@ class HuffmanCodec {
   [[nodiscard]] std::size_t alphabet_size() const noexcept {
     return symbols_.size();
   }
-  [[nodiscard]] bool contains(std::uint32_t symbol) const {
-    return code_of_.contains(symbol);
-  }
+  [[nodiscard]] bool contains(std::uint32_t symbol) const;
 
  private:
   struct Code {
@@ -62,6 +70,10 @@ class HuffmanCodec {
   };
 
   void build_canonical();
+  void compute_code_lengths(const std::vector<std::uint64_t>& freqs,
+                            std::vector<std::uint8_t>& lengths);
+  /// Encode-table lookup; nullptr when the symbol is not in the alphabet.
+  [[nodiscard]] const Code* find_code(std::uint32_t symbol) const;
   [[nodiscard]] std::uint32_t decode_slow(BitReader& bits) const;
 
   /// Width of the one-shot decode table: codes up to this length decode
@@ -71,7 +83,10 @@ class HuffmanCodec {
   // Symbols sorted by (code length, symbol value) — the canonical order.
   std::vector<std::uint32_t> symbols_;
   std::vector<std::uint8_t> lengths_;  // parallel to symbols_
-  std::unordered_map<std::uint32_t, Code> code_of_;
+  // Encode lookup, sorted by symbol value (binary search); doubles as the
+  // serialization order.
+  std::vector<std::uint32_t> enc_symbols_;
+  std::vector<Code> enc_codes_;
   // Canonical decode tables indexed by code length.
   std::vector<std::uint64_t> first_code_;   // first canonical code per length
   std::vector<std::uint32_t> first_index_;  // index into symbols_ per length
@@ -79,6 +94,16 @@ class HuffmanCodec {
   std::uint8_t max_length_ = 0;
   // Fast path: prefix -> (symbol << 8) | code length; length 0 = miss.
   std::vector<std::uint64_t> fast_table_;
+  // Build-time scratch, retained across rebuilds so a codec that lives in a
+  // CodecContext rebuilds with zero steady-state allocations.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entry_scratch_;
+  std::vector<std::uint64_t> freq_scratch_;
+  std::vector<std::uint8_t> length_scratch_;
+  std::vector<std::uint32_t> parent_scratch_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> heap_scratch_;
+  std::vector<std::uint32_t> order_scratch_;
+  std::vector<std::uint32_t> symbol_scratch_;
+  std::vector<std::uint8_t> canon_scratch_;
 };
 
 }  // namespace cliz

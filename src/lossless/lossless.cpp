@@ -4,10 +4,7 @@
 #include <array>
 #include <cstring>
 
-#include "src/common/bitio.hpp"
-#include "src/common/bytestream.hpp"
 #include "src/common/status.hpp"
-#include "src/huffman/huffman.hpp"
 
 namespace cliz {
 
@@ -31,23 +28,30 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> 16;  // Knuth multiplicative, 16-bit bucket
 }
 
-/// Huffman-compresses a byte section with a raw fallback.
-void put_section(ByteWriter& out, std::span<const std::uint8_t> bytes) {
+/// Huffman-compresses a byte section with a raw fallback, staging through
+/// the scratch buffers.
+void put_section(ByteWriter& out, std::span<const std::uint8_t> bytes,
+                 LosslessScratch& ctx) {
   if (bytes.size() >= 32) {
-    std::vector<std::uint32_t> symbols(bytes.begin(), bytes.end());
-    const auto codec = HuffmanCodec::from_symbols(symbols);
-    ByteWriter table;
-    codec.serialize(table);
-    const std::uint64_t payload_bits = codec.encoded_bits(symbols);
-    const std::size_t huff_size = table.size() + (payload_bits + 7) / 8;
+    ctx.section_symbols.assign(bytes.begin(), bytes.end());
+    // Zero rather than clear: keeps the map nodes alive so the census of
+    // the next section reuses them (rebuild skips zero-count entries).
+    for (auto& [sym, f] : ctx.section_freq) f = 0;
+    for (const std::uint32_t s : ctx.section_symbols) ++ctx.section_freq[s];
+    ctx.section_codec.rebuild_from_frequencies(ctx.section_freq);
+    ctx.section_table.clear();
+    ctx.section_codec.serialize(ctx.section_table);
+    const std::uint64_t payload_bits =
+        ctx.section_codec.encoded_bits(ctx.section_symbols);
+    const std::size_t huff_size =
+        ctx.section_table.size() + (payload_bits + 7) / 8;
     if (huff_size + 8 < bytes.size()) {
-      BitWriter bits;
-      codec.encode(symbols, bits);
-      auto payload = bits.finish();
+      ctx.section_bits.reset();
+      ctx.section_codec.encode(ctx.section_symbols, ctx.section_bits);
       out.put_u8(kSectionHuff);
       out.put_varint(bytes.size());
-      out.put_block(table.bytes());
-      out.put_block(payload);
+      out.put_block(ctx.section_table.bytes());
+      out.put_block(ctx.section_bits.finish_view());
       return;
     }
   }
@@ -55,39 +59,45 @@ void put_section(ByteWriter& out, std::span<const std::uint8_t> bytes) {
   out.put_block(bytes);
 }
 
-std::vector<std::uint8_t> get_section(ByteReader& in) {
+/// Reads one section into `out` (replaced).
+void get_section(ByteReader& in, LosslessScratch& ctx,
+                 std::vector<std::uint8_t>& out) {
   const std::uint8_t mode = in.get_u8();
   if (mode == kSectionRaw) {
     auto b = in.get_block();
-    return {b.begin(), b.end()};
+    out.assign(b.begin(), b.end());
+    return;
   }
   CLIZ_REQUIRE(mode == kSectionHuff, "corrupt lossless section mode");
   const std::uint64_t n = in.get_varint();
   ByteReader table_reader(in.get_block());
-  const auto codec = HuffmanCodec::deserialize(table_reader);
+  ctx.section_codec.parse(table_reader);
   BitReader bits(in.get_block());
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    out.push_back(static_cast<std::uint8_t>(codec.decode_one(bits)));
+    out.push_back(static_cast<std::uint8_t>(ctx.section_codec.decode_one(bits)));
   }
-  return out;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
+void lossless_compress_into(std::span<const std::uint8_t> in,
+                            LosslessScratch& ctx,
+                            std::vector<std::uint8_t>& out) {
   const std::size_t n = in.size();
 
   // LZ77 greedy parse with hash chains over 4-byte prefixes.
-  BitWriter flags;              // 0 = literal, 1 = match
-  std::vector<std::uint8_t> literals;
-  ByteWriter matches;           // varint(len - kMinMatch), varint(dist - 1)
+  ctx.flags.reset();            // 0 = literal, 1 = match
+  ctx.literals.clear();
+  ctx.matches.clear();          // varint(len - kMinMatch), varint(dist - 1)
   std::size_t n_ops = 0;
 
   if (n >= kMinMatch) {
-    std::vector<std::int64_t> head(1u << 16, -1);
-    std::vector<std::int64_t> prev(n, -1);
+    ctx.head.assign(1u << 16, -1);
+    ctx.prev.assign(n, -1);
+    auto& head = ctx.head;
+    auto& prev = ctx.prev;
 
     std::size_t i = 0;
     const auto insert = [&](std::size_t pos) {
@@ -119,15 +129,15 @@ std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
       }
 
       if (best_len >= kMinMatch) {
-        flags.put_bit(true);
-        matches.put_varint(best_len - kMinMatch);
-        matches.put_varint(best_dist - 1);
+        ctx.flags.put_bit(true);
+        ctx.matches.put_varint(best_len - kMinMatch);
+        ctx.matches.put_varint(best_dist - 1);
         const std::size_t end = std::min(i + best_len, n - kMinMatch + 1);
         for (std::size_t p = i; p < end; ++p) insert(p);
         i += best_len;
       } else {
-        flags.put_bit(false);
-        literals.push_back(in[i]);
+        ctx.flags.put_bit(false);
+        ctx.literals.push_back(in[i]);
         if (i + kMinMatch <= n) insert(i);
         ++i;
       }
@@ -135,32 +145,45 @@ std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
     }
   } else {
     for (const std::uint8_t b : in) {
-      flags.put_bit(false);
-      literals.push_back(b);
+      ctx.flags.put_bit(false);
+      ctx.literals.push_back(b);
       ++n_ops;
     }
   }
 
-  ByteWriter lz;
+  ByteWriter& lz = ctx.lz;
+  lz.clear();
   lz.put_u8(kModeLz);
   lz.put_varint(n);
   lz.put_varint(n_ops);
-  lz.put_block(flags.finish());
-  put_section(lz, literals);
-  put_section(lz, matches.bytes());
+  lz.put_block(ctx.flags.finish_view());
+  put_section(lz, ctx.literals, ctx);
+  put_section(lz, ctx.matches.bytes(), ctx);
 
-  if (lz.size() < n + 2) return std::move(lz).take();
+  if (lz.size() < n + 2) {
+    out.assign(lz.bytes().begin(), lz.bytes().end());
+    return;
+  }
 
   // Stored fallback: incompressible input.
-  ByteWriter stored;
+  ByteWriter& stored = ctx.stored;
+  stored.clear();
   stored.put_u8(kModeStored);
   stored.put_varint(n);
   stored.put_bytes(in);
-  return std::move(stored).take();
+  out.assign(stored.bytes().begin(), stored.bytes().end());
 }
 
-std::vector<std::uint8_t> lossless_decompress(
-    std::span<const std::uint8_t> in) {
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
+  LosslessScratch scratch;
+  std::vector<std::uint8_t> out;
+  lossless_compress_into(in, scratch, out);
+  return out;
+}
+
+void lossless_decompress_into(std::span<const std::uint8_t> in,
+                              LosslessScratch& ctx,
+                              std::vector<std::uint8_t>& out) {
   ByteReader r(in);
   const std::uint8_t mode = r.get_u8();
   const std::uint64_t n = r.get_varint();
@@ -168,17 +191,19 @@ std::vector<std::uint8_t> lossless_decompress(
 
   if (mode == kModeStored) {
     auto b = r.get_bytes(static_cast<std::size_t>(n));
-    return {b.begin(), b.end()};
+    out.assign(b.begin(), b.end());
+    return;
   }
   CLIZ_REQUIRE(mode == kModeLz, "corrupt lossless mode byte");
 
   const std::uint64_t n_ops = r.get_varint();
   BitReader flags(r.get_block());
-  const auto literals = get_section(r);
-  const auto match_data = get_section(r);  // must outlive the reader below
-  ByteReader matches(match_data);
+  get_section(r, ctx, ctx.dec_literals);
+  get_section(r, ctx, ctx.dec_matches);  // must outlive the reader below
+  const auto& literals = ctx.dec_literals;
+  ByteReader matches(ctx.dec_matches);
 
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(n));
   std::size_t lit_pos = 0;
   for (std::uint64_t op = 0; op < n_ops; ++op) {
@@ -197,6 +222,13 @@ std::vector<std::uint8_t> lossless_decompress(
     }
   }
   CLIZ_REQUIRE(out.size() == n, "lossless size mismatch after decode");
+}
+
+std::vector<std::uint8_t> lossless_decompress(
+    std::span<const std::uint8_t> in) {
+  LosslessScratch scratch;
+  std::vector<std::uint8_t> out;
+  lossless_decompress_into(in, scratch, out);
   return out;
 }
 

@@ -2,9 +2,42 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/bitio.hpp"
+#include "src/common/bytestream.hpp"
+#include "src/huffman/huffman.hpp"
+
 namespace cliz {
+
+/// Reusable scratch for the lossless backend: LZ hash chains, the
+/// literal/match/flag staging, and the Huffman section coder's buffers.
+/// Owned by CodecContext so repeated compressions through one context do
+/// not reallocate the (large) hash-chain tables. A scratch object may be
+/// reused freely across calls and input sizes; it must not be shared by
+/// concurrent calls.
+struct LosslessScratch {
+  // LZ77 hash chains over 4-byte prefixes.
+  std::vector<std::int64_t> head;
+  std::vector<std::int64_t> prev;
+  // Parse output staging.
+  BitWriter flags;
+  std::vector<std::uint8_t> literals;
+  ByteWriter matches;
+  // Assembled containers (LZ mode and stored fallback).
+  ByteWriter lz;
+  ByteWriter stored;
+  // Section coder staging (Huffman-over-bytes with raw fallback).
+  std::vector<std::uint32_t> section_symbols;
+  std::unordered_map<std::uint32_t, std::uint64_t> section_freq;
+  HuffmanCodec section_codec;
+  ByteWriter section_table;
+  BitWriter section_bits;
+  // Decompression staging.
+  std::vector<std::uint8_t> dec_literals;
+  std::vector<std::uint8_t> dec_matches;
+};
 
 /// Byte-stream lossless backend (LZ77 hash-chain matching + canonical
 /// Huffman), the role Zstd plays in SZ3's pipeline. Applied as the final
@@ -13,7 +46,19 @@ namespace cliz {
 /// input (3-byte header + payload).
 std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in);
 
+/// Scratch-reusing variant: compresses `in` into `out` (replaced, capacity
+/// reused) with all transient state drawn from `scratch`. Output is
+/// byte-identical to lossless_compress().
+void lossless_compress_into(std::span<const std::uint8_t> in,
+                            LosslessScratch& scratch,
+                            std::vector<std::uint8_t>& out);
+
 /// Inverse of lossless_compress. Throws Error on corrupt input.
 std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> in);
+
+/// Scratch-reusing variant of lossless_decompress.
+void lossless_decompress_into(std::span<const std::uint8_t> in,
+                              LosslessScratch& scratch,
+                              std::vector<std::uint8_t>& out);
 
 }  // namespace cliz

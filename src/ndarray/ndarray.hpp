@@ -39,6 +39,11 @@ class NdArray {
         coords.begin(), coords.size()))];
   }
 
+  /// Moves the backing storage out (the shape becomes empty-sized but the
+  /// object stays valid only for destruction/assignment). Lets a reusable
+  /// scratch buffer round-trip through an NdArray without a copy.
+  [[nodiscard]] std::vector<T> take_flat() && { return std::move(data_); }
+
   [[nodiscard]] std::span<T> flat() noexcept { return data_; }
   [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
   [[nodiscard]] T* data() noexcept { return data_.data(); }

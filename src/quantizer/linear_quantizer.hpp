@@ -23,11 +23,18 @@ namespace cliz {
 template <typename T>
 class LinearQuantizer {
  public:
+  /// Largest accepted radius. Keeps every derived symbol — codes in
+  /// [0, 2*radius) and CliZ's classified escape 2*radius + 2j + 2 — inside
+  /// uint32 with headroom, so a corrupt stream header can never overflow
+  /// the symbol arithmetic.
+  static constexpr std::uint32_t kMaxRadius = 1u << 30;
+
   explicit LinearQuantizer(double error_bound,
                            std::uint32_t radius = 1u << 15)
       : eb_(error_bound), radius_(radius) {
     CLIZ_REQUIRE(error_bound > 0, "error bound must be positive");
     CLIZ_REQUIRE(radius >= 2, "quantizer radius too small");
+    CLIZ_REQUIRE(radius <= kMaxRadius, "quantizer radius too large");
   }
 
   [[nodiscard]] double error_bound() const noexcept { return eb_; }

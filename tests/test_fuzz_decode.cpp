@@ -126,6 +126,28 @@ TEST(FuzzClizFeatureful, MutationsOfMaskedPeriodicClassifiedStream) {
   }
 }
 
+TEST(FuzzClizHeader, RejectsOutOfRangeQuantizerRadius) {
+  // Regression: the radius used to flow unvalidated from the header varint
+  // into the escape-symbol arithmetic (2*radius + 2j + 2), where a hostile
+  // value overflows uint32. The decoder must reject it at parse time.
+  for (const std::uint64_t radius :
+       {std::uint64_t{0}, std::uint64_t{1}, (std::uint64_t{1} << 30) + 1,
+        std::uint64_t{1} << 40, std::uint64_t{0xFFFFFFFF}}) {
+    ByteWriter w;
+    w.put(std::uint32_t{0x434C495Au});  // magic
+    w.put_u8(4);                        // float32
+    w.put_varint(3);                    // ndims
+    w.put_varint(4);
+    w.put_varint(4);
+    w.put_varint(4);
+    w.put(1e-3);          // error bound
+    w.put_varint(radius); // the hostile field — parsing must stop here
+    const auto stream = lossless_compress(w.bytes());
+    EXPECT_THROW((void)ClizCompressor::decompress(stream), Error)
+        << "radius " << radius;
+  }
+}
+
 TEST(FuzzLossless, GarbageAndMutations) {
   for (std::uint64_t seed = 0; seed < 32; ++seed) {
     expect_no_crash([&] {

@@ -21,6 +21,7 @@
 #include "src/climate/datasets.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/core/compressor.hpp"
 #include "src/io/archive.hpp"
 #include "src/metrics/metrics.hpp"
@@ -35,7 +36,7 @@ using namespace cliz;
   std::fprintf(stderr, R"(usage:
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
-                   [--tune RATE] [--time-dim N]
+                   [--tune RATE] [--time-dim N] [--stats]
   clizc decompress <in>      -o <out.f32>   (f64 streams auto-detected)
   clizc info       <in>
   clizc analyze    <orig.f32> <recon.f32> -d T,Y,X [-e ABS] [--mask-fill]
@@ -132,6 +133,7 @@ int cmd_compress(Args& args) {
   double rel_eb = 1e-3;
   bool mask_fill = false;
   bool f64 = false;
+  bool show_stats = false;
   double tune_rate = 0.01;
   std::size_t time_dim = 0;
 
@@ -156,6 +158,8 @@ int cmd_compress(Args& args) {
     } else if (opt == "--time-dim") {
       time_dim = static_cast<std::size_t>(
           std::atoll(args.next("time dim").c_str()));
+    } else if (opt == "--stats") {
+      show_stats = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -179,7 +183,28 @@ int cmd_compress(Args& args) {
       }
       eb = hi > lo ? rel_eb * (hi - lo) : rel_eb;
     }
-    const auto stream = compress_f64(codec, data, eb, mask_ptr, time_dim);
+    std::vector<std::uint8_t> stream;
+    if (show_stats && codec == "cliz") {
+      // Tune on a float32 downcast (ranking only), then compress the
+      // float64 samples through a context so --stats has telemetry.
+      NdArray<float> downcast(data.shape());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        downcast[i] = static_cast<float>(data[i]);
+      }
+      AutotuneOptions opts;
+      opts.sampling_rate = tune_rate;
+      opts.time_dim = time_dim;
+      const auto tuned = autotune(downcast, eb, mask_ptr, opts);
+      CodecContext cctx;
+      stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
+      std::fputs(cctx.stats.to_text().c_str(), stderr);
+    } else {
+      stream = compress_f64(codec, data, eb, mask_ptr, time_dim);
+      if (show_stats) {
+        std::fprintf(stderr, "clizc: --stats is not available for %s --f64\n",
+                     codec.c_str());
+      }
+    }
     write_file(output, stream.data(), stream.size());
     std::fprintf(stderr,
                  "%s (f64): %zu -> %zu bytes (ratio %.2fx, abs bound %.4g)\n",
@@ -209,9 +234,21 @@ int cmd_compress(Args& args) {
     std::fprintf(stderr, "tuned pipeline: %s (%zu candidates, %.2f s)\n",
                  tuned.best.label().c_str(), tuned.candidates.size(),
                  tuned.tuning_seconds);
-    stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr);
+    CodecContext cctx;
+    stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
+    if (show_stats) std::fputs(cctx.stats.to_text().c_str(), stderr);
   } else {
-    stream = make_compressor(codec)->compress(data, eb);
+    const auto comp = make_compressor(codec);
+    stream = comp->compress(data, eb);
+    if (show_stats) {
+      const StageStats* s = comp->stage_stats();
+      if (s != nullptr) {
+        std::fputs(s->to_text().c_str(), stderr);
+      } else {
+        std::fprintf(stderr, "clizc: %s does not report stage stats\n",
+                     codec.c_str());
+      }
+    }
   }
   write_file(output, stream.data(), stream.size());
   std::fprintf(stderr,
