@@ -5,10 +5,13 @@
 // SPERR.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "src/climate/datasets.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/autotune.hpp"
+#include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/core/compressor.hpp"
 #include "src/fft/fft.hpp"
 #include "src/huffman/huffman.hpp"
@@ -72,6 +75,87 @@ void BM_Decompress(benchmark::State& state, const std::string& name) {
     benchmark::DoNotOptimize(recon);
   }
   report_bytes(state, c.field.data.size() * sizeof(float));
+}
+
+/// Chunked compression, pooled-scratch vs fresh-scratch A/B. The streams
+/// are byte-identical; the A/B isolates the cost of rebuilding the context
+/// pool and staging buffers every call. One representative run per variant
+/// is also recorded as a CLIZ_BENCH_JSON line.
+void BM_ChunkedCompress(benchmark::State& state, bool pooled) {
+  auto& c = ctx();
+  ChunkedOptions copts;
+  copts.chunks = 8;
+  ChunkedScratch scratch;
+  if (pooled) copts.scratch = &scratch;
+  std::vector<std::uint8_t> stream;
+  for (auto _ : state) {
+    if (pooled) {
+      chunked_compress_into(c.field.data, c.eb, c.tuned, c.field.mask_ptr(),
+                            copts, stream);
+    } else {
+      stream = chunked_compress(c.field.data, c.eb, c.tuned,
+                                c.field.mask_ptr(), copts);
+    }
+    benchmark::DoNotOptimize(stream.data());
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["ratio"] =
+      static_cast<double>(c.field.data.size() * sizeof(float)) /
+      static_cast<double>(stream.size());
+
+  bench::RunResult r;
+  r.original_bytes = c.field.data.size() * sizeof(float);
+  Timer tc;
+  chunked_compress_into(c.field.data, c.eb, c.tuned, c.field.mask_ptr(),
+                        copts, stream);
+  r.compress_seconds = tc.seconds();
+  r.compressed_bytes = stream.size();
+  Timer td;
+  const auto recon =
+      chunked_decompress(stream, pooled ? &scratch : nullptr);
+  r.decompress_seconds = td.seconds();
+  const auto stats =
+      error_stats(c.field.data.flat(), recon.flat(), c.field.mask_ptr());
+  r.psnr = stats.psnr;
+  r.max_abs_error = stats.max_abs_error;
+  bench::record_json("chunked_compress", pooled ? "pooled" : "fresh", r);
+}
+
+/// Decode-side A/B: decompress_into a shape-matched reused array vs the
+/// returning variant that allocates a fresh one, both through a reused
+/// context. Also recorded as a CLIZ_BENCH_JSON line per variant.
+void BM_ClizDecodeInto(benchmark::State& state, bool into) {
+  auto& c = ctx();
+  const ClizCompressor comp(c.tuned);
+  const auto stream = comp.compress(c.field.data, c.eb, c.field.mask_ptr());
+  CodecContext cctx;
+  NdArray<float> out(c.field.data.shape());
+  for (auto _ : state) {
+    if (into) {
+      ClizCompressor::decompress_into(stream, cctx, out);
+      benchmark::DoNotOptimize(out.data());
+    } else {
+      auto recon = ClizCompressor::decompress(stream, cctx);
+      benchmark::DoNotOptimize(recon);
+    }
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+
+  bench::RunResult r;
+  r.original_bytes = c.field.data.size() * sizeof(float);
+  r.compressed_bytes = stream.size();
+  Timer td;
+  if (into) {
+    ClizCompressor::decompress_into(stream, cctx, out);
+  } else {
+    out = ClizCompressor::decompress(stream, cctx);
+  }
+  r.decompress_seconds = td.seconds();
+  const auto stats =
+      error_stats(c.field.data.flat(), out.flat(), c.field.mask_ptr());
+  r.psnr = stats.psnr;
+  r.max_abs_error = stats.max_abs_error;
+  bench::record_json("decompress_into", into ? "into" : "returning", r);
 }
 
 void BM_HuffmanEncode(benchmark::State& state) {
@@ -148,6 +232,18 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) {
                                    BM_Decompress(s, name);
                                  })
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const bool pooled : {false, true}) {
+    benchmark::RegisterBenchmark(
+        pooled ? "chunked_compress/pooled" : "chunked_compress/fresh",
+        [pooled](benchmark::State& s) { cliz::BM_ChunkedCompress(s, pooled); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const bool into : {false, true}) {
+    benchmark::RegisterBenchmark(
+        into ? "decompress_into/into" : "decompress_into/returning",
+        [into](benchmark::State& s) { cliz::BM_ClizDecodeInto(s, into); })
         ->Unit(benchmark::kMillisecond);
   }
   benchmark::RegisterBenchmark("substrate/huffman_encode",

@@ -5,9 +5,63 @@
 
 #include "bench/bench_util.hpp"
 #include "src/core/autotune.hpp"
+#include "src/core/chunked.hpp"
 
 namespace cliz {
 namespace {
+
+/// Chunked-path engineering A/B: fresh scratch every call (context pool and
+/// staging buffers rebuilt) against one reused ChunkedScratch. Streams are
+/// byte-identical by construction; only wall time moves. One JSON line per
+/// variant lands in CLIZ_BENCH_JSON.
+void run_chunked_ab(const ClimateField& field, double eb,
+                    const PipelineConfig& tuned) {
+  ChunkedOptions fresh;
+  fresh.chunks = 8;
+  ChunkedScratch scratch;
+  ChunkedOptions pooled = fresh;
+  pooled.scratch = &scratch;
+
+  double fresh_s = 1e300;
+  double pooled_s = 1e300;
+  bool identical = true;
+  std::vector<std::uint8_t> stream;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer ta;
+    const auto a =
+        chunked_compress(field.data, eb, tuned, field.mask_ptr(), fresh);
+    fresh_s = std::min(fresh_s, ta.seconds());
+    Timer tb;
+    chunked_compress_into(field.data, eb, tuned, field.mask_ptr(), pooled,
+                          stream);
+    pooled_s = std::min(pooled_s, tb.seconds());
+    identical = identical && a == stream;
+  }
+  const auto pstats = scratch.pool.stats();
+  std::printf("chunked (8 slabs): fresh-scratch %.3f s, pooled-scratch "
+              "%.3f s (%.2fx); pool %zu ctx, %llu checkouts, %llu warm%s\n",
+              fresh_s, pooled_s, fresh_s / pooled_s, pstats.contexts,
+              static_cast<unsigned long long>(pstats.checkouts),
+              static_cast<unsigned long long>(pstats.warm_hits),
+              identical ? "" : "  [STREAMS DIVERGED]");
+
+  for (const bool use_pool : {false, true}) {
+    bench::RunResult r;
+    r.original_bytes = field.data.size() * sizeof(float);
+    r.compressed_bytes = stream.size();
+    r.compress_seconds = use_pool ? pooled_s : fresh_s;
+    Timer td;
+    const auto recon =
+        chunked_decompress(stream, use_pool ? &scratch : nullptr);
+    r.decompress_seconds = td.seconds();
+    const auto stats =
+        error_stats(field.data.flat(), recon.flat(), field.mask_ptr());
+    r.psnr = stats.psnr;
+    r.max_abs_error = stats.max_abs_error;
+    bench::record_json("chunked_scratch_ab", use_pool ? "pooled" : "fresh",
+                       r);
+  }
+}
 
 void run_dataset(const ClimateField& field, double eb) {
   std::printf("\n-- %s %s --\n", field.name.c_str(),
@@ -70,6 +124,8 @@ void run_dataset(const ClimateField& field, double eb) {
   const auto tuned = autotune(field.data, eb, field.mask_ptr(), reused);
   std::printf("best-candidate stage breakdown (sample trial):\n%s",
               tuned.candidates.front().stats.to_text().c_str());
+
+  run_chunked_ab(field, eb, ref.best);
 }
 
 void run() {

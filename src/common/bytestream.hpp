@@ -16,6 +16,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `buf`'s storage as the (emptied) output buffer, so a caller
+  /// can round-trip a long-lived vector through a writer without losing
+  /// its capacity: `ByteWriter w(std::move(v)); ...; v = std::move(w).take()`.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
 
   template <typename T>

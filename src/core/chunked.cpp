@@ -1,11 +1,14 @@
 #include "src/core/chunked.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <atomic>
 #include <cstring>
+#include <exception>
+#include <optional>
 
 #include "src/common/bytestream.hpp"
 #include "src/common/parallel.hpp"
+#include "src/core/compressor.hpp"
 
 namespace cliz {
 
@@ -27,88 +30,52 @@ std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
   return out;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> chunked_compress(const NdArray<float>& data,
-                                           double abs_error_bound,
-                                           const PipelineConfig& config,
-                                           const MaskMap* mask,
-                                           const ChunkedOptions& options) {
-  const Shape& shape = data.shape();
-  if (mask != nullptr) {
-    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
-  }
-  const std::size_t want =
-      options.chunks > 0 ? options.chunks
-                         : static_cast<std::size_t>(hardware_threads());
-  const auto ranges = slabs(shape.dim(0), want);
-  const std::size_t row = shape.size() / shape.dim(0);  // elements per slice
-
-  std::vector<std::vector<std::uint8_t>> streams(ranges.size());
-  parallel_for(0, ranges.size(), [&](std::size_t c) {
-    const auto [lo, hi] = ranges[c];
-    DimVec dims = shape.dims();
-    dims[0] = hi - lo;
-    const Shape cshape(dims);
-
-    // Slabs along dim 0 are contiguous in row-major storage.
-    std::vector<float> values(cshape.size());
-    std::memcpy(values.data(), data.data() + lo * row,
-                cshape.size() * sizeof(float));
-    const NdArray<float> chunk(cshape, std::move(values));
-
-    std::optional<MaskMap> cmask;
-    if (mask != nullptr) {
-      DimVec start(shape.ndims(), 0);
-      start[0] = lo;
-      cmask = mask->crop(start, cshape);
+/// First-exception capture for parallel_for bodies: an exception escaping
+/// an OpenMP parallel region aborts the process, so chunk workers stash it
+/// here and the caller rethrows after the join.
+class ErrorLatch {
+ public:
+  template <typename Fn>
+  void run(Fn&& fn) noexcept {
+    try {
+      fn();
+    } catch (...) {
+      if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
+        error_ = std::current_exception();
+      }
     }
-
-    // Periodicity needs >= 2 periods inside the chunk; degrade gracefully.
-    PipelineConfig cconfig = config;
-    if (cconfig.period > 0 &&
-        (cconfig.time_dim != 0
-             ? false
-             : cshape.dim(0) < 2 * cconfig.period)) {
-      cconfig.period = 0;
-    }
-
-    const ClizCompressor codec(cconfig, options.codec);
-    streams[c] = codec.compress(chunk, abs_error_bound,
-                                cmask.has_value() ? &*cmask : nullptr);
-  });
-
-  ByteWriter out;
-  out.put(kMagic);
-  out.put_varint(shape.ndims());
-  for (const std::size_t d : shape.dims()) out.put_varint(d);
-  out.put_varint(ranges.size());
-  for (std::size_t c = 0; c < ranges.size(); ++c) {
-    out.put_varint(ranges[c].first);
-    out.put_varint(ranges[c].second);
-    out.put_block(streams[c]);
   }
-  return std::move(out).take();
-}
 
-NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream) {
-  ByteReader in(stream);
+  /// Call after the parallel join (single-threaded again).
+  void rethrow_if_failed() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};
+  std::exception_ptr error_;
+};
+
+struct ChunkRef {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+/// Parses and validates the frame header, filling `refs`. Returns the full
+/// array shape.
+Shape parse_chunked_header(ByteReader& in, std::vector<ChunkRef>& refs) {
   CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a chunked stream");
   const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt dimensionality");
   DimVec dims(ndims);
   for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
-  const Shape shape(dims);
+  const Shape shape(std::move(dims));
   const std::size_t n_chunks = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_chunks >= 1 && n_chunks <= shape.dim(0),
                "corrupt chunk count");
 
-  struct ChunkRef {
-    std::size_t lo = 0;
-    std::size_t hi = 0;
-    std::span<const std::uint8_t> bytes;
-  };
-  std::vector<ChunkRef> refs(n_chunks);
+  refs.resize(n_chunks);
   std::size_t expected = 0;
   for (auto& ref : refs) {
     ref.lo = static_cast<std::size_t>(in.get_varint());
@@ -120,18 +87,214 @@ NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream) {
     ref.bytes = in.get_block();
   }
   CLIZ_REQUIRE(expected == shape.dim(0), "chunks do not cover dim 0");
+  return shape;
+}
 
-  NdArray<float> out(shape);
-  const std::size_t row = shape.size() / shape.dim(0);
-  parallel_for(0, refs.size(), [&](std::size_t c) {
-    const auto chunk = ClizCompressor::decompress(refs[c].bytes);
-    CLIZ_REQUIRE(chunk.shape().dim(0) == refs[c].hi - refs[c].lo &&
-                     chunk.size() == (refs[c].hi - refs[c].lo) * row,
-                 "chunk shape mismatch");
-    std::memcpy(out.data() + refs[c].lo * row, chunk.data(),
-                chunk.size() * sizeof(float));
+template <typename T>
+void chunked_compress_impl(const NdArray<T>& data, double abs_error_bound,
+                           const PipelineConfig& config, const MaskMap* mask,
+                           const ChunkedOptions& options,
+                           std::vector<std::uint8_t>& out) {
+  const Shape& shape = data.shape();
+  if (mask != nullptr) {
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+  }
+  const std::size_t want =
+      options.chunks > 0 ? options.chunks
+                         : static_cast<std::size_t>(hardware_threads());
+  const auto ranges = slabs(shape.dim(0), want);
+  const std::size_t row = shape.size() / shape.dim(0);  // elements per slice
+
+  std::optional<ChunkedScratch> local;
+  ChunkedScratch& scratch =
+      options.scratch != nullptr ? *options.scratch : local.emplace();
+  auto& streams = scratch.chunk_streams;
+  if (streams.size() < ranges.size()) streams.resize(ranges.size());
+
+  // Hoisted codecs: constructing one per chunk would copy the config's
+  // permutation/fusion vectors every iteration. Two instances cover both
+  // periodicity outcomes — periodic extraction needs >= 2 periods inside
+  // the chunk; undersized chunks degrade to the period-free pipeline
+  // (still honouring the error bound).
+  const ClizCompressor codec(config, options.codec);
+  std::optional<ClizCompressor> degraded;
+  const auto chunk_degrades = [&](std::size_t extent) {
+    return config.period > 0 && config.time_dim == 0 &&
+           extent < 2 * config.period;
+  };
+  for (const auto& [lo, hi] : ranges) {
+    if (chunk_degrades(hi - lo)) {
+      PipelineConfig dconfig = config;
+      dconfig.period = 0;
+      degraded.emplace(std::move(dconfig), options.codec);
+      break;
+    }
+  }
+
+  ErrorLatch latch;
+  parallel_for(0, ranges.size(), [&](std::size_t c) {
+    latch.run([&] {
+      const auto [lo, hi] = ranges[c];
+      DimVec dims = shape.dims();
+      dims[0] = hi - lo;
+      Shape cshape(std::move(dims));
+
+      const ContextPool::Lease lease = scratch.pool.acquire();
+      CodecContext& ctx = *lease;
+
+      // Slabs along dim 0 are contiguous in row-major storage; stage the
+      // copy in the context's slab scratch (reused across calls).
+      auto& sbuf = ctx.slab<T>();
+      sbuf.resize(cshape.size());
+      std::memcpy(sbuf.data(), data.data() + lo * row,
+                  cshape.size() * sizeof(T));
+      NdArray<T> chunk(std::move(cshape), std::move(sbuf));
+
+      std::optional<MaskMap> cmask;
+      if (mask != nullptr) {
+        DimVec start(shape.ndims(), 0);
+        start[0] = lo;
+        cmask = mask->crop(start, chunk.shape());
+      }
+
+      const ClizCompressor& use =
+          chunk_degrades(hi - lo) ? *degraded : codec;
+      use.compress_into(chunk, abs_error_bound,
+                        cmask.has_value() ? &*cmask : nullptr, ctx,
+                        streams[c]);
+
+      // Return the staging storage to the context for the next chunk.
+      ctx.slab<T>() = std::move(chunk).take_flat();
+    });
   });
+  latch.rethrow_if_failed();
+
+  // Assemble the frame into the caller's buffer, reusing its capacity.
+  ByteWriter w(std::move(out));
+  w.put(kMagic);
+  w.put_varint(shape.ndims());
+  for (const std::size_t d : shape.dims()) w.put_varint(d);
+  w.put_varint(ranges.size());
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    w.put_varint(ranges[c].first);
+    w.put_varint(ranges[c].second);
+    w.put_block(streams[c]);
+  }
+  out = std::move(w).take();
+}
+
+template <typename T>
+void chunked_decompress_core(std::span<const std::uint8_t> stream,
+                             ChunkedScratch* scratch_opt, NdArray<T>& out,
+                             bool require_shape_match) {
+  ByteReader in(stream);
+  std::vector<ChunkRef> refs;
+  const Shape shape = parse_chunked_header(in, refs);
+  if (require_shape_match) {
+    CLIZ_REQUIRE(out.shape() == shape,
+                 "output buffer shape does not match stream");
+  } else {
+    out.reshape(shape);
+  }
+
+  std::optional<ChunkedScratch> local;
+  ChunkedScratch& scratch =
+      scratch_opt != nullptr ? *scratch_opt : local.emplace();
+
+  const std::size_t row = shape.size() / shape.dim(0);
+  ErrorLatch latch;
+  parallel_for(0, refs.size(), [&](std::size_t c) {
+    latch.run([&] {
+      const ContextPool::Lease lease = scratch.pool.acquire();
+      // Decode straight into this chunk's slab of the output — the span
+      // binder enforces the element count, the dim-0 check below the
+      // actual slab geometry.
+      const std::size_t extent = refs[c].hi - refs[c].lo;
+      const std::span<T> slab(out.data() + refs[c].lo * row, extent * row);
+      const Shape cshape =
+          ClizCompressor::decompress_into(refs[c].bytes, *lease, slab);
+      CLIZ_REQUIRE(cshape.ndims() == shape.ndims() &&
+                       cshape.dim(0) == extent,
+                   "chunk shape mismatch");
+    });
+  });
+  latch.rethrow_if_failed();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> chunked_compress(const NdArray<float>& data,
+                                           double abs_error_bound,
+                                           const PipelineConfig& config,
+                                           const MaskMap* mask,
+                                           const ChunkedOptions& options) {
+  std::vector<std::uint8_t> out;
+  chunked_compress_impl(data, abs_error_bound, config, mask, options, out);
   return out;
+}
+
+std::vector<std::uint8_t> chunked_compress(const NdArray<double>& data,
+                                           double abs_error_bound,
+                                           const PipelineConfig& config,
+                                           const MaskMap* mask,
+                                           const ChunkedOptions& options) {
+  std::vector<std::uint8_t> out;
+  chunked_compress_impl(data, abs_error_bound, config, mask, options, out);
+  return out;
+}
+
+void chunked_compress_into(const NdArray<float>& data, double abs_error_bound,
+                           const PipelineConfig& config, const MaskMap* mask,
+                           const ChunkedOptions& options,
+                           std::vector<std::uint8_t>& out) {
+  chunked_compress_impl(data, abs_error_bound, config, mask, options, out);
+}
+
+void chunked_compress_into(const NdArray<double>& data, double abs_error_bound,
+                           const PipelineConfig& config, const MaskMap* mask,
+                           const ChunkedOptions& options,
+                           std::vector<std::uint8_t>& out) {
+  chunked_compress_impl(data, abs_error_bound, config, mask, options, out);
+}
+
+NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream,
+                                  ChunkedScratch* scratch) {
+  NdArray<float> out;
+  chunked_decompress_core(stream, scratch, out, /*require_shape_match=*/false);
+  return out;
+}
+
+NdArray<double> chunked_decompress_f64(std::span<const std::uint8_t> stream,
+                                       ChunkedScratch* scratch) {
+  NdArray<double> out;
+  chunked_decompress_core(stream, scratch, out, /*require_shape_match=*/false);
+  return out;
+}
+
+void chunked_decompress_into(std::span<const std::uint8_t> stream,
+                             NdArray<float>& out, ChunkedScratch* scratch) {
+  chunked_decompress_core(stream, scratch, out, /*require_shape_match=*/true);
+}
+
+void chunked_decompress_into(std::span<const std::uint8_t> stream,
+                             NdArray<double>& out, ChunkedScratch* scratch) {
+  chunked_decompress_core(stream, scratch, out, /*require_shape_match=*/true);
+}
+
+bool is_chunked_stream(std::span<const std::uint8_t> stream) {
+  if (stream.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, stream.data(), sizeof(magic));
+  return magic == kMagic;
+}
+
+unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  std::vector<ChunkRef> refs;
+  parse_chunked_header(in, refs);
+  // The frame header is width-agnostic; the per-chunk CliZ streams record
+  // the sample type right after their (lossless-wrapped) magic.
+  return detect_sample_bytes(refs.front().bytes);
 }
 
 }  // namespace cliz

@@ -17,24 +17,85 @@
 #include <vector>
 
 #include "src/core/cliz.hpp"
+#include "src/core/context_pool.hpp"
 
 namespace cliz {
+
+/// Reusable scratch for the chunked codec: a context pool (one
+/// CodecContext per worker thread, leased per chunk) plus the per-chunk
+/// stream staging buffers. Pass one via ChunkedOptions::scratch (compress)
+/// or the scratch parameter (decompress) to make repeated same-shape
+/// chunked calls run at the steady-state allocation profile of a single
+/// reused context — without one, every call builds its own pool.
+///
+/// Ownership rules mirror CodecContext: a scratch may be reused across any
+/// sequence of chunked calls but must not be shared by two concurrent
+/// calls. Streams produced through a reused scratch are byte-identical to
+/// ones produced without it.
+struct ChunkedScratch {
+  ContextPool pool;
+  /// Per-chunk compressed-stream staging (compress side; capacity kept).
+  std::vector<std::vector<std::uint8_t>> chunk_streams;
+};
 
 struct ChunkedOptions {
   /// Number of slabs along dim 0; 0 = one per hardware thread.
   std::size_t chunks = 0;
   ClizOptions codec;
+  /// Optional reusable scratch (not owned; may be nullptr).
+  ChunkedScratch* scratch = nullptr;
 };
 
 /// Compresses `data` as independent slabs along dim 0 (in parallel when
 /// OpenMP is enabled). Error bound semantics identical to ClizCompressor.
+/// Both sample types share one frame format; the width is recorded by the
+/// per-chunk CliZ streams and must match on decompression.
 std::vector<std::uint8_t> chunked_compress(const NdArray<float>& data,
                                            double abs_error_bound,
                                            const PipelineConfig& config,
                                            const MaskMap* mask = nullptr,
                                            const ChunkedOptions& options = {});
+std::vector<std::uint8_t> chunked_compress(const NdArray<double>& data,
+                                           double abs_error_bound,
+                                           const PipelineConfig& config,
+                                           const MaskMap* mask = nullptr,
+                                           const ChunkedOptions& options = {});
 
-/// Inverse of chunked_compress (chunks decoded in parallel).
-NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream);
+/// Capacity-reusing variants: the frame is assembled into `out` (contents
+/// replaced, storage reused), completing the allocation-free steady state
+/// when paired with an options.scratch.
+void chunked_compress_into(const NdArray<float>& data, double abs_error_bound,
+                           const PipelineConfig& config, const MaskMap* mask,
+                           const ChunkedOptions& options,
+                           std::vector<std::uint8_t>& out);
+void chunked_compress_into(const NdArray<double>& data, double abs_error_bound,
+                           const PipelineConfig& config, const MaskMap* mask,
+                           const ChunkedOptions& options,
+                           std::vector<std::uint8_t>& out);
+
+/// Inverse of chunked_compress (chunks decoded in parallel through the
+/// scratch's context pool when one is supplied).
+NdArray<float> chunked_decompress(std::span<const std::uint8_t> stream,
+                                  ChunkedScratch* scratch = nullptr);
+NdArray<double> chunked_decompress_f64(std::span<const std::uint8_t> stream,
+                                       ChunkedScratch* scratch = nullptr);
+
+/// Caller-supplied-output decompression: `out` must already carry the
+/// frame's exact shape (throws Error otherwise). Each chunk decodes
+/// straight into its slab of `out` — no per-chunk staging copies.
+void chunked_decompress_into(std::span<const std::uint8_t> stream,
+                             NdArray<float>& out,
+                             ChunkedScratch* scratch = nullptr);
+void chunked_decompress_into(std::span<const std::uint8_t> stream,
+                             NdArray<double>& out,
+                             ChunkedScratch* scratch = nullptr);
+
+/// True when `stream` starts with the chunked frame magic ("CLKS").
+[[nodiscard]] bool is_chunked_stream(std::span<const std::uint8_t> stream);
+
+/// Bytes per sample of a chunked frame (4 = float32, 8 = float64), read
+/// from the first chunk's embedded CliZ stream.
+[[nodiscard]] unsigned chunked_sample_bytes(
+    std::span<const std::uint8_t> stream);
 
 }  // namespace cliz

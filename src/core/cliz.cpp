@@ -44,9 +44,26 @@ std::size_t classification_plane(const Shape& shape) {
   return shape.dim(shape.ndims() - 1) * shape.dim(shape.ndims() - 2);
 }
 
+/// Decode core, parameterized over how the destination buffer is obtained:
+/// `bind_out(shape)` is called exactly once, after the header is parsed,
+/// and must return a writable buffer of shape.size() elements. Returns the
+/// decoded shape.
+template <typename T, typename BindOut>
+Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
+                      BindOut&& bind_out);
+
+/// Output binder that resizes a caller-owned vector (capacity kept) — a
+/// *fixed* functor type, so the recursive periodic-template decode inside
+/// decompress_core instantiates decompress_core<T, VectorBind<T>&> rather
+/// than a fresh lambda type per recursion level.
 template <typename T>
-NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
-                           CodecContext& ctx);
+struct VectorBind {
+  std::vector<T>* buf;
+  T* operator()(const Shape& shape) const {
+    buf->resize(shape.size());
+    return buf->data();
+  }
+};
 
 template <typename T>
 void compress_impl(const NdArray<T>& data, double abs_error_bound,
@@ -110,9 +127,11 @@ double stage_periodic(NdArray<T>& work, double abs_error_bound,
                      ctx.child(), ctx.template_stream);
   }
   // Code the residual against the *reconstructed* template so the
-  // template's own error does not eat into the budget.
-  const NdArray<T> tmpl_recon =
-      decompress_impl<T>(ctx.template_stream, ctx.child());
+  // template's own error does not eat into the budget. The reconstruction
+  // lands in the context's template scratch (reused across runs).
+  auto& tmpl_recon = ctx.tmpl_work<T>();
+  const Shape tmpl_shape = decompress_core<T>(
+      ctx.template_stream, ctx.child(), VectorBind<T>{&tmpl_recon});
   out.put_block(ctx.template_stream);
 
   double max_abs = 0.0;
@@ -120,7 +139,8 @@ double stage_periodic(NdArray<T>& work, double abs_error_bound,
     if (mask != nullptr && !mask->valid(i)) continue;
     max_abs = std::max(max_abs, std::abs(static_cast<double>(work[i])));
   }
-  subtract_template(work, tmpl_recon, config.time_dim, mask);
+  subtract_template(work.data(), work.shape(), tmpl_recon.data(), tmpl_shape,
+                    config.time_dim, mask);
   double max_res = 0.0;
   for (std::size_t i = 0; i < work.size(); ++i) {
     if (mask != nullptr && !mask->valid(i)) continue;
@@ -152,8 +172,10 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
   st.input_bytes = work.size() * sizeof(T);
   const std::size_t base = out.size();
 
-  const auto axes = fused_axes(work.shape(), config.fusion);
-  const auto order = induced_axis_order(config.fusion, config.permutation);
+  fused_axes_into(work.shape(), config.fusion, ctx.axes);
+  induced_axis_order_into(config.fusion, config.permutation, ctx.axis_order);
+  const auto& axes = ctx.axes;
+  const auto& order = ctx.axis_order;
   const LinearQuantizer<T> quantizer(quant_eb, options.radius);
   auto& offsets = ctx.offsets;
   auto& codes = ctx.codes;
@@ -369,9 +391,9 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
 // kPredict's time covers both and kEncode's covers table parsing only.
 // ---------------------------------------------------------------------------
 
-template <typename T>
-NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
-                           CodecContext& ctx) {
+template <typename T, typename BindOut>
+Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
+                      BindOut&& bind_out) {
   const auto t_all = Clock::now();
   ctx.stats.reset();
   {
@@ -390,7 +412,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
   CLIZ_REQUIRE(ndims >= 1 && ndims <= kMaxAxes, "corrupt dimensionality");
   DimVec dims(ndims);
   for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
-  const Shape shape(dims);
+  const Shape shape(std::move(dims));
   const auto eb = in.get<double>();
   CLIZ_REQUIRE(eb > 0, "corrupt error bound");
   // Validate before any arithmetic: a corrupt radius would overflow the
@@ -400,7 +422,8 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
                "corrupt quantizer radius");
   const auto radius = static_cast<std::uint32_t>(radius64);
   const auto fill_value = in.get<T>();
-  const PipelineConfig config = PipelineConfig::deserialize(in);
+  PipelineConfig::deserialize_into(in, ctx.header_config);
+  const PipelineConfig& config = ctx.header_config;
   CLIZ_REQUIRE(config.permutation.size() == ndims, "pipeline arity mismatch");
 
   const bool has_mask = in.get_u8() != 0;
@@ -413,10 +436,15 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
   const bool periodic =
       config.period >= 2 && config.time_dim < ndims &&
       config.period < shape.dim(config.time_dim);
-  NdArray<T> tmpl_recon;
+  Shape tmpl_shape;
+  auto& tmpl_recon = ctx.tmpl_work<T>();
   if (periodic) {
     const auto t0 = Clock::now();
-    tmpl_recon = decompress_impl<T>(in.get_block(), ctx.child());
+    // The nested stream decodes through the child context into this
+    // context's template scratch; ctx.header_config is re-read below via
+    // `config` only, which the child call never touches.
+    tmpl_shape = decompress_core<T>(in.get_block(), ctx.child(),
+                                    VectorBind<T>{&tmpl_recon});
     ctx.stats.at(CodecStage::kPeriodic).seconds += seconds_since(t0);
   }
   const auto quant_eb = in.get<double>();
@@ -439,12 +467,16 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
   ctx.stats.code_count = n_codes;
   ctx.stats.outlier_count = n_outliers;
 
-  const auto axes = fused_axes(shape, config.fusion);
-  const auto order = induced_axis_order(config.fusion, config.permutation);
+  fused_axes_into(shape, config.fusion, ctx.axes);
+  induced_axis_order_into(config.fusion, config.permutation, ctx.axis_order);
+  const auto& axes = ctx.axes;
+  const auto& order = ctx.axis_order;
   const LinearQuantizer<T> quantizer(quant_eb, radius);
   const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
 
-  NdArray<T> out(shape);
+  // Everything the destination depends on is now validated; hand the shape
+  // to the caller and decode straight into whatever buffer it supplies.
+  T* const out = bind_out(shape);
   std::size_t cursor = 0;
   std::size_t decoded = 0;
 
@@ -492,10 +524,10 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
 
   const auto t_decode = Clock::now();
   if (!config.dynamic_fitting) {
-    interp_decode(out.data(), axes, order, config.fitting, quantizer,
+    interp_decode(out, axes, order, config.fitting, quantizer,
                   std::span<const T>(outliers), cursor, validity, read_code);
   } else {
-    interp_decode_dynamic(out.data(), axes, order, quantizer,
+    interp_decode_dynamic(out, axes, order, quantizer,
                           std::span<const T>(outliers), cursor, validity,
                           pass_fit_bytes, read_code);
   }
@@ -509,15 +541,60 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
 
   if (periodic) {
     const auto t0 = Clock::now();
-    add_template(out, tmpl_recon, config.time_dim, mask.get());
+    add_template(out, shape, tmpl_recon.data(), tmpl_shape, config.time_dim,
+                 mask.get());
     ctx.stats.at(CodecStage::kPeriodic).seconds += seconds_since(t0);
   }
   if (mask != nullptr) {
-    for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t i = 0; i < shape.size(); ++i) {
       if (!mask->valid(i)) out[i] = fill_value;
     }
   }
   ctx.stats.total_seconds = seconds_since(t_all);
+  return shape;
+}
+
+/// Output binder for the returning decompress variants: rebinds the
+/// destination NdArray to the decoded shape in place (capacity kept).
+template <typename T>
+struct ReshapeBind {
+  NdArray<T>* out;
+  T* operator()(const Shape& shape) const {
+    out->reshape(shape);
+    return out->data();
+  }
+};
+
+/// Output binder for decompress_into(NdArray&): the caller's array must
+/// already carry the stream's shape — no silent reallocation.
+template <typename T>
+struct MatchShapeBind {
+  NdArray<T>* out;
+  T* operator()(const Shape& shape) const {
+    CLIZ_REQUIRE(out->shape() == shape,
+                 "output buffer shape does not match stream");
+    return out->data();
+  }
+};
+
+/// Output binder for decompress_into(span): the flat element count must
+/// match the stream exactly (a larger buffer is almost always a caller
+/// bug, so it is rejected rather than partially filled).
+template <typename T>
+struct SpanBind {
+  std::span<T> out;
+  T* operator()(const Shape& shape) const {
+    CLIZ_REQUIRE(out.size() == shape.size(),
+                 "output span size does not match stream");
+    return out.data();
+  }
+};
+
+template <typename T>
+NdArray<T> decompress_impl(std::span<const std::uint8_t> stream,
+                           CodecContext& ctx) {
+  NdArray<T> out;
+  decompress_core<T>(stream, ctx, ReshapeBind<T>{&out});
   return out;
 }
 
@@ -593,6 +670,40 @@ NdArray<float> ClizCompressor::decompress(std::span<const std::uint8_t> stream,
 NdArray<double> ClizCompressor::decompress_f64(
     std::span<const std::uint8_t> stream, CodecContext& ctx) {
   return decompress_impl<double>(stream, ctx);
+}
+
+void ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                     NdArray<float>& out) {
+  CodecContext ctx;
+  decompress_core<float>(stream, ctx, MatchShapeBind<float>{&out});
+}
+
+void ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                     NdArray<double>& out) {
+  CodecContext ctx;
+  decompress_core<double>(stream, ctx, MatchShapeBind<double>{&out});
+}
+
+void ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                     CodecContext& ctx, NdArray<float>& out) {
+  decompress_core<float>(stream, ctx, MatchShapeBind<float>{&out});
+}
+
+void ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                     CodecContext& ctx, NdArray<double>& out) {
+  decompress_core<double>(stream, ctx, MatchShapeBind<double>{&out});
+}
+
+Shape ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                      CodecContext& ctx,
+                                      std::span<float> out) {
+  return decompress_core<float>(stream, ctx, SpanBind<float>{out});
+}
+
+Shape ClizCompressor::decompress_into(std::span<const std::uint8_t> stream,
+                                      CodecContext& ctx,
+                                      std::span<double> out) {
+  return decompress_core<double>(stream, ctx, SpanBind<double>{out});
 }
 
 }  // namespace cliz

@@ -88,6 +88,28 @@ class ClizCompressor {
   [[nodiscard]] static NdArray<double> decompress_f64(
       std::span<const std::uint8_t> stream, CodecContext& ctx);
 
+  /// Caller-supplied-output decompression: decodes into `out`, which must
+  /// already carry the stream's exact shape (throws Error otherwise; `out`
+  /// is only written after the header validates). With a reused context,
+  /// repeated same-shape decodes reach a single-digit-allocation steady
+  /// state — the decode-side mirror of compress_into.
+  static void decompress_into(std::span<const std::uint8_t> stream,
+                              NdArray<float>& out);
+  static void decompress_into(std::span<const std::uint8_t> stream,
+                              NdArray<double>& out);
+  static void decompress_into(std::span<const std::uint8_t> stream,
+                              CodecContext& ctx, NdArray<float>& out);
+  static void decompress_into(std::span<const std::uint8_t> stream,
+                              CodecContext& ctx, NdArray<double>& out);
+
+  /// Span variants for callers that own raw storage (e.g. a chunk slab of
+  /// a larger array): `out.size()` must equal the stream's element count.
+  /// Returns the decoded shape.
+  static Shape decompress_into(std::span<const std::uint8_t> stream,
+                               CodecContext& ctx, std::span<float> out);
+  static Shape decompress_into(std::span<const std::uint8_t> stream,
+                               CodecContext& ctx, std::span<double> out);
+
   [[nodiscard]] const PipelineConfig& config() const noexcept {
     return config_;
   }

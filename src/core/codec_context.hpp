@@ -7,6 +7,7 @@
 
 #include "src/common/bitio.hpp"
 #include "src/common/bytestream.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/core/stage_stats.hpp"
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
@@ -69,6 +70,14 @@ class CodecContext {
 
   // --- decode-side scratch ---
   std::vector<std::uint8_t> raw;  ///< lossless-decompressed input stream
+  /// Pipeline config parsed from the stream header (decode) or staged for
+  /// serialization; its permutation/fusion vectors keep their capacity
+  /// across calls via PipelineConfig::deserialize_into.
+  PipelineConfig header_config;
+
+  // --- layout scratch (shared by encode and decode) ---
+  std::vector<AxisSpec> axes;          ///< fused logical axes of the shape
+  std::vector<std::size_t> axis_order; ///< induced pass order over the axes
 
   /// Work copy of the data (mutated to the reconstruction during
   /// prediction), selected by sample type.
@@ -78,6 +87,17 @@ class CodecContext {
   /// Outlier side stream, selected by sample type.
   template <typename T>
   [[nodiscard]] std::vector<T>& outliers();
+
+  /// Reconstruction buffer for the recursive periodic template (both the
+  /// encode-side round trip and the decode-side template expansion),
+  /// selected by sample type.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& tmpl_work();
+
+  /// Chunk staging buffer for the chunked compressor (one slab copied out
+  /// of the full array per call), selected by sample type.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& slab();
 
   /// Nested context for the recursive periodic-template compression
   /// (created on first use, then reused).
@@ -108,6 +128,10 @@ class CodecContext {
   std::vector<double> work_f64_;
   std::vector<float> outliers_f32_;
   std::vector<double> outliers_f64_;
+  std::vector<float> tmpl_f32_;
+  std::vector<double> tmpl_f64_;
+  std::vector<float> slab_f32_;
+  std::vector<double> slab_f64_;
   std::unique_ptr<CodecContext> child_;
 };
 
@@ -126,6 +150,22 @@ template <>
 template <>
 [[nodiscard]] inline std::vector<double>& CodecContext::outliers<double>() {
   return outliers_f64_;
+}
+template <>
+[[nodiscard]] inline std::vector<float>& CodecContext::tmpl_work<float>() {
+  return tmpl_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<double>& CodecContext::tmpl_work<double>() {
+  return tmpl_f64_;
+}
+template <>
+[[nodiscard]] inline std::vector<float>& CodecContext::slab<float>() {
+  return slab_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<double>& CodecContext::slab<double>() {
+  return slab_f64_;
 }
 
 }  // namespace cliz

@@ -1,5 +1,6 @@
 #include "src/core/compressor.hpp"
 
+#include <cstring>
 #include <optional>
 
 #include "src/common/bytestream.hpp"
@@ -14,6 +15,14 @@
 #include "src/zfp/zfp_like.hpp"
 
 namespace cliz {
+
+void Compressor::decompress_into(std::span<const std::uint8_t> stream,
+                                 NdArray<float>& out) {
+  const NdArray<float> full = decompress(stream);
+  CLIZ_REQUIRE(out.shape() == full.shape(),
+               "output buffer shape does not match stream");
+  std::memcpy(out.data(), full.data(), full.size() * sizeof(float));
+}
 
 namespace {
 
@@ -48,6 +57,11 @@ class ClizAdapter final : public Compressor {
 
   NdArray<float> decompress(std::span<const std::uint8_t> stream) override {
     return ClizCompressor::decompress(stream, ctx_);
+  }
+
+  void decompress_into(std::span<const std::uint8_t> stream,
+                       NdArray<float>& out) override {
+    ClizCompressor::decompress_into(stream, ctx_, out);
   }
 
   [[nodiscard]] const StageStats* stage_stats() const override {

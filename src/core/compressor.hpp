@@ -26,6 +26,13 @@ class Compressor {
 
   virtual NdArray<float> decompress(std::span<const std::uint8_t> stream) = 0;
 
+  /// Decompresses into a caller-supplied array that must already carry the
+  /// stream's shape (throws Error otherwise). The default implementation
+  /// decompresses to a fresh array and copies; codecs with a native
+  /// in-place decode path (CliZ) override it to skip both.
+  virtual void decompress_into(std::span<const std::uint8_t> stream,
+                               NdArray<float>& out);
+
   /// Supplies a validity mask for codecs that understand one (CliZ). The
   /// pointer must stay valid for subsequent compress() calls. Default:
   /// ignored, like the real SZ3/ZFP/SPERR/QoZ.

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/common/status.hpp"
+#include "src/core/codec_context.hpp"
+
+namespace cliz {
+
+/// Fixed-size pool of CodecContexts for chunk/trial-parallel codec work:
+/// one slot per worker thread, checked out with a single atomic
+/// compare-exchange (no locks on the hot path) and returned by RAII lease.
+///
+/// The slot a caller gets is keyed on its OpenMP thread index, so inside a
+/// `parallel_for` body every checkout lands on an uncontended slot and a
+/// thread keeps re-drawing the same warmed context — repeated chunked
+/// compressions reach the same steady-state allocation behaviour as a
+/// single-stream loop over one reused CodecContext. Callers outside a
+/// parallel region (plain std::threads) all prefer slot 0; acquire() then
+/// probes forward for a free slot, so correctness never depends on the
+/// thread-index mapping — a context is handed to exactly one lease at a
+/// time no matter who asks.
+///
+/// Ownership rules:
+///  - The pool must outlive every lease drawn from it.
+///  - A lease grants exclusive use of its context until destruction; the
+///    busy flag makes a double-checkout structurally impossible rather
+///    than merely documented.
+///  - acquire() spins (yielding) when every slot is busy, so a pool must
+///    be sized >= the number of concurrent users; try_acquire() is the
+///    non-blocking variant.
+class ContextPool {
+ public:
+  /// `slots` = 0 sizes the pool to one context per hardware thread.
+  explicit ContextPool(std::size_t slots = 0) {
+    if (slots == 0) {
+      slots = static_cast<std::size_t>(std::max(1, hardware_threads()));
+    }
+    slots_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      slots_.push_back(std::make_unique<Slot>());
+    }
+  }
+
+  ContextPool(const ContextPool&) = delete;
+  ContextPool& operator=(const ContextPool&) = delete;
+
+  /// RAII checkout of one context. Movable so acquire() can return it;
+  /// the moved-from lease releases nothing.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : pool_(other.pool_), slot_(other.slot_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        slot_ = other.slot_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] CodecContext& ctx() const noexcept {
+      return pool_->slots_[slot_]->ctx;
+    }
+    CodecContext& operator*() const noexcept { return ctx(); }
+    CodecContext* operator->() const noexcept { return &ctx(); }
+
+    /// Index of the pooled slot this lease holds (stable identity for
+    /// tests asserting exclusive handout).
+    [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
+
+   private:
+    friend class ContextPool;
+    Lease(ContextPool* pool, std::size_t slot) : pool_(pool), slot_(slot) {}
+
+    void release() noexcept {
+      if (pool_ != nullptr) {
+        pool_->slots_[slot_]->busy.store(false, std::memory_order_release);
+        pool_ = nullptr;
+      }
+    }
+
+    ContextPool* pool_;
+    std::size_t slot_ = 0;
+  };
+
+  /// Checks out a context, preferring the calling thread's slot. Spins
+  /// (yielding) while every slot is busy.
+  [[nodiscard]] Lease acquire() {
+    for (;;) {
+      if (auto lease = try_acquire()) return std::move(*lease);
+      std::this_thread::yield();
+    }
+  }
+
+  /// Non-blocking checkout; empty when every slot is busy.
+  [[nodiscard]] std::optional<Lease> try_acquire() {
+    const std::size_t n = slots_.size();
+    const std::size_t preferred =
+        static_cast<std::size_t>(thread_index()) % n;
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t s = (preferred + probe) % n;
+      bool expected = false;
+      if (slots_[s]->busy.compare_exchange_strong(
+              expected, true, std::memory_order_acquire)) {
+        checkouts_.fetch_add(1, std::memory_order_relaxed);
+        // `warmed` is only touched while the busy flag is held, so the
+        // plain bool is race-free; a warm hit means the caller inherits
+        // already-sized scratch buffers.
+        if (slots_[s]->warmed) {
+          warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        slots_[s]->warmed = true;
+        return Lease(this, s);
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Checkout telemetry. `warm_hits` counts checkouts that landed on a
+  /// previously used (already-sized) context; `contexts` is the pool size,
+  /// i.e. the total scratch arenas ever allocated on its behalf.
+  struct Stats {
+    std::uint64_t checkouts = 0;
+    std::uint64_t warm_hits = 0;
+    std::size_t contexts = 0;
+  };
+
+  [[nodiscard]] Stats stats() const {
+    return {checkouts_.load(std::memory_order_relaxed),
+            warm_hits_.load(std::memory_order_relaxed), slots_.size()};
+  }
+
+  void reset_stats() {
+    checkouts_.store(0, std::memory_order_relaxed);
+    warm_hits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    CodecContext ctx;
+    std::atomic<bool> busy{false};
+    bool warmed = false;
+  };
+
+  // unique_ptr per slot: atomics are neither movable nor copyable, and the
+  // indirection keeps busy flags on separate cache lines from each other
+  // for the common small-pool case.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> checkouts_{0};
+  std::atomic<std::uint64_t> warm_hits_{0};
+};
+
+}  // namespace cliz

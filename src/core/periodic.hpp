@@ -80,15 +80,40 @@ NdArray<T> periodic_template(const NdArray<T>& data, std::size_t time_dim,
 MaskMap periodic_template_mask(const MaskMap& mask, std::size_t time_dim,
                                std::size_t period);
 
+/// data -= template tiled along time_dim (valid points only). Raw-pointer
+/// variant (see add_template below for why both exist).
+template <typename T>
+void subtract_template(T* data, const Shape& shape, const T* tmpl,
+                       const Shape& tshape, std::size_t time_dim,
+                       const MaskMap* mask) {
+  const std::size_t period = tshape.dim(time_dim);
+  detail::for_each_mapped(shape, tshape, time_dim, period,
+                          [&](std::size_t off, std::size_t toff) {
+                            if (mask != nullptr && !mask->valid(off)) return;
+                            data[off] -= tmpl[toff];
+                          });
+}
+
 /// data -= template tiled along time_dim (valid points only).
 template <typename T>
 void subtract_template(NdArray<T>& data, const NdArray<T>& tmpl,
                        std::size_t time_dim, const MaskMap* mask) {
-  const std::size_t period = tmpl.shape().dim(time_dim);
-  detail::for_each_mapped(data.shape(), tmpl.shape(), time_dim, period,
+  subtract_template(data.data(), data.shape(), tmpl.data(), tmpl.shape(),
+                    time_dim, mask);
+}
+
+/// data += template tiled along time_dim (valid points only). Raw-pointer
+/// variant so the caller-supplied-output decode path can expand into any
+/// buffer (ctx scratch, a borrowed span, a chunk slab of a larger array).
+template <typename T>
+void add_template(T* data, const Shape& shape, const T* tmpl,
+                  const Shape& tshape, std::size_t time_dim,
+                  const MaskMap* mask) {
+  const std::size_t period = tshape.dim(time_dim);
+  detail::for_each_mapped(shape, tshape, time_dim, period,
                           [&](std::size_t off, std::size_t toff) {
                             if (mask != nullptr && !mask->valid(off)) return;
-                            data[off] -= tmpl[toff];
+                            data[off] += tmpl[toff];
                           });
 }
 
@@ -96,12 +121,8 @@ void subtract_template(NdArray<T>& data, const NdArray<T>& tmpl,
 template <typename T>
 void add_template(NdArray<T>& data, const NdArray<T>& tmpl,
                   std::size_t time_dim, const MaskMap* mask) {
-  const std::size_t period = tmpl.shape().dim(time_dim);
-  detail::for_each_mapped(data.shape(), tmpl.shape(), time_dim, period,
-                          [&](std::size_t off, std::size_t toff) {
-                            if (mask != nullptr && !mask->valid(off)) return;
-                            data[off] += tmpl[toff];
-                          });
+  add_template(data.data(), data.shape(), tmpl.data(), tmpl.shape(),
+               time_dim, mask);
 }
 
 }  // namespace cliz

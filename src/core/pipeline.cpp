@@ -30,13 +30,21 @@ void PipelineConfig::serialize(ByteWriter& out) const {
 
 PipelineConfig PipelineConfig::deserialize(ByteReader& in) {
   PipelineConfig c;
+  deserialize_into(in, c);
+  return c;
+}
+
+void PipelineConfig::deserialize_into(ByteReader& in, PipelineConfig& c) {
   const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt pipeline arity");
   c.permutation.resize(ndims);
   for (auto& d : c.permutation) d = static_cast<std::size_t>(in.get_varint());
   const std::size_t ngroups = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(ngroups >= 1 && ngroups <= ndims, "corrupt fusion groups");
-  std::vector<std::pair<std::size_t, std::size_t>> groups(ngroups);
+  // Recycle the previous fusion's group storage so repeated header parses
+  // through one scratch config settle to zero allocations.
+  auto groups = std::move(c.fusion).take_groups();
+  groups.resize(ngroups);
   for (auto& [first, last] : groups) {
     first = static_cast<std::size_t>(in.get_varint());
     last = static_cast<std::size_t>(in.get_varint());
@@ -53,7 +61,6 @@ PipelineConfig PipelineConfig::deserialize(ByteReader& in) {
   const std::uint8_t cls = in.get_u8();
   CLIZ_REQUIRE(cls <= 1, "corrupt classify flag");
   c.classify_bins = cls != 0;
-  return c;
 }
 
 }  // namespace cliz

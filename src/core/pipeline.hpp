@@ -54,6 +54,11 @@ struct PipelineConfig {
 
   void serialize(ByteWriter& out) const;
   static PipelineConfig deserialize(ByteReader& in);
+  /// Scratch-reusing variant: overwrites `c` in place, keeping the
+  /// capacity of its permutation and fusion-group vectors so same-shape
+  /// decode loops parse headers allocation-free. On a corrupt-stream
+  /// throw, `c` is left unspecified (but destructible/reassignable).
+  static void deserialize_into(ByteReader& in, PipelineConfig& c);
 
   friend bool operator==(const PipelineConfig& a, const PipelineConfig& b) {
     return a.permutation == b.permutation && a.fusion == b.fusion &&

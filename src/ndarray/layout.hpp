@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <utility>
@@ -81,6 +82,14 @@ class FusionSpec {
     return a.groups_ == b.groups_;
   }
 
+  /// Moves the group storage out so a deserializer can refill it in place
+  /// (capacity kept) and rebuild the spec without reallocating. The
+  /// moved-from spec is only valid for destruction/assignment.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  take_groups() && {
+    return std::move(groups_);
+  }
+
  private:
   std::vector<std::pair<std::size_t, std::size_t>> groups_;
 };
@@ -103,6 +112,41 @@ inline std::vector<AxisSpec> fused_axes(const Shape& shape,
   return axes;
 }
 
+/// Scratch-reusing variant of fused_axes: fills `axes` in place (capacity
+/// kept), for steady-state allocation-free codec paths.
+inline void fused_axes_into(const Shape& shape, const FusionSpec& fusion,
+                            std::vector<AxisSpec>& axes) {
+  CLIZ_REQUIRE(fusion.ndims() == shape.ndims(),
+               "fusion arity does not match shape");
+  axes.clear();
+  for (const auto& [first, last] : fusion.groups()) {
+    std::size_t extent = 1;
+    for (std::size_t d = first; d <= last; ++d) extent *= shape.dim(d);
+    axes.push_back({extent, shape.stride(last)});
+  }
+}
+
+/// Scratch-reusing core of induced_axis_order: fills `order` in place
+/// (capacity kept). The seen-set is a plain bitmask — group counts are
+/// bounded by the axis limit, far under 64 — so the whole computation is
+/// allocation-free once `order` has settled.
+inline void induced_axis_order_into(const FusionSpec& fusion,
+                                    std::span<const std::size_t> phys_perm,
+                                    std::vector<std::size_t>& order) {
+  CLIZ_REQUIRE(fusion.ngroups() <= 64, "too many fused groups");
+  order.clear();
+  std::uint64_t seen = 0;
+  for (const std::size_t d : phys_perm) {
+    const std::size_t g = fusion.group_of(d);
+    if ((seen & (std::uint64_t{1} << g)) == 0) {
+      seen |= std::uint64_t{1} << g;
+      order.push_back(g);
+    }
+  }
+  CLIZ_REQUIRE(order.size() == fusion.ngroups(),
+               "permutation does not cover all dims");
+}
+
 /// Order of logical axes induced by a permutation of the *physical* dims:
 /// logical groups are ordered by the first appearance of any member dim in
 /// the physical permutation. This is how a paper-style combo like sequence
@@ -110,16 +154,7 @@ inline std::vector<AxisSpec> fused_axes(const Shape& shape,
 inline std::vector<std::size_t> induced_axis_order(
     const FusionSpec& fusion, std::span<const std::size_t> phys_perm) {
   std::vector<std::size_t> order;
-  std::vector<bool> seen(fusion.ngroups(), false);
-  for (const std::size_t d : phys_perm) {
-    const std::size_t g = fusion.group_of(d);
-    if (!seen[g]) {
-      seen[g] = true;
-      order.push_back(g);
-    }
-  }
-  CLIZ_REQUIRE(order.size() == fusion.ngroups(),
-               "permutation does not cover all dims");
+  induced_axis_order_into(fusion, phys_perm, order);
   return order;
 }
 

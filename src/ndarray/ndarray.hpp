@@ -44,6 +44,15 @@ class NdArray {
   /// scratch buffer round-trip through an NdArray without a copy.
   [[nodiscard]] std::vector<T> take_flat() && { return std::move(data_); }
 
+  /// Re-binds the array to `shape`, resizing the backing storage in place
+  /// (capacity is kept, so same-shape replay loops never reallocate).
+  /// Newly grown elements are value-initialized; surviving elements keep
+  /// their previous values.
+  void reshape(Shape shape) {
+    shape_ = std::move(shape);
+    data_.resize(shape_.size());
+  }
+
   [[nodiscard]] std::span<T> flat() noexcept { return data_; }
   [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
   [[nodiscard]] T* data() noexcept { return data_.data(); }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <type_traits>
 
 #include "src/climate/datasets.hpp"
 #include "src/common/rng.hpp"
@@ -12,9 +13,10 @@
 namespace cliz {
 namespace {
 
-NdArray<float> smooth_array(const DimVec& dims, std::uint64_t seed) {
+template <typename T>
+NdArray<T> smooth_array_t(const DimVec& dims, std::uint64_t seed) {
   const Shape shape(dims);
-  NdArray<float> a(shape);
+  NdArray<T> a(shape);
   Rng rng(seed);
   for (std::size_t i = 0; i < a.size(); ++i) {
     const auto c = shape.coords(i);
@@ -22,9 +24,13 @@ NdArray<float> smooth_array(const DimVec& dims, std::uint64_t seed) {
     for (std::size_t d = 0; d < c.size(); ++d) {
       v += std::sin(0.09 * static_cast<double>(c[d]));
     }
-    a[i] = static_cast<float>(v + 0.01 * rng.normal());
+    a[i] = static_cast<T>(v + 0.01 * rng.normal());
   }
   return a;
+}
+
+NdArray<float> smooth_array(const DimVec& dims, std::uint64_t seed) {
+  return smooth_array_t<float>(dims, seed);
 }
 
 class ChunkCountSweep : public ::testing::TestWithParam<std::size_t> {};
@@ -44,6 +50,95 @@ TEST_P(ChunkCountSweep, RoundTripWithinBound) {
 INSTANTIATE_TEST_SUITE_P(Counts, ChunkCountSweep,
                          ::testing::Values(1, 2, 3, 7, 16, 30,
                                            100 /* > extent: clamped */));
+
+// --- shape / chunk-count / sample-type sweep ----------------------------
+
+struct SweepCase {
+  DimVec dims;
+  std::size_t chunks;
+  bool f64;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name;
+  for (const std::size_t d : info.param.dims) {
+    name += std::to_string(d) + "x";
+  }
+  name.back() = '_';
+  name += std::to_string(info.param.chunks) + "chunks_";
+  name += info.param.f64 ? "f64" : "f32";
+  return name;
+}
+
+/// Every public chunked entry point on one input: compress, decompress,
+/// decompress_into, and a reused scratch — with byte-identity between the
+/// scratch-free and scratch-reusing paths.
+template <typename T>
+void sweep_round_trip(const DimVec& dims, std::size_t chunks) {
+  const auto data = smooth_array_t<T>(dims, 8 + dims.size());
+  const double eb = 1e-3;
+  const auto config = PipelineConfig::defaults(dims.size());
+
+  ChunkedOptions opts;
+  opts.chunks = chunks;
+  const auto stream = chunked_compress(data, eb, config, nullptr, opts);
+
+  ChunkedScratch scratch;
+  ChunkedOptions pooled = opts;
+  pooled.scratch = &scratch;
+  std::vector<std::uint8_t> pooled_stream;
+  for (int round = 0; round < 2; ++round) {
+    chunked_compress_into(data, eb, config, nullptr, pooled, pooled_stream);
+    ASSERT_EQ(pooled_stream, stream) << "round " << round;
+  }
+
+  const auto recon = [&] {
+    if constexpr (std::is_same_v<T, double>) {
+      return chunked_decompress_f64(stream, &scratch);
+    } else {
+      return chunked_decompress(stream, &scratch);
+    }
+  }();
+  ASSERT_EQ(recon.shape(), data.shape());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(data[i]) -
+                                         static_cast<double>(recon[i])));
+  }
+  EXPECT_LE(max_err, eb);
+
+  NdArray<T> out(data.shape());
+  chunked_decompress_into(stream, out, &scratch);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], recon[i]) << "into/returning divergence at " << i;
+  }
+}
+
+class ChunkedSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ChunkedSweep, RoundTripAllPaths) {
+  const SweepCase& c = GetParam();
+  if (c.f64) {
+    sweep_round_trip<double>(c.dims, c.chunks);
+  } else {
+    sweep_round_trip<float>(c.dims, c.chunks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTypes, ChunkedSweep,
+    ::testing::Values(
+        // 1-D: even and odd splits, both sample types.
+        SweepCase{{64}, 1, false}, SweepCase{{64}, 5, false},
+        SweepCase{{63}, 4, true},
+        // 2-D: odd remainders (41 rows / 7 chunks leaves ragged slabs).
+        SweepCase{{40, 12}, 3, false}, SweepCase{{41, 11}, 7, true},
+        // 3-D: even split, ragged split, and per-row chunks.
+        SweepCase{{24, 10, 8}, 4, false}, SweepCase{{25, 9, 7}, 6, true},
+        SweepCase{{13, 6, 5}, 13, false},
+        // 4-D ragged.
+        SweepCase{{10, 5, 4, 3}, 3, false}),
+    sweep_name);
 
 TEST(Chunked, DefaultChunkCountWorks) {
   const auto data = smooth_array({24, 12, 12}, 4);

@@ -21,24 +21,47 @@
 
 // --- global allocation counters (this test binary only) -------------------
 
+// The replaced operators below are the textbook malloc/free pair, but once
+// both ends inline into the same frame GCC's heuristic flags the free() as
+// mismatched with the replaced new.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
 std::atomic<std::size_t> g_alloc_bytes{0};
-}  // namespace
 
-void* operator new(std::size_t size) {
+void* counted_alloc(std::size_t size) noexcept {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  return std::malloc(size == 0 ? 1 : size);
+}
+}  // namespace
+
+// Every form is replaced (including nothrow, which libstdc++'s temporary
+// buffers use) so no allocation pairs a library-provided new with our
+// free — ASan's alloc-dealloc matching requires the full set.
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
   throw std::bad_alloc();
 }
-
 void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace cliz {
 namespace {

@@ -9,6 +9,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/common/status.hpp"
+#include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
 #include "src/core/compressor.hpp"
 #include "src/huffman/huffman.hpp"
@@ -186,6 +187,170 @@ TEST(FuzzMask, GarbageRle) {
       (void)MaskMap::deserialize(r);
     });
   }
+}
+
+TEST(FuzzChunked, GarbageTruncationsAndBitFlips) {
+  const auto data = sample_data();
+  ChunkedOptions opts;
+  opts.chunks = 4;
+  const auto stream = chunked_compress(data, 1e-3,
+                                       PipelineConfig::defaults(3), nullptr,
+                                       opts);
+
+  // One scratch shared across every hostile decode: corruption handling
+  // must not poison the pooled contexts for the next (valid or invalid)
+  // frame.
+  ChunkedScratch scratch;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const auto garbage = random_bytes(8 + seed * 31, 2000 + seed);
+    expect_no_crash([&] { (void)chunked_decompress(garbage, &scratch); });
+  }
+  for (std::size_t cut = 0; cut < stream.size();
+       cut += std::max<std::size_t>(1, stream.size() / 50)) {
+    std::vector<std::uint8_t> truncated(stream.begin(),
+                                        stream.begin() +
+                                            static_cast<std::ptrdiff_t>(cut));
+    expect_no_crash([&] { (void)chunked_decompress(truncated, &scratch); });
+  }
+  Rng rng(9001);
+  NdArray<float> out(data.shape());
+  for (int trial = 0; trial < 80; ++trial) {
+    auto mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.uniform_index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    }
+    expect_no_crash([&] { (void)chunked_decompress(mutated, &scratch); });
+    expect_no_crash([&] { chunked_decompress_into(mutated, out, &scratch); });
+  }
+
+  // The hammered scratch still decodes the pristine frame correctly.
+  const auto recon = chunked_decompress(stream, &scratch);
+  ASSERT_EQ(recon.shape(), data.shape());
+  EXPECT_LE(error_stats(data.flat(), recon.flat()).max_abs_error, 1e-3);
+}
+
+TEST(FuzzChunked, HostileHeaders) {
+  constexpr std::uint32_t kChunkedMagic = 0x434C4B53u;  // "CLKS"
+  const auto data = sample_data();  // shape {16, 12, 10}
+  const auto valid_chunk = ClizCompressor(PipelineConfig::defaults(3))
+                               .compress(data, 1e-3);
+  ChunkedScratch scratch;
+
+  // Each writer builds one hostile frame; every one must be rejected (or
+  // at worst decode to garbage) without crashing through the pooled path.
+  const auto hostile = [&](auto&& build) {
+    ByteWriter w;
+    w.put(kChunkedMagic);
+    build(w);
+    const auto frame = w.bytes();
+    expect_no_crash([&] {
+      (void)chunked_decompress(
+          std::vector<std::uint8_t>(frame.begin(), frame.end()), &scratch);
+    });
+  };
+
+  // Zero / oversized dimensionality.
+  hostile([&](ByteWriter& w) { w.put_varint(0); });
+  hostile([&](ByteWriter& w) { w.put_varint(9); });
+  // Huge dims (allocation bombs must be caught or bounded).
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    w.put_varint(std::uint64_t{1} << 40);
+    w.put_varint(std::uint64_t{1} << 40);
+    w.put_varint(std::uint64_t{1} << 40);
+    w.put_varint(1);
+  });
+  // Chunk count of zero, and more chunks than dim-0 rows.
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+    w.put_varint(0);
+  });
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+    w.put_varint(17);
+  });
+  // Ranges that gap, overlap, invert, or overshoot dim 0.
+  for (const auto& [lo, hi] : std::vector<std::pair<std::uint64_t,
+                                                    std::uint64_t>>{
+           {1, 16},    // gap at the front
+           {0, 0},     // empty
+           {4, 2},     // inverted
+           {0, 99}}) {  // overshoot
+    hostile([&](ByteWriter& w) {
+      w.put_varint(3);
+      for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+      w.put_varint(1);
+      w.put_varint(lo);
+      w.put_varint(hi);
+      w.put_block(valid_chunk);
+    });
+  }
+  // Block length overrunning the frame.
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+    w.put_varint(1);
+    w.put_varint(0);
+    w.put_varint(16);
+    w.put_varint(1 << 20);  // promised block length; no payload follows
+  });
+  // Well-formed header whose chunk payload is garbage.
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+    w.put_varint(1);
+    w.put_varint(0);
+    w.put_varint(16);
+    w.put_block(random_bytes(200, 31337));
+  });
+  // Well-formed header whose (valid CliZ) chunk decodes to the wrong
+  // slab geometry: frame claims rows 0..8, payload carries all 16.
+  hostile([&](ByteWriter& w) {
+    w.put_varint(3);
+    for (const std::size_t d : {16, 12, 10}) w.put_varint(d);
+    w.put_varint(2);
+    w.put_varint(0);
+    w.put_varint(8);
+    w.put_block(valid_chunk);
+    w.put_varint(8);
+    w.put_varint(16);
+    w.put_block(valid_chunk);
+  });
+}
+
+TEST(FuzzChunked, WrongDecoderAndSampleWidth) {
+  const auto data = sample_data();
+  ChunkedOptions opts;
+  opts.chunks = 3;
+  const auto f32_frame = chunked_compress(data, 1e-3,
+                                          PipelineConfig::defaults(3),
+                                          nullptr, opts);
+  NdArray<double> f64_data(data.shape());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    f64_data[i] = static_cast<double>(data[i]);
+  }
+  const auto f64_frame = chunked_compress(f64_data, 1e-3,
+                                          PipelineConfig::defaults(3),
+                                          nullptr, opts);
+  EXPECT_EQ(chunked_sample_bytes(f32_frame), 4u);
+  EXPECT_EQ(chunked_sample_bytes(f64_frame), 8u);
+
+  // Sample-width mismatches are clean errors through the pooled decode.
+  ChunkedScratch scratch;
+  EXPECT_THROW((void)chunked_decompress(f64_frame, &scratch), Error);
+  EXPECT_THROW((void)chunked_decompress_f64(f32_frame, &scratch), Error);
+
+  // Chunked frames into plain decoders and vice versa: clean rejects.
+  EXPECT_FALSE(is_chunked_stream(
+      ClizCompressor(PipelineConfig::defaults(3)).compress(data, 1e-3)));
+  EXPECT_THROW((void)ClizCompressor::decompress(f32_frame), Error);
+  const auto plain = ClizCompressor(PipelineConfig::defaults(3))
+                         .compress(data, 1e-3);
+  EXPECT_THROW((void)chunked_decompress(plain, &scratch), Error);
 }
 
 TEST(FuzzCrossCodec, StreamsFedToWrongDecoder) {

@@ -1,0 +1,241 @@
+// Golden-stream corpus: compressed frames committed to the repository
+// (tests/data/) that every future revision must keep decoding — and, since
+// CliZ streams are deterministic, keep reproducing bit-for-bit on
+// compression. A format or codec change that alters streams fails here
+// first; if the change is intentional, regenerate the corpus by running
+// this binary with CLIZ_REGEN_GOLDEN=1 and commit the new files.
+//
+// The synthetic inputs are rebuilt in-process from the repo PRNG using
+// only IEEE add/mul arithmetic (no libm transcendentals), so the corpus
+// and the checks are bit-identical across platforms and libc versions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/chunked.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+constexpr double kEb = 1e-3;
+constexpr float kFill = 9.96921e36f;
+
+std::string golden_path(const char* file) {
+  return std::string(CLIZ_GOLDEN_DIR) + "/" + file;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " (regenerate the corpus with CLIZ_REGEN_GOLDEN=1)";
+    return {};
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- deterministic inputs (IEEE arithmetic only) -------------------------
+
+/// Smooth-ish 2-D field: linear trends + a small integer texture + noise.
+NdArray<float> plain_field() {
+  const Shape shape({40, 48});
+  NdArray<float> a(shape);
+  Rng rng(1001);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 48; ++c) {
+      const double v = 0.03 * static_cast<double>(r) -
+                       0.015 * static_cast<double>(c) +
+                       0.25 * static_cast<double>((r + c) % 9) +
+                       0.05 * rng.uniform();
+      a[r * 48 + c] = static_cast<float>(v);
+    }
+  }
+  return a;
+}
+
+struct MaskedField {
+  NdArray<float> data;
+  MaskMap mask;
+};
+
+/// 3-D field with a land/sea-style mask on every 13th point.
+MaskedField masked_field() {
+  const Shape shape({16, 12, 14});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  Rng rng(2002);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 13 == 0) {
+      mask.mutable_data()[i] = 0;
+      data[i] = kFill;
+      continue;
+    }
+    const double v = 0.1 * static_cast<double>(i % 14) -
+                     0.07 * static_cast<double>((i / 14) % 12) +
+                     0.04 * rng.uniform();
+    data[i] = static_cast<float>(v);
+  }
+  return {std::move(data), std::move(mask)};
+}
+
+/// 3-D field with an exact period-6 seasonal signal along dim 0.
+NdArray<float> periodic_field() {
+  const Shape shape({36, 10, 12});
+  NdArray<float> a(shape);
+  Rng rng(3003);
+  for (std::size_t t = 0; t < 36; ++t) {
+    // Parabolic bump over the 6-step season: 0, 5, 8, 9, 8, 5 (scaled).
+    const double season =
+        0.1 * static_cast<double>((t % 6) * (11 - (t % 6)));
+    for (std::size_t p = 0; p < 120; ++p) {
+      const double v = season + 0.02 * static_cast<double>(p % 12) +
+                       0.03 * rng.uniform();
+      a[t * 120 + p] = static_cast<float>(v);
+    }
+  }
+  return a;
+}
+
+/// 3-D field for the chunked frame (odd extent: uneven slabs).
+NdArray<float> chunked_field() {
+  const Shape shape({30, 12, 10});
+  NdArray<float> a(shape);
+  Rng rng(4004);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = 0.05 * static_cast<double>(i % 120) -
+                     0.002 * static_cast<double>(i / 120) +
+                     0.03 * rng.uniform();
+    a[i] = static_cast<float>(v);
+  }
+  return a;
+}
+
+PipelineConfig masked_config() {
+  PipelineConfig c = PipelineConfig::defaults(3);
+  c.dynamic_fitting = true;
+  c.classify_bins = true;
+  return c;
+}
+
+PipelineConfig periodic_config() {
+  PipelineConfig c = PipelineConfig::defaults(3);
+  c.period = 6;
+  c.time_dim = 0;
+  return c;
+}
+
+std::vector<std::uint8_t> make_chunked_stream() {
+  ChunkedOptions opts;
+  opts.chunks = 4;
+  return chunked_compress(chunked_field(), kEb, PipelineConfig::defaults(3),
+                          nullptr, opts);
+}
+
+// --- corpus maintenance (must be declared first: bootstraps a fresh
+// checkout when run with CLIZ_REGEN_GOLDEN=1) ----------------------------
+
+TEST(GoldenStreams, Regenerate) {
+  if (std::getenv("CLIZ_REGEN_GOLDEN") == nullptr) {
+    GTEST_SKIP() << "set CLIZ_REGEN_GOLDEN=1 to rewrite the corpus";
+  }
+  write_file(golden_path("golden_plain.cliz"),
+             ClizCompressor(PipelineConfig::defaults(2))
+                 .compress(plain_field(), kEb));
+  const auto mf = masked_field();
+  write_file(golden_path("golden_masked.cliz"),
+             ClizCompressor(masked_config()).compress(mf.data, kEb,
+                                                      &mf.mask));
+  write_file(golden_path("golden_periodic.cliz"),
+             ClizCompressor(periodic_config())
+                 .compress(periodic_field(), kEb));
+  write_file(golden_path("golden_chunked.clks"), make_chunked_stream());
+}
+
+// --- the locks ----------------------------------------------------------
+
+TEST(GoldenStreams, PlainStreamDecodesAndReproduces) {
+  const auto stream = read_file(golden_path("golden_plain.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = plain_field();
+
+  CodecContext ctx;
+  NdArray<float> out(data.shape());
+  ClizCompressor::decompress_into(stream, ctx, out);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+
+  EXPECT_EQ(ClizCompressor(PipelineConfig::defaults(2)).compress(data, kEb),
+            stream)
+      << "compressor output drifted from the committed stream";
+}
+
+TEST(GoldenStreams, MaskedStreamDecodesAndReproduces) {
+  const auto stream = read_file(golden_path("golden_masked.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto field = masked_field();
+
+  const auto out = ClizCompressor::decompress(stream);
+  ASSERT_EQ(out.shape(), field.data.shape());
+  EXPECT_LE(
+      error_stats(field.data.flat(), out.flat(), &field.mask).max_abs_error,
+      kEb);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!field.mask.valid(i)) {
+      ASSERT_EQ(out[i], kFill) << "masked point " << i;
+    }
+  }
+
+  EXPECT_EQ(
+      ClizCompressor(masked_config()).compress(field.data, kEb, &field.mask),
+      stream)
+      << "compressor output drifted from the committed stream";
+}
+
+TEST(GoldenStreams, PeriodicStreamDecodesAndReproduces) {
+  const auto stream = read_file(golden_path("golden_periodic.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = periodic_field();
+
+  CodecContext ctx;
+  NdArray<float> out(data.shape());
+  ClizCompressor::decompress_into(stream, ctx, out);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+
+  EXPECT_EQ(ClizCompressor(periodic_config()).compress(data, kEb), stream)
+      << "compressor output drifted from the committed stream";
+}
+
+TEST(GoldenStreams, ChunkedFrameDecodesAndReproduces) {
+  const auto stream = read_file(golden_path("golden_chunked.clks"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = chunked_field();
+
+  ASSERT_TRUE(is_chunked_stream(stream));
+  EXPECT_EQ(chunked_sample_bytes(stream), 4u);
+
+  ChunkedScratch scratch;
+  NdArray<float> out(data.shape());
+  chunked_decompress_into(stream, out, &scratch);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+
+  EXPECT_EQ(make_chunked_stream(), stream)
+      << "chunked frame drifted from the committed stream";
+}
+
+}  // namespace
+}  // namespace cliz

@@ -20,6 +20,7 @@
 
 #include "src/climate/datasets.hpp"
 #include "src/core/autotune.hpp"
+#include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
 #include "src/core/codec_context.hpp"
 #include "src/core/compressor.hpp"
@@ -36,8 +37,9 @@ using namespace cliz;
   std::fprintf(stderr, R"(usage:
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
-                   [--tune RATE] [--time-dim N] [--stats]
-  clizc decompress <in>      -o <out.f32>   (f64 streams auto-detected)
+                   [--tune RATE] [--time-dim N] [--chunks N] [--stats]
+  clizc decompress <in>      -o <out.f32> [--stats]
+                   (f64 and chunked streams auto-detected)
   clizc info       <in>
   clizc analyze    <orig.f32> <recon.f32> -d T,Y,X [-e ABS] [--mask-fill]
                    [--compressed-bytes N]
@@ -91,6 +93,15 @@ DimVec parse_dims(const std::string& spec) {
   return dims;
 }
 
+void print_pool_stats(const ChunkedScratch& scratch) {
+  const auto s = scratch.pool.stats();
+  std::fprintf(stderr,
+               "context pool: %zu context(s), %llu checkout(s), "
+               "%llu warm hit(s)\n",
+               s.contexts, static_cast<unsigned long long>(s.checkouts),
+               static_cast<unsigned long long>(s.warm_hits));
+}
+
 /// Tiny argv cursor.
 struct Args {
   int argc;
@@ -136,6 +147,8 @@ int cmd_compress(Args& args) {
   bool show_stats = false;
   double tune_rate = 0.01;
   std::size_t time_dim = 0;
+  std::size_t chunks = 0;
+  bool chunked = false;
 
   while (!args.done()) {
     const std::string opt = args.next("option");
@@ -158,6 +171,10 @@ int cmd_compress(Args& args) {
     } else if (opt == "--time-dim") {
       time_dim = static_cast<std::size_t>(
           std::atoll(args.next("time dim").c_str()));
+    } else if (opt == "--chunks") {
+      chunked = true;
+      chunks = static_cast<std::size_t>(
+          std::atoll(args.next("chunk count").c_str()));
     } else if (opt == "--stats") {
       show_stats = true;
     } else {
@@ -166,6 +183,9 @@ int cmd_compress(Args& args) {
   }
   if (!dims.has_value()) usage("compress needs -d DIMS");
   if (output.empty()) usage("compress needs -o OUTPUT");
+  if (chunked && codec != "cliz") {
+    usage("--chunks is only supported with -c cliz");
+  }
 
   if (f64) {
     const auto data = load_raw_t<double>(input, *dims);
@@ -184,7 +204,7 @@ int cmd_compress(Args& args) {
       eb = hi > lo ? rel_eb * (hi - lo) : rel_eb;
     }
     std::vector<std::uint8_t> stream;
-    if (show_stats && codec == "cliz") {
+    if (chunked || (show_stats && codec == "cliz")) {
       // Tune on a float32 downcast (ranking only), then compress the
       // float64 samples through a context so --stats has telemetry.
       NdArray<float> downcast(data.shape());
@@ -195,9 +215,19 @@ int cmd_compress(Args& args) {
       opts.sampling_rate = tune_rate;
       opts.time_dim = time_dim;
       const auto tuned = autotune(downcast, eb, mask_ptr, opts);
-      CodecContext cctx;
-      stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
-      std::fputs(cctx.stats.to_text().c_str(), stderr);
+      if (chunked) {
+        ChunkedScratch scratch;
+        ChunkedOptions copts;
+        copts.chunks = chunks;
+        copts.scratch = &scratch;
+        stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
+        if (show_stats) print_pool_stats(scratch);
+      } else {
+        CodecContext cctx;
+        stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr,
+                                                     cctx);
+        std::fputs(cctx.stats.to_text().c_str(), stderr);
+      }
     } else {
       stream = compress_f64(codec, data, eb, mask_ptr, time_dim);
       if (show_stats) {
@@ -234,9 +264,18 @@ int cmd_compress(Args& args) {
     std::fprintf(stderr, "tuned pipeline: %s (%zu candidates, %.2f s)\n",
                  tuned.best.label().c_str(), tuned.candidates.size(),
                  tuned.tuning_seconds);
-    CodecContext cctx;
-    stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
-    if (show_stats) std::fputs(cctx.stats.to_text().c_str(), stderr);
+    if (chunked) {
+      ChunkedScratch scratch;
+      ChunkedOptions copts;
+      copts.chunks = chunks;
+      copts.scratch = &scratch;
+      stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
+      if (show_stats) print_pool_stats(scratch);
+    } else {
+      CodecContext cctx;
+      stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
+      if (show_stats) std::fputs(cctx.stats.to_text().c_str(), stderr);
+    }
   } else {
     const auto comp = make_compressor(codec);
     stream = comp->compress(data, eb);
@@ -263,10 +302,13 @@ int cmd_compress(Args& args) {
 int cmd_decompress(Args& args) {
   const std::string input = args.next("input file");
   std::string output;
+  bool show_stats = false;
   while (!args.done()) {
     const std::string opt = args.next("option");
     if (opt == "-o") {
       output = args.next("output path");
+    } else if (opt == "--stats") {
+      show_stats = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -274,15 +316,45 @@ int cmd_decompress(Args& args) {
   if (output.empty()) usage("decompress needs -o OUTPUT");
 
   const auto stream = read_file(input);
+
+  if (is_chunked_stream(stream)) {
+    ChunkedScratch scratch;
+    if (chunked_sample_bytes(stream) == 8) {
+      const auto data = chunked_decompress_f64(stream, &scratch);
+      write_file(output, data.data(), data.size() * sizeof(double));
+      std::fprintf(stderr, "%s -> %s %s (%zu float64 values, chunked)\n",
+                   input.c_str(), output.c_str(),
+                   data.shape().to_string().c_str(), data.size());
+    } else {
+      const auto data = chunked_decompress(stream, &scratch);
+      write_file(output, data.data(), data.size() * sizeof(float));
+      std::fprintf(stderr, "%s -> %s %s (%zu values, chunked)\n",
+                   input.c_str(), output.c_str(),
+                   data.shape().to_string().c_str(), data.size());
+    }
+    if (show_stats) print_pool_stats(scratch);
+    return 0;
+  }
+
+  const bool is_cliz = show_stats && detect_codec(stream) == "cliz";
   if (detect_sample_bytes(stream) == 8) {
-    const auto data = decompress_any_f64(stream);
+    CodecContext ctx;
+    const auto data = is_cliz ? ClizCompressor::decompress_f64(stream, ctx)
+                              : decompress_any_f64(stream);
+    if (is_cliz) std::fputs(ctx.stats.to_text().c_str(), stderr);
     write_file(output, data.data(), data.size() * sizeof(double));
     std::fprintf(stderr, "%s -> %s %s (%zu float64 values)\n", input.c_str(),
                  output.c_str(), data.shape().to_string().c_str(),
                  data.size());
     return 0;
   }
-  const auto data = decompress_any(stream);
+  CodecContext ctx;
+  const auto data = is_cliz ? ClizCompressor::decompress(stream, ctx)
+                            : decompress_any(stream);
+  if (is_cliz) std::fputs(ctx.stats.to_text().c_str(), stderr);
+  if (show_stats && !is_cliz) {
+    std::fprintf(stderr, "clizc: --stats is only reported for cliz streams\n");
+  }
   write_file(output, data.data(), data.size() * sizeof(float));
   std::fprintf(stderr, "%s -> %s %s (%zu values)\n", input.c_str(),
                output.c_str(), data.shape().to_string().c_str(),
@@ -312,6 +384,17 @@ int cmd_info(Args& args) {
                                     static_cast<std::size_t>(
                                         v.compressed_bytes)));
     }
+    return 0;
+  }
+  if (is_chunked_stream(bytes)) {
+    const unsigned width = chunked_sample_bytes(bytes);
+    const Shape shape = width == 8 ? chunked_decompress_f64(bytes).shape()
+                                   : chunked_decompress(bytes).shape();
+    std::printf(
+        "chunked cliz stream: %s, %zu float%u values, %zu compressed "
+        "bytes (%.2fx)\n",
+        shape.to_string().c_str(), shape.size(), width * 8, bytes.size(),
+        compression_ratio(shape.size() * width, bytes.size()));
     return 0;
   }
   const std::string codec = detect_codec(bytes);
