@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "src/common/bytestream.hpp"
+#include "src/common/crc32c.hpp"
 #include "src/common/parallel.hpp"
 #include "src/core/compressor.hpp"
 
@@ -14,7 +15,12 @@ namespace cliz {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x434C4B53u;  // "CLKS"
+constexpr std::uint32_t kMagic = 0x434C4B53u;    // "CLKS": v1, checksum-less
+// v2 frame: the header (dims, chunk ranges, per-chunk payload CRCs) is
+// front-loaded and covered by its own CRC32C, then the payload blocks
+// follow. Covering the payload digests by the header digest means a spliced
+// chunk (payload + its CRC swapped in from another frame) cannot pass.
+constexpr std::uint32_t kMagicV2 = 0x434C4B32u;  // "CLK2"
 
 /// Slab boundaries: `chunks` near-equal ranges of dim 0.
 std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
@@ -60,12 +66,20 @@ struct ChunkRef {
   std::size_t lo = 0;
   std::size_t hi = 0;
   std::span<const std::uint8_t> bytes;
+  std::uint32_t crc = 0;       ///< CRC32C of `bytes` (v2 frames)
+  bool has_crc = false;
 };
 
-/// Parses and validates the frame header, filling `refs`. Returns the full
-/// array shape.
-Shape parse_chunked_header(ByteReader& in, std::vector<ChunkRef>& refs) {
-  CLIZ_REQUIRE(in.get<std::uint32_t>() == kMagic, "not a chunked stream");
+/// Parses and validates the frame header (v1 or v2), filling `refs`.
+/// Returns the full array shape. For v2 frames the header CRC and the
+/// chunk-range structure are verified here; per-chunk payload CRCs are
+/// stashed in the refs and checked by the (parallel) decode workers.
+Shape parse_chunked_header(std::span<const std::uint8_t> stream,
+                           std::vector<ChunkRef>& refs) {
+  ByteReader in(stream);
+  const std::uint32_t magic = in.get<std::uint32_t>();
+  CLIZ_REQUIRE(magic == kMagic || magic == kMagicV2, "not a chunked stream");
+  const bool v2 = magic == kMagicV2;
   const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt dimensionality");
   DimVec dims(ndims);
@@ -84,9 +98,23 @@ Shape parse_chunked_header(ByteReader& in, std::vector<ChunkRef>& refs) {
                      ref.hi <= shape.dim(0),
                  "corrupt chunk ranges");
     expected = ref.hi;
-    ref.bytes = in.get_block();
+    if (v2) {
+      ref.crc = in.get<std::uint32_t>();
+      ref.has_crc = true;
+    } else {
+      ref.bytes = in.get_block();
+    }
   }
   CLIZ_REQUIRE(expected == shape.dim(0), "chunks do not cover dim 0");
+  if (v2) {
+    const std::size_t header_end = in.pos();
+    const std::uint32_t header_crc = in.get<std::uint32_t>();
+    CLIZ_REQUIRE(
+        crc32c(stream.subspan(sizeof(kMagicV2),
+                              header_end - sizeof(kMagicV2))) == header_crc,
+        "chunked frame header CRC mismatch");
+    for (auto& ref : refs) ref.bytes = in.get_block();
+  }
   return shape;
 }
 
@@ -169,17 +197,21 @@ void chunked_compress_impl(const NdArray<T>& data, double abs_error_bound,
   });
   latch.rethrow_if_failed();
 
-  // Assemble the frame into the caller's buffer, reusing its capacity.
+  // Assemble the v2 frame into the caller's buffer, reusing its capacity:
+  // CRC-covered header (dims, ranges, per-chunk payload digests) first,
+  // payload blocks after.
   ByteWriter w(std::move(out));
-  w.put(kMagic);
+  w.put(kMagicV2);
   w.put_varint(shape.ndims());
   for (const std::size_t d : shape.dims()) w.put_varint(d);
   w.put_varint(ranges.size());
   for (std::size_t c = 0; c < ranges.size(); ++c) {
     w.put_varint(ranges[c].first);
     w.put_varint(ranges[c].second);
-    w.put_block(streams[c]);
+    w.put(crc32c(streams[c]));
   }
+  w.put(crc32c(w.bytes().subspan(sizeof(kMagicV2))));
+  for (std::size_t c = 0; c < ranges.size(); ++c) w.put_block(streams[c]);
   out = std::move(w).take();
 }
 
@@ -187,9 +219,8 @@ template <typename T>
 void chunked_decompress_core(std::span<const std::uint8_t> stream,
                              ChunkedScratch* scratch_opt, NdArray<T>& out,
                              bool require_shape_match) {
-  ByteReader in(stream);
   std::vector<ChunkRef> refs;
-  const Shape shape = parse_chunked_header(in, refs);
+  const Shape shape = parse_chunked_header(stream, refs);
   if (require_shape_match) {
     CLIZ_REQUIRE(out.shape() == shape,
                  "output buffer shape does not match stream");
@@ -210,6 +241,8 @@ void chunked_decompress_core(std::span<const std::uint8_t> stream,
       // binder enforces the element count, the dim-0 check below the
       // actual slab geometry.
       const std::size_t extent = refs[c].hi - refs[c].lo;
+      CLIZ_REQUIRE(!refs[c].has_crc || crc32c(refs[c].bytes) == refs[c].crc,
+                   "chunk payload CRC mismatch");
       const std::span<T> slab(out.data() + refs[c].lo * row, extent * row);
       const Shape cshape =
           ClizCompressor::decompress_into(refs[c].bytes, *lease, slab);
@@ -285,13 +318,12 @@ bool is_chunked_stream(std::span<const std::uint8_t> stream) {
   if (stream.size() < sizeof(std::uint32_t)) return false;
   std::uint32_t magic = 0;
   std::memcpy(&magic, stream.data(), sizeof(magic));
-  return magic == kMagic;
+  return magic == kMagic || magic == kMagicV2;
 }
 
 unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream) {
-  ByteReader in(stream);
   std::vector<ChunkRef> refs;
-  parse_chunked_header(in, refs);
+  parse_chunked_header(stream, refs);
   // The frame header is width-agnostic; the per-chunk CliZ streams record
   // the sample type right after their (lossless-wrapped) magic.
   return detect_sample_bytes(refs.front().bytes);

@@ -90,7 +90,8 @@ void chunked_decompress_into(std::span<const std::uint8_t> stream,
                              NdArray<double>& out,
                              ChunkedScratch* scratch = nullptr);
 
-/// True when `stream` starts with the chunked frame magic ("CLKS").
+/// True when `stream` starts with a chunked frame magic ("CLK2" for the
+/// CRC-framed v2 layout, or legacy checksum-less "CLKS").
 [[nodiscard]] bool is_chunked_stream(std::span<const std::uint8_t> stream);
 
 /// Bytes per sample of a chunked frame (4 = float32, 8 = float64), read

@@ -554,6 +554,63 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   return shape;
 }
 
+/// Entry-point wrapper implementing ClizOptions::verify_encode: compresses,
+/// decodes the candidate stream back, and checks the bound point by point.
+/// A failed attempt (verifier rejection or a throwing stage) is retried
+/// once with the conservative pipeline; a stream only leaves this function
+/// confirmed. Internal recursive calls (the periodic template) go straight
+/// to compress_impl and are covered by the outer verification decode.
+template <typename T>
+void compress_checked(const NdArray<T>& data, double abs_error_bound,
+                      const MaskMap* mask, const PipelineConfig& config,
+                      const ClizOptions& options, CodecContext& ctx,
+                      std::vector<std::uint8_t>& out) {
+  if (!options.verify_encode) {
+    compress_impl(data, abs_error_bound, mask, config, options, ctx, out);
+    return;
+  }
+
+  double verify_seconds = 0.0;
+  const auto bound_holds = [&]() -> bool {
+    const auto t0 = Clock::now();
+    // The decode path never touches a context's `work` buffer, so the
+    // child's serves as reconstruction scratch without disturbing the
+    // decode state below it.
+    auto& recon = ctx.child().work<T>();
+    const Shape shape =
+        decompress_core<T>(out, ctx.child(), VectorBind<T>{&recon});
+    bool ok = shape == data.shape();
+    const auto flat = data.flat();
+    for (std::size_t i = 0; ok && i < flat.size(); ++i) {
+      if (mask != nullptr && !mask->valid(i)) continue;
+      const double err = std::abs(static_cast<double>(recon[i]) -
+                                  static_cast<double>(flat[i]));
+      ok = err <= abs_error_bound;
+    }
+    verify_seconds += seconds_since(t0);
+    return ok;
+  };
+
+  bool first_ok = false;
+  try {
+    compress_impl(data, abs_error_bound, mask, config, options, ctx, out);
+    first_ok = bound_holds();
+  } catch (const Error&) {
+    first_ok = false;
+  }
+  if (!first_ok) {
+    PipelineConfig safe = config;
+    safe.period = 0;
+    safe.classify_bins = false;
+    compress_impl(data, abs_error_bound, mask, safe, options, ctx, out);
+    CLIZ_REQUIRE(bound_holds(),
+                 "verified encode failed even with the degraded pipeline");
+  }
+  ctx.stats.verified = true;
+  ctx.stats.verify_downgrades = first_ok ? 0 : 1;
+  ctx.stats.verify_seconds = verify_seconds;
+}
+
 /// Output binder for the returning decompress variants: rebinds the
 /// destination NdArray to the decoded shape in place (capacity kept).
 template <typename T>
@@ -605,7 +662,7 @@ std::vector<std::uint8_t> ClizCompressor::compress(
     const MaskMap* mask) const {
   CodecContext ctx;
   std::vector<std::uint8_t> out;
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
   last_stats_ = ctx.stats;
   return out;
 }
@@ -615,7 +672,7 @@ std::vector<std::uint8_t> ClizCompressor::compress(
     const MaskMap* mask) const {
   CodecContext ctx;
   std::vector<std::uint8_t> out;
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
   last_stats_ = ctx.stats;
   return out;
 }
@@ -624,7 +681,7 @@ std::vector<std::uint8_t> ClizCompressor::compress(
     const NdArray<float>& data, double abs_error_bound, const MaskMap* mask,
     CodecContext& ctx) const {
   std::vector<std::uint8_t> out;
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
   return out;
 }
 
@@ -632,7 +689,7 @@ std::vector<std::uint8_t> ClizCompressor::compress(
     const NdArray<double>& data, double abs_error_bound, const MaskMap* mask,
     CodecContext& ctx) const {
   std::vector<std::uint8_t> out;
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
   return out;
 }
 
@@ -640,14 +697,14 @@ void ClizCompressor::compress_into(const NdArray<float>& data,
                                    double abs_error_bound,
                                    const MaskMap* mask, CodecContext& ctx,
                                    std::vector<std::uint8_t>& out) const {
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
 }
 
 void ClizCompressor::compress_into(const NdArray<double>& data,
                                    double abs_error_bound,
                                    const MaskMap* mask, CodecContext& ctx,
                                    std::vector<std::uint8_t>& out) const {
-  compress_impl(data, abs_error_bound, mask, config_, options_, ctx, out);
+  compress_checked(data, abs_error_bound, mask, config_, options_, ctx, out);
 }
 
 NdArray<float> ClizCompressor::decompress(

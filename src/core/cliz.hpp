@@ -24,6 +24,13 @@ struct ClizOptions {
   /// Bin-classification shift radius / dispersion levels (paper: j = k = 1;
   /// see bench_ablation_jk for why larger values do not pay off).
   ClassifyParams classify;
+  /// Encode-side verification: after compressing, decode the stream and
+  /// confirm every valid point honours the error bound. On a violation (or
+  /// a stage failure) the encode retries once with the conservative
+  /// pipeline — periodicity and bin classification disabled — and records
+  /// the downgrade in StageStats; if even that fails, throws Error rather
+  /// than emit a stream that breaks the bound. Roughly doubles encode time.
+  bool verify_encode = false;
 };
 
 /// CliZ: the paper's error-bounded lossy compressor for climate datasets.

@@ -29,6 +29,9 @@ void StageStats::accumulate(const StageStats& other) {
   code_count += other.code_count;
   outlier_count += other.outlier_count;
   total_seconds += other.total_seconds;
+  verified = verified || other.verified;
+  verify_downgrades += other.verify_downgrades;
+  verify_seconds += other.verify_seconds;
   // Entropy does not sum; keep the outermost (residual) stream's value.
   if (code_entropy_bits == 0.0) code_entropy_bits = other.code_entropy_bits;
 }
@@ -51,6 +54,12 @@ std::string StageStats::to_text() const {
                 code_count, outlier_count, code_entropy_bits,
                 total_seconds * 1e3);
   out += buf;
+  if (verified) {
+    std::snprintf(buf, sizeof(buf),
+                  "verified=yes downgrades=%zu verify=%.3f ms\n",
+                  verify_downgrades, verify_seconds * 1e3);
+    out += buf;
+  }
   return out;
 }
 
@@ -69,8 +78,12 @@ std::string StageStats::to_json() const {
   }
   std::snprintf(buf, sizeof(buf),
                 "},\"code_entropy_bits\":%.6f,\"code_count\":%zu,"
-                "\"outlier_count\":%zu,\"total_seconds\":%.6f}",
-                code_entropy_bits, code_count, outlier_count, total_seconds);
+                "\"outlier_count\":%zu,\"total_seconds\":%.6f,"
+                "\"verified\":%s,\"verify_downgrades\":%zu,"
+                "\"verify_seconds\":%.6f}",
+                code_entropy_bits, code_count, outlier_count, total_seconds,
+                verified ? "true" : "false", verify_downgrades,
+                verify_seconds);
   out += buf;
   return out;
 }

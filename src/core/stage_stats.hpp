@@ -42,6 +42,14 @@ struct StageStats {
   std::size_t outlier_count = 0;
   /// End-to-end wall time of the call that produced these stats.
   double total_seconds = 0.0;
+  /// True when the stream was confirmed by an encode-side decode-and-check
+  /// (ClizOptions::verify_encode).
+  bool verified = false;
+  /// Times the verifier rejected an attempt and the pipeline was degraded
+  /// (periodicity and classification disabled) before this stream passed.
+  std::size_t verify_downgrades = 0;
+  /// Wall time spent in the post-encode verification decode(s).
+  double verify_seconds = 0.0;
 
   [[nodiscard]] Stage& at(CodecStage s) {
     return stages[static_cast<unsigned>(s)];

@@ -1,8 +1,11 @@
 #include "src/io/archive.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
 
 #include "src/common/bytestream.hpp"
+#include "src/common/crc32c.hpp"
 #include "src/core/cliz.hpp"
 #include "src/core/compressor.hpp"
 
@@ -10,20 +13,26 @@ namespace cliz {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x434C5A41u;  // "CLZA"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMagic = 0x434C5A41u;        // "CLZA"
+constexpr std::uint32_t kRecordMagic = 0x434C5A56u;  // "CLZV"
+constexpr std::uint32_t kVersionV1 = 1;              // read-only
+constexpr std::uint32_t kVersion = 2;
 // Trailer: index offset (8 bytes) + magic (4 bytes).
 constexpr std::size_t kTrailerBytes = 12;
+// Tolerant-open scanning stops recording damage sites past this count (it
+// still keeps looking for recoverable records) so a hostile file cannot
+// grow the report without bound.
+constexpr std::size_t kMaxQuarantined = 64;
 
-void serialize_info(ByteWriter& w, const VariableInfo& info,
-                    std::uint64_t offset) {
+/// v2 info serialization: no offset — the record frame is self-contained
+/// and the index carries the payload offset beside the info block.
+void serialize_info(ByteWriter& w, const VariableInfo& info) {
   w.put_string(info.name);
   w.put_varint(info.dims.size());
   for (const std::size_t d : info.dims) w.put_varint(d);
   w.put_string(info.codec);
   w.put(info.error_bound);
   w.put_varint(info.compressed_bytes);
-  w.put_varint(offset);
   w.put_varint(info.sample_bytes);
   w.put_varint(info.attributes.size());
   for (const auto& [key, value] : info.attributes) {
@@ -32,7 +41,36 @@ void serialize_info(ByteWriter& w, const VariableInfo& info,
   }
 }
 
-VariableInfo deserialize_info(ByteReader& r, std::uint64_t& offset) {
+void validate_info(const VariableInfo& info, std::size_t nd) {
+  CLIZ_REQUIRE(nd >= 1 && nd <= 8, "corrupt archive dims");
+  CLIZ_REQUIRE(info.sample_bytes == 4 || info.sample_bytes == 8,
+               "corrupt sample width");
+}
+
+VariableInfo deserialize_info(ByteReader& r) {
+  VariableInfo info;
+  info.name = r.get_string();
+  const std::size_t nd = static_cast<std::size_t>(r.get_varint());
+  CLIZ_REQUIRE(nd >= 1 && nd <= 8, "corrupt archive dims");
+  info.dims.resize(nd);
+  for (auto& d : info.dims) d = static_cast<std::size_t>(r.get_varint());
+  info.codec = r.get_string();
+  info.error_bound = r.get<double>();
+  info.compressed_bytes = r.get_varint();
+  info.sample_bytes = static_cast<std::uint32_t>(r.get_varint());
+  const std::size_t nattr = static_cast<std::size_t>(r.get_varint());
+  CLIZ_REQUIRE(nattr <= 4096, "implausible attribute count");
+  for (std::size_t i = 0; i < nattr; ++i) {
+    std::string key = r.get_string();
+    info.attributes[std::move(key)] = r.get_string();
+  }
+  validate_info(info, nd);
+  return info;
+}
+
+/// v1 index entry: same fields with the offset interleaved after
+/// compressed_bytes. Kept verbatim so v1 archives stay readable.
+VariableInfo deserialize_info_v1(ByteReader& r, std::uint64_t& offset) {
   VariableInfo info;
   info.name = r.get_string();
   const std::size_t nd = static_cast<std::size_t>(r.get_varint());
@@ -44,18 +82,31 @@ VariableInfo deserialize_info(ByteReader& r, std::uint64_t& offset) {
   info.compressed_bytes = r.get_varint();
   offset = r.get_varint();
   info.sample_bytes = static_cast<std::uint32_t>(r.get_varint());
-  CLIZ_REQUIRE(info.sample_bytes == 4 || info.sample_bytes == 8,
-               "corrupt sample width");
   const std::size_t nattr = static_cast<std::size_t>(r.get_varint());
   CLIZ_REQUIRE(nattr <= 4096, "implausible attribute count");
   for (std::size_t i = 0; i < nattr; ++i) {
     std::string key = r.get_string();
     info.attributes[std::move(key)] = r.get_string();
   }
+  validate_info(info, nd);
   return info;
 }
 
 }  // namespace
+
+std::string SalvageReport::to_text() const {
+  std::ostringstream os;
+  os << (index_intact ? "index: intact" : "index: damaged (scanned records)")
+     << "\nrecovered: " << recovered.size();
+  for (const auto& name : recovered) os << "\n  + " << name;
+  os << "\nquarantined: " << quarantined.size();
+  for (const auto& q : quarantined) {
+    os << "\n  - " << (q.name.empty() ? "<unnamed>" : q.name) << " @"
+       << q.offset << ": " << q.reason;
+  }
+  os << "\n";
+  return os.str();
+}
 
 ArchiveWriter::ArchiveWriter(const std::string& path)
     : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
@@ -128,12 +179,25 @@ void ArchiveWriter::append_stream(
   entry.info.compressed_bytes = stream.size();
   entry.info.sample_bytes = sample_bytes;
   entry.info.attributes = std::move(attributes);
-  entry.offset = cursor_;
+  entry.payload_crc = crc32c(stream);
 
+  // Self-describing record frame ahead of the payload, so a tolerant
+  // reader can rebuild the archive from records alone.
+  ByteWriter info_block;
+  serialize_info(info_block, entry.info);
+  ByteWriter frame;
+  frame.put(kRecordMagic);
+  frame.put_block(info_block.bytes());
+  frame.put(crc32c(info_block.bytes()));
+  frame.put(entry.payload_crc);
+  entry.offset = cursor_ + frame.size();  // payload offset
+
+  out_.write(reinterpret_cast<const char*>(frame.bytes().data()),
+             static_cast<std::streamsize>(frame.size()));
   out_.write(reinterpret_cast<const char*>(stream.data()),
              static_cast<std::streamsize>(stream.size()));
   CLIZ_REQUIRE(out_.good(), "archive write failed: " + path_);
-  cursor_ += stream.size();
+  cursor_ += frame.size() + stream.size();
   entries_.push_back(std::move(entry));
 }
 
@@ -143,7 +207,12 @@ void ArchiveWriter::finish() {
 
   ByteWriter index;
   index.put_varint(entries_.size());
-  for (const auto& e : entries_) serialize_info(index, e.info, e.offset);
+  for (const auto& e : entries_) {
+    serialize_info(index, e.info);
+    index.put_varint(e.offset);
+    index.put(e.payload_crc);
+  }
+  index.put(crc32c(index.bytes()));  // index CRC over everything above
 
   const std::uint64_t index_offset = cursor_;
   out_.write(reinterpret_cast<const char*>(index.bytes().data()),
@@ -159,9 +228,31 @@ void ArchiveWriter::finish() {
   out_.close();
 }
 
-ArchiveReader::ArchiveReader(const std::string& path)
+ArchiveReader::ArchiveReader(const std::string& path, ArchiveOpenMode mode)
     : path_(path), in_(path, std::ios::binary) {
   CLIZ_REQUIRE(in_.good(), "cannot open archive: " + path);
+  if (mode == ArchiveOpenMode::kStrict) {
+    open_strict();
+    report_.index_intact = true;
+    for (const auto& v : variables_) report_.recovered.push_back(v.name);
+    return;
+  }
+  try {
+    open_strict();
+    report_.index_intact = true;
+  } catch (const Error&) {
+    variables_.clear();
+    offsets_.clear();
+    payload_crcs_.clear();
+    report_.index_intact = false;
+    scan_records();
+  }
+  verify_payloads();
+  for (const auto& v : variables_) report_.recovered.push_back(v.name);
+}
+
+void ArchiveReader::open_strict() {
+  in_.clear();
   in_.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(in_.tellg());
   CLIZ_REQUIRE(file_size >= 8 + kTrailerBytes, "archive too small");
@@ -184,7 +275,8 @@ ArchiveReader::ArchiveReader(const std::string& path)
   ByteReader hr(header);
   CLIZ_REQUIRE(hr.get<std::uint32_t>() == kMagic,
                "not a CLZA archive (bad header)");
-  CLIZ_REQUIRE(hr.get<std::uint32_t>() == kVersion,
+  const std::uint32_t version = hr.get<std::uint32_t>();
+  CLIZ_REQUIRE(version == kVersionV1 || version == kVersion,
                "unsupported archive version");
 
   // Index block.
@@ -195,17 +287,129 @@ ArchiveReader::ArchiveReader(const std::string& path)
   in_.read(reinterpret_cast<char*>(index_bytes.data()),
            static_cast<std::streamsize>(index_size));
   CLIZ_REQUIRE(in_.good(), "archive index read failed");
-  ByteReader ir(index_bytes);
+
+  std::span<const std::uint8_t> index_view(index_bytes);
+  if (version == kVersion) {
+    // The index CRC is the last 4 bytes; everything before it is covered.
+    CLIZ_REQUIRE(index_size >= sizeof(std::uint32_t) + 1,
+                 "archive index too small");
+    std::uint32_t expected = 0;
+    std::memcpy(&expected, index_bytes.data() + index_size - sizeof(expected),
+                sizeof(expected));
+    index_view = index_view.first(index_size - sizeof(expected));
+    CLIZ_REQUIRE(crc32c(index_view) == expected,
+                 "archive index CRC mismatch");
+  }
+
+  ByteReader ir(index_view);
   const std::size_t count = static_cast<std::size_t>(ir.get_varint());
-  CLIZ_REQUIRE(count <= (1u << 20), "implausible variable count");
+  // Every entry consumes at least one index byte, so a count beyond the
+  // index size is hostile: reject before reserving anything.
+  CLIZ_REQUIRE(count <= index_size, "implausible variable count");
   variables_.reserve(count);
   offsets_.reserve(count);
+  if (version == kVersion) payload_crcs_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     std::uint64_t offset = 0;
-    variables_.push_back(deserialize_info(ir, offset));
-    CLIZ_REQUIRE(offset + variables_.back().compressed_bytes <= index_offset,
+    if (version == kVersion) {
+      variables_.push_back(deserialize_info(ir));
+      offset = ir.get_varint();
+      payload_crcs_.push_back(ir.get<std::uint32_t>());
+    } else {
+      variables_.push_back(deserialize_info_v1(ir, offset));
+    }
+    // Overflow-safe containment: offset and length are both untrusted.
+    CLIZ_REQUIRE(offset >= 8 && offset <= index_offset &&
+                     variables_.back().compressed_bytes <=
+                         index_offset - offset,
                  "variable stream overlaps index");
     offsets_.push_back(offset);
+  }
+}
+
+void ArchiveReader::scan_records() {
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in_.tellg());
+  std::vector<std::uint8_t> file(static_cast<std::size_t>(file_size));
+  in_.seekg(0);
+  in_.read(reinterpret_cast<char*>(file.data()),
+           static_cast<std::streamsize>(file.size()));
+  CLIZ_REQUIRE(in_.good(), "archive read failed during salvage");
+
+  std::uint8_t magic_bytes[sizeof(kRecordMagic)];
+  std::memcpy(magic_bytes, &kRecordMagic, sizeof(kRecordMagic));
+
+  const auto quarantine = [&](std::string name, std::uint64_t offset,
+                              std::string reason) {
+    if (report_.quarantined.size() < kMaxQuarantined) {
+      report_.quarantined.push_back(
+          {std::move(name), offset, std::move(reason)});
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos + sizeof(kRecordMagic) <= file.size()) {
+    const auto it = std::search(file.begin() + pos, file.end(),
+                                std::begin(magic_bytes),
+                                std::end(magic_bytes));
+    if (it == file.end()) break;
+    const std::size_t site = static_cast<std::size_t>(it - file.begin());
+    std::string name;
+    try {
+      ByteReader r(std::span<const std::uint8_t>(file).subspan(
+          site + sizeof(kRecordMagic)));
+      const auto info_block = r.get_block();
+      const auto info_crc = r.get<std::uint32_t>();
+      const auto payload_crc = r.get<std::uint32_t>();
+      CLIZ_REQUIRE(crc32c(info_block) == info_crc,
+                   "record header CRC mismatch");
+      ByteReader info_reader(info_block);
+      VariableInfo info = deserialize_info(info_reader);
+      name = info.name;
+      const std::size_t payload_at = site + sizeof(kRecordMagic) + r.pos();
+      CLIZ_REQUIRE(info.compressed_bytes <= file.size() - payload_at,
+                   "record payload truncated");
+      const auto payload = std::span<const std::uint8_t>(file).subspan(
+          payload_at, static_cast<std::size_t>(info.compressed_bytes));
+      CLIZ_REQUIRE(crc32c(payload) == payload_crc,
+                   "record payload CRC mismatch");
+      if (contains(info.name)) {
+        quarantine(info.name, site, "duplicate record name");
+        pos = site + sizeof(kRecordMagic);
+        continue;
+      }
+      variables_.push_back(std::move(info));
+      offsets_.push_back(payload_at);
+      payload_crcs_.push_back(payload_crc);
+      pos = payload_at + payload.size();  // skip the verified payload
+    } catch (const Error& e) {
+      quarantine(std::move(name), site, e.what());
+      pos = site + 1;
+    }
+  }
+}
+
+void ArchiveReader::verify_payloads() {
+  // Eager CRC sweep so a tolerant open's `recovered` list is a promise:
+  // every name in it reads back bit-exact framing. v1 archives carry no
+  // CRCs and are kept as-is.
+  for (std::size_t i = payload_crcs_.size(); i-- > 0;) {
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(variables_[i].compressed_bytes));
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offsets_[i]));
+    in_.read(reinterpret_cast<char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    if (in_.good() && crc32c(payload) == payload_crcs_[i]) continue;
+    if (report_.quarantined.size() < kMaxQuarantined) {
+      report_.quarantined.push_back({variables_[i].name, offsets_[i],
+                                     "record payload CRC mismatch"});
+    }
+    variables_.erase(variables_.begin() + static_cast<std::ptrdiff_t>(i));
+    offsets_.erase(offsets_.begin() + static_cast<std::ptrdiff_t>(i));
+    payload_crcs_.erase(payload_crcs_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
   }
 }
 
@@ -234,6 +438,9 @@ std::vector<std::uint8_t> ArchiveReader::read_raw(
   in_.read(reinterpret_cast<char*>(stream.data()),
            static_cast<std::streamsize>(stream.size()));
   CLIZ_REQUIRE(in_.good(), "archive stream read failed");
+  CLIZ_REQUIRE(i >= payload_crcs_.size() ||
+                   crc32c(stream) == payload_crcs_[i],
+               "archive payload CRC mismatch for '" + name + "'");
   return stream;
 }
 

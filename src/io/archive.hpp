@@ -8,10 +8,16 @@
 // name, ...) and the validity mask embedded in the stream where the codec
 // supports one.
 //
-// Layout: [magic "CLZA"] [version] [variable records...]
-//         [index block] [index offset u64] [magic]
+// v2 layout: [magic "CLZA"] [version=2] [framed records...]
+//            [index block + CRC32C] [index offset u64] [magic]
+// where each record is self-describing:
+//            [record magic "CLZV"] [info block] [info CRC32C]
+//            [payload CRC32C] [payload]
 // The index is written last so archives stream to disk without seeks; the
-// reader locates it from the fixed-size trailer.
+// strict reader locates it from the fixed-size trailer, while the tolerant
+// reader can rebuild it from the record frames alone when the trailer or
+// index is damaged (see ArchiveOpenMode::kTolerant). v1 archives
+// (checksum-less, unframed records) remain readable in strict mode.
 
 #include <cstdint>
 #include <fstream>
@@ -35,6 +41,29 @@ struct VariableInfo {
   /// Bytes per sample: 4 = float32, 8 = float64.
   std::uint32_t sample_bytes = 4;
   std::map<std::string, std::string> attributes;
+};
+
+/// Outcome of a tolerant archive open: which variables are readable, which
+/// record sites were damaged, and whether the trailer-located index itself
+/// survived. Returned by ArchiveReader::salvage().
+struct SalvageReport {
+  /// True when the trailer and index parsed (and, for v2, the index CRC
+  /// verified); false when variables were recovered by scanning records.
+  bool index_intact = false;
+  /// Names readable through read()/read_f64()/read_raw(), in file order.
+  std::vector<std::string> recovered;
+  struct Quarantined {
+    std::string name;          ///< empty when the name itself was damaged
+    std::uint64_t offset = 0;  ///< file offset of the damaged record site
+    std::string reason;
+  };
+  std::vector<Quarantined> quarantined;
+  [[nodiscard]] std::string to_text() const;
+};
+
+enum class ArchiveOpenMode {
+  kStrict,    ///< throw cliz::Error on any structural damage (default)
+  kTolerant,  ///< recover every variable the record CRCs vouch for
 };
 
 /// Streaming archive writer. Variables are compressed and appended in call
@@ -74,7 +103,8 @@ class ArchiveWriter {
  private:
   struct Entry {
     VariableInfo info;
-    std::uint64_t offset = 0;
+    std::uint64_t offset = 0;        ///< payload offset (after record frame)
+    std::uint32_t payload_crc = 0;
   };
 
   void append_stream(const std::string& codec, const std::string& name,
@@ -91,10 +121,14 @@ class ArchiveWriter {
 };
 
 /// Random-access archive reader. The index is parsed on construction; each
-/// read() seeks to and decompresses one variable.
+/// read() seeks to and decompresses one variable. In kTolerant mode a
+/// damaged trailer or index does not throw: the reader scans the file for
+/// CRC-verified record frames and exposes whatever survives, with the
+/// details in salvage().
 class ArchiveReader {
  public:
-  explicit ArchiveReader(const std::string& path);
+  explicit ArchiveReader(const std::string& path,
+                         ArchiveOpenMode mode = ArchiveOpenMode::kStrict);
 
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
@@ -111,17 +145,29 @@ class ArchiveReader {
   /// Decompresses one float64 variable (Error if the variable is float32).
   [[nodiscard]] NdArray<double> read_f64(const std::string& name) const;
 
-  /// Raw compressed stream of one variable (for retransmission).
+  /// Raw compressed stream of one variable (for retransmission). Verifies
+  /// the payload CRC for v2 archives.
   [[nodiscard]] std::vector<std::uint8_t> read_raw(
       const std::string& name) const;
 
+  /// What a tolerant open recovered. For a strict open (or a tolerant open
+  /// of a clean archive) index_intact is true and nothing is quarantined.
+  [[nodiscard]] const SalvageReport& salvage() const noexcept {
+    return report_;
+  }
+
  private:
+  void open_strict();
+  void scan_records();
+  void verify_payloads();
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
 
   std::string path_;
   mutable std::ifstream in_;
   std::vector<VariableInfo> variables_;
   std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> payload_crcs_;  ///< empty for v1 archives
+  SalvageReport report_;
 };
 
 }  // namespace cliz

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "src/common/crc32c.hpp"
 #include "src/common/status.hpp"
 
 namespace cliz {
@@ -15,8 +16,15 @@ constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 1u << 12;
 constexpr int kMaxChain = 64;
 
+// v1 container modes (no checksum). Still read, never written.
 constexpr std::uint8_t kModeStored = 0;
 constexpr std::uint8_t kModeLz = 1;
+// v2 container modes: same layout with a CRC32C of the *uncompressed*
+// payload between the size varint and the body, so any corruption of the
+// container that survives the structural checks is still caught before the
+// decoded bytes reach a consumer.
+constexpr std::uint8_t kModeStoredCrc = 2;
+constexpr std::uint8_t kModeLzCrc = 3;
 
 // Section sub-modes for huff_bytes().
 constexpr std::uint8_t kSectionRaw = 0;
@@ -86,6 +94,7 @@ void lossless_compress_into(std::span<const std::uint8_t> in,
                             LosslessScratch& ctx,
                             std::vector<std::uint8_t>& out) {
   const std::size_t n = in.size();
+  const std::uint32_t payload_crc = crc32c(in);
 
   // LZ77 greedy parse with hash chains over 4-byte prefixes.
   ctx.flags.reset();            // 0 = literal, 1 = match
@@ -153,14 +162,17 @@ void lossless_compress_into(std::span<const std::uint8_t> in,
 
   ByteWriter& lz = ctx.lz;
   lz.clear();
-  lz.put_u8(kModeLz);
+  lz.put_u8(kModeLzCrc);
   lz.put_varint(n);
+  lz.put(payload_crc);
   lz.put_varint(n_ops);
   lz.put_block(ctx.flags.finish_view());
   put_section(lz, ctx.literals, ctx);
   put_section(lz, ctx.matches.bytes(), ctx);
 
-  if (lz.size() < n + 2) {
+  // Both candidates carry the 4-byte CRC, so the v1 break-even point
+  // (lz < n + 2) shifts by exactly sizeof(payload_crc).
+  if (lz.size() < n + 2 + sizeof(payload_crc)) {
     out.assign(lz.bytes().begin(), lz.bytes().end());
     return;
   }
@@ -168,8 +180,9 @@ void lossless_compress_into(std::span<const std::uint8_t> in,
   // Stored fallback: incompressible input.
   ByteWriter& stored = ctx.stored;
   stored.clear();
-  stored.put_u8(kModeStored);
+  stored.put_u8(kModeStoredCrc);
   stored.put_varint(n);
+  stored.put(payload_crc);
   stored.put_bytes(in);
   out.assign(stored.bytes().begin(), stored.bytes().end());
 }
@@ -188,13 +201,21 @@ void lossless_decompress_into(std::span<const std::uint8_t> in,
   const std::uint8_t mode = r.get_u8();
   const std::uint64_t n = r.get_varint();
   CLIZ_REQUIRE(n <= (std::uint64_t{1} << 40), "implausible lossless size");
+  const bool has_crc = mode == kModeStoredCrc || mode == kModeLzCrc;
+  std::uint32_t expected_crc = 0;
+  if (has_crc) expected_crc = r.get<std::uint32_t>();
 
-  if (mode == kModeStored) {
+  if (mode == kModeStored || mode == kModeStoredCrc) {
     auto b = r.get_bytes(static_cast<std::size_t>(n));
+    if (has_crc) {
+      CLIZ_REQUIRE(crc32c(b) == expected_crc,
+                   "lossless payload CRC mismatch (stored)");
+    }
     out.assign(b.begin(), b.end());
     return;
   }
-  CLIZ_REQUIRE(mode == kModeLz, "corrupt lossless mode byte");
+  CLIZ_REQUIRE(mode == kModeLz || mode == kModeLzCrc,
+               "corrupt lossless mode byte");
 
   const std::uint64_t n_ops = r.get_varint();
   BitReader flags(r.get_block());
@@ -222,6 +243,10 @@ void lossless_decompress_into(std::span<const std::uint8_t> in,
     }
   }
   CLIZ_REQUIRE(out.size() == n, "lossless size mismatch after decode");
+  if (has_crc) {
+    CLIZ_REQUIRE(crc32c(out) == expected_crc,
+                 "lossless payload CRC mismatch");
+  }
 }
 
 std::vector<std::uint8_t> lossless_decompress(

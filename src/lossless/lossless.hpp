@@ -43,7 +43,13 @@ struct LosslessScratch {
 /// Huffman), the role Zstd plays in SZ3's pipeline. Applied as the final
 /// stage of every codec here; `lossless_compress` falls back to stored mode
 /// when compression would not help, so output is never much larger than
-/// input (3-byte header + payload).
+/// input (small header + payload).
+///
+/// The container is versioned by its mode byte: v2 modes (the only ones
+/// written) carry a CRC32C of the uncompressed payload that decompression
+/// verifies, so a corrupted frame that slips past the structural checks is
+/// still rejected with cliz::Error. v1 (checksum-less) modes remain
+/// readable. See docs/FORMAT.md.
 std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in);
 
 /// Scratch-reusing variant: compresses `in` into `out` (replaced, capacity

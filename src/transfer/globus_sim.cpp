@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "src/common/rng.hpp"
 #include "src/common/status.hpp"
 
 namespace cliz {
@@ -14,6 +16,9 @@ TransferOutcome simulate_transfer(const TransferPlan& plan,
   CLIZ_REQUIRE(link.aggregate_bandwidth_mbps > 0 &&
                    link.per_stream_bandwidth_mbps > 0,
                "bandwidth must be positive");
+  CLIZ_REQUIRE(link.per_file_failure_prob >= 0.0 &&
+                   link.per_file_failure_prob <= 1.0,
+               "failure probability must be in [0, 1]");
 
   TransferOutcome out;
 
@@ -32,13 +37,40 @@ TransferOutcome simulate_transfer(const TransferPlan& plan,
   const double per_stream_rate =
       std::min(link.per_stream_bandwidth_mbps,
                link.aggregate_bandwidth_mbps / static_cast<double>(streams));
-  const std::size_t files_per_stream =
-      (plan.n_files + streams - 1) / streams;
   const double mb =
       static_cast<double>(plan.compressed_bytes_per_file) / (1024.0 * 1024.0);
+  const double send_cost = link.per_file_overhead_s + mb / per_stream_rate;
+
+  // Per-file attempt schedule: every send attempt of file f is a Bernoulli
+  // draw from the seeded PRNG, so the schedule — and therefore the timing —
+  // is a pure function of (plan, link). Failed attempts are retried with
+  // capped exponential backoff; a file that exhausts max_retries counts as
+  // failed and its attempts still occupy its stream.
+  Rng rng(plan.retry_seed);
+  std::vector<double> stream_busy(streams, 0.0);  // attempt + backoff time
+  for (std::size_t f = 0; f < plan.n_files; ++f) {
+    const std::size_t s = f % streams;  // round-robin file placement
+    double busy = send_cost;
+    if (link.per_file_failure_prob > 0.0) {
+      std::size_t attempt = 0;
+      while (rng.uniform() < link.per_file_failure_prob) {
+        if (attempt == link.max_retries) {
+          ++out.failed_files;
+          break;
+        }
+        ++attempt;
+        ++out.retries;
+        const double backoff = std::min(
+            link.max_backoff_s,
+            link.initial_backoff_s * std::ldexp(1.0, static_cast<int>(attempt) - 1));
+        out.retry_wait_seconds += backoff;
+        busy += backoff + send_cost;
+      }
+    }
+    stream_busy[s] += busy;
+  }
   out.transfer_seconds =
-      static_cast<double>(files_per_stream) *
-      (link.per_file_overhead_s + mb / per_stream_rate);
+      *std::max_element(stream_busy.begin(), stream_busy.end());
 
   return out;
 }

@@ -1,18 +1,29 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace cliz {
 
 /// WAN link model between two Globus endpoints (ANL Bebop -> Purdue Anvil
 /// in the paper's Fig. 13). Deterministic stand-in for the real testbed we
 /// do not have: aggregate bandwidth shared by parallel streams, a per-file
-/// fixed overhead (checksumming / control traffic), and a per-stream cap.
+/// fixed overhead (checksumming / control traffic), a per-stream cap, and
+/// an unreliability model — each file send fails independently with
+/// `per_file_failure_prob` and is retried with exponential backoff, the way
+/// Globus retransmits files whose destination checksum disagrees.
 struct WanLink {
   double aggregate_bandwidth_mbps = 1250.0;  ///< MB/s across all streams
   double per_stream_bandwidth_mbps = 40.0;   ///< MB/s a single stream reaches
   double per_file_overhead_s = 0.05;
   std::size_t max_parallel_streams = 64;
+  /// Probability one send attempt of one file fails (0 = perfect link).
+  double per_file_failure_prob = 0.0;
+  /// Attempts per file beyond the first before the file is abandoned.
+  std::size_t max_retries = 5;
+  /// Backoff before retry r (1-based): initial_backoff_s * 2^(r-1), capped.
+  double initial_backoff_s = 0.5;
+  double max_backoff_s = 30.0;
 };
 
 /// One compression-then-transfer campaign: `n_files` equal files, each
@@ -22,12 +33,21 @@ struct TransferPlan {
   std::size_t n_files = 1024;
   double compress_seconds_per_file = 0.0;
   std::size_t compressed_bytes_per_file = 0;
+  /// Seed of the failure draws; the same plan+link+seed always reproduces
+  /// the same retry schedule.
+  std::uint64_t retry_seed = 0x436C695Aull;  // "CliZ"
 };
 
 /// Simulated end-to-end timing.
 struct TransferOutcome {
   double compress_seconds = 0.0;
   double transfer_seconds = 0.0;
+  /// Send attempts beyond each file's first (sum over files).
+  std::size_t retries = 0;
+  /// Files that exhausted max_retries and never arrived.
+  std::size_t failed_files = 0;
+  /// Total backoff wall time charged to the slowest stream's schedule.
+  double retry_wait_seconds = 0.0;
 
   [[nodiscard]] double total_seconds() const {
     return compress_seconds + transfer_seconds;
@@ -35,7 +55,9 @@ struct TransferOutcome {
 };
 
 /// Runs the analytical pipeline model: compression makespan over the core
-/// pool, then parallel-stream WAN transfer of the compressed files.
+/// pool, then parallel-stream WAN transfer of the compressed files with
+/// deterministic seeded retries. With per_file_failure_prob == 0 the result
+/// is identical to the retry-free model.
 TransferOutcome simulate_transfer(const TransferPlan& plan,
                                   const WanLink& link = {});
 

@@ -2,15 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "src/climate/datasets.hpp"
-#include "src/core/compressor.hpp"
+#include "src/common/bytestream.hpp"
+#include "src/common/crc32c.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/status.hpp"
+#include "src/core/compressor.hpp"
 #include "src/metrics/metrics.hpp"
 
 namespace cliz {
@@ -258,6 +262,220 @@ TEST(Archive, AddAfterFinishRejected) {
   w.finish();
   EXPECT_THROW(
       w.add_variable_with("sz3", "X", smooth_array({8, 8}, 11), 1e-3), Error);
+}
+
+// --- integrity and salvage ----------------------------------------------
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a three-variable archive and returns the pristine decodes.
+std::vector<NdArray<float>> write_test_archive(const std::string& path) {
+  std::vector<NdArray<float>> arrays;
+  ArchiveWriter w(path);
+  for (int i = 0; i < 3; ++i) {
+    arrays.push_back(smooth_array({12, 10}, 900 + i));
+    w.add_variable_with("sz3", "VAR" + std::to_string(i), arrays.back(),
+                        1e-3);
+  }
+  w.finish();
+  return arrays;
+}
+
+TEST(Archive, TolerantOpenOfCleanArchiveReportsIntactIndex) {
+  TempFile file("clean_tolerant");
+  write_test_archive(file.path());
+  ArchiveReader r(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_TRUE(r.salvage().index_intact);
+  EXPECT_EQ(r.salvage().recovered.size(), 3u);
+  EXPECT_TRUE(r.salvage().quarantined.empty());
+  EXPECT_NE(r.salvage().to_text().find("VAR1"), std::string::npos);
+}
+
+TEST(Archive, SalvageRecoversAllVariablesFromCorruptTrailer) {
+  TempFile file("salvage_trailer");
+  const auto arrays = write_test_archive(file.path());
+
+  // Smash the trailer: strict open must refuse, tolerant open must rebuild
+  // the listing from the record frames alone, bit-exact.
+  auto bytes = slurp(file.path());
+  for (std::size_t i = bytes.size() - 12; i < bytes.size(); ++i) {
+    bytes[i] ^= 0xFF;
+  }
+  dump(file.path(), bytes);
+
+  EXPECT_THROW(ArchiveReader{file.path()}, Error);
+  ArchiveReader r(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_FALSE(r.salvage().index_intact);
+  ASSERT_EQ(r.salvage().recovered.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const auto name = "VAR" + std::to_string(i);
+    EXPECT_TRUE(r.contains(name));
+    const auto recon = r.read(name);
+    EXPECT_LE(error_stats(arrays[static_cast<std::size_t>(i)].flat(),
+                          recon.flat())
+                  .max_abs_error,
+              1e-3);
+  }
+}
+
+TEST(Archive, SalvageRecoversPrefixOfTruncatedArchive) {
+  TempFile file("salvage_trunc");
+  write_test_archive(file.path());
+  // Cut the file roughly mid-way: the tail records and the index are gone.
+  const auto size = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), size / 2);
+
+  EXPECT_THROW(ArchiveReader{file.path()}, Error);
+  ArchiveReader r(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_FALSE(r.salvage().index_intact);
+  EXPECT_LT(r.salvage().recovered.size(), 3u);
+  for (const auto& name : r.salvage().recovered) {
+    EXPECT_NO_THROW((void)r.read(name));  // everything listed must decode
+  }
+}
+
+TEST(Archive, CorruptPayloadCaughtStrictAndQuarantinedTolerant) {
+  TempFile file("payload_flip");
+  const auto arrays = write_test_archive(file.path());
+
+  // Locate VAR1's payload in the file via its pristine raw stream and flip
+  // one byte in the middle of it.
+  std::vector<std::uint8_t> target;
+  {
+    ArchiveReader pristine(file.path());
+    target = pristine.read_raw("VAR1");
+  }
+  auto bytes = slurp(file.path());
+  const auto it = std::search(bytes.begin(), bytes.end(), target.begin(),
+                              target.end());
+  ASSERT_NE(it, bytes.end());
+  *(it + static_cast<std::ptrdiff_t>(target.size() / 2)) ^= 0x10;
+  dump(file.path(), bytes);
+
+  // Strict open still works (the index is fine) but the damaged variable
+  // is refused at read time by its payload CRC.
+  ArchiveReader strict(file.path());
+  EXPECT_THROW((void)strict.read("VAR1"), Error);
+  EXPECT_NO_THROW((void)strict.read("VAR0"));
+
+  // Tolerant open quarantines it up front and vouches for the rest.
+  ArchiveReader r(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_FALSE(r.contains("VAR1"));
+  ASSERT_EQ(r.salvage().quarantined.size(), 1u);
+  EXPECT_EQ(r.salvage().quarantined[0].name, "VAR1");
+  for (const auto& name : {"VAR0", "VAR2"}) {
+    const int i = name[3] - '0';
+    const auto recon = r.read(name);
+    EXPECT_LE(error_stats(arrays[static_cast<std::size_t>(i)].flat(),
+                          recon.flat())
+                  .max_abs_error,
+              1e-3);
+  }
+}
+
+TEST(Archive, SalvageOfGarbageFileRecoversNothing) {
+  TempFile file("salvage_garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    for (int i = 0; i < 4096; ++i) out.put(static_cast<char>(i * 37));
+  }
+  ArchiveReader r(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_FALSE(r.salvage().index_intact);
+  EXPECT_TRUE(r.salvage().recovered.empty());
+  EXPECT_TRUE(r.variables().empty());
+}
+
+// --- v1 backward compatibility ------------------------------------------
+
+/// Writes an archive in the exact v1 layout (unframed payloads, plain
+/// index with interleaved offsets, no checksums anywhere).
+void write_v1_archive(
+    const std::string& path,
+    const std::vector<std::pair<std::string, NdArray<float>>>& vars,
+    double eb) {
+  ByteWriter w;
+  w.put(std::uint32_t{0x434C5A41u});  // "CLZA"
+  w.put(std::uint32_t{1});            // version 1
+  struct Rec {
+    std::string name;
+    DimVec dims;
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<Rec> recs;
+  for (const auto& [name, data] : vars) {
+    const auto stream = make_compressor("sz3")->compress(data, eb);
+    recs.push_back({name, data.shape().dims(), w.size(), stream.size()});
+    w.put_bytes(stream);
+  }
+  const std::uint64_t index_offset = w.size();
+  w.put_varint(recs.size());
+  for (const auto& rec : recs) {
+    w.put_string(rec.name);
+    w.put_varint(rec.dims.size());
+    for (const std::size_t d : rec.dims) w.put_varint(d);
+    w.put_string("sz3");
+    w.put(eb);
+    w.put_varint(rec.size);
+    w.put_varint(rec.offset);
+    w.put_varint(std::uint64_t{4});  // sample_bytes
+    w.put_varint(std::uint64_t{0});  // no attributes
+  }
+  w.put(index_offset);
+  w.put(std::uint32_t{0x434C5A41u});
+  dump(path, {w.bytes().begin(), w.bytes().end()});
+}
+
+TEST(Archive, V1ArchiveStillReads) {
+  TempFile file("v1_compat");
+  const auto a = smooth_array({10, 12}, 77);
+  const auto b = smooth_array({6, 8, 10}, 78);
+  write_v1_archive(file.path(), {{"A", a}, {"B", b}}, 1e-3);
+
+  ArchiveReader r(file.path());
+  ASSERT_EQ(r.variables().size(), 2u);
+  EXPECT_EQ(r.info("B").dims, (DimVec{6, 8, 10}));
+  EXPECT_LE(error_stats(a.flat(), r.read("A").flat()).max_abs_error, 1e-3);
+  EXPECT_LE(error_stats(b.flat(), r.read("B").flat()).max_abs_error, 1e-3);
+
+  // Tolerant open of a clean v1 archive keeps everything (no CRCs to
+  // check) and reports the index intact.
+  ArchiveReader t(file.path(), ArchiveOpenMode::kTolerant);
+  EXPECT_TRUE(t.salvage().index_intact);
+  EXPECT_EQ(t.salvage().recovered.size(), 2u);
+}
+
+TEST(Archive, HostileIndexCountRejectedBeforeAllocation) {
+  TempFile file("hostile_count");
+  write_test_archive(file.path());
+  auto bytes = slurp(file.path());
+  // Read the genuine index offset from the trailer, then replace the
+  // index with a tiny block claiming 2^50 variables.
+  std::uint64_t index_offset = 0;
+  std::memcpy(&index_offset, bytes.data() + bytes.size() - 12, 8);
+  bytes.resize(static_cast<std::size_t>(index_offset));
+  // Give the bogus index a *valid* CRC so the count check itself is what
+  // trips, not the checksum.
+  ByteWriter fake;
+  fake.put_varint(std::uint64_t{1} << 50);
+  fake.put(crc32c(fake.bytes()));
+  for (const std::uint8_t byte : fake.bytes()) bytes.push_back(byte);
+  ByteWriter trailer;
+  trailer.put(index_offset);
+  trailer.put(std::uint32_t{0x434C5A41u});
+  for (const std::uint8_t byte : trailer.bytes()) bytes.push_back(byte);
+  dump(file.path(), bytes);
+  EXPECT_THROW(ArchiveReader{file.path()}, Error);
 }
 
 }  // namespace

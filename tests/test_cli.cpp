@@ -206,6 +206,57 @@ TEST_F(CliTest, Float64CompressDecompressRoundTrip) {
   }
 }
 
+TEST_F(CliTest, VerifyFlagProducesDecodableStreamWithinBound) {
+  ASSERT_EQ(run("gen Hurricane-T --scale 0.08 -o " + path("h.f32")), 0);
+  ASSERT_EQ(run("compress " + path("h.f32") + " -d 24,48,48 -o " +
+                path("h.cliz") + " -e 0.5 --verify"),
+            0);
+  ASSERT_EQ(run("decompress " + path("h.cliz") + " -o " + path("h2.f32")), 0);
+  const auto orig = read_floats(path("h.f32"));
+  const auto recon = read_floats(path("h2.f32"));
+  ASSERT_EQ(orig.size(), recon.size());
+  EXPECT_LE(error_stats(orig, recon).max_abs_error, 0.5);
+  // Chunked and f64 paths take --verify too.
+  EXPECT_EQ(run("compress " + path("h.f32") + " -d 24,48,48 -o " +
+                path("hc.clks") + " -e 0.5 --verify --chunks 3"),
+            0);
+  // Non-cliz codecs reject it up front.
+  EXPECT_NE(run("compress " + path("h.f32") + " -d 24,48,48 -o " +
+                path("h.sz3") + " -e 0.5 -c sz3 --verify"),
+            0);
+}
+
+TEST_F(CliTest, SalvageFlagRecoversFromCorruptTrailer) {
+  ASSERT_EQ(run("gen Hurricane-T --scale 0.08 -o " + path("h.f32")), 0);
+  ASSERT_EQ(run("archive-create " + path("a.clza") + " HURR=" +
+                path("h.f32") + ":24,48,48:sz3 -e 0.5"),
+            0);
+  ASSERT_EQ(run("archive-extract " + path("a.clza") + " HURR -o " +
+                path("good.f32")),
+            0);
+
+  // Stomp the 12-byte trailer: strict open must fail, salvage must not.
+  {
+    std::fstream f(path("a.clza"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(-12, std::ios::end);
+    const char junk[12] = {};
+    f.write(junk, sizeof junk);
+  }
+  EXPECT_NE(run("archive-list " + path("a.clza")), 0);
+  EXPECT_EQ(run("archive-list " + path("a.clza") + " --salvage"), 0);
+  ASSERT_EQ(run("archive-extract " + path("a.clza") + " HURR -o " +
+                path("salvaged.f32") + " --salvage"),
+            0);
+  const auto good = read_floats(path("good.f32"));
+  const auto salvaged = read_floats(path("salvaged.f32"));
+  ASSERT_EQ(good.size(), salvaged.size());
+  EXPECT_EQ(std::memcmp(good.data(), salvaged.data(),
+                        good.size() * sizeof(float)),
+            0);
+}
+
 TEST_F(CliTest, BadInvocationsFailCleanly) {
   EXPECT_NE(run(""), 0);
   EXPECT_NE(run("frobnicate"), 0);

@@ -6,6 +6,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/common/status.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/metrics/metrics.hpp"
 #include "src/ndarray/layout.hpp"
 
@@ -359,6 +360,51 @@ TEST(Cliz, DeterministicOutput) {
   const ClizCompressor codec(config);
   EXPECT_EQ(codec.compress(field.data, 1e-3, &field.mask),
             codec.compress(field.data, 1e-3, &field.mask));
+}
+
+TEST(Cliz, VerifiedEncodeMatchesPlainAndReportsInStats) {
+  const auto field = make_field(24, 10, 10, 31);
+  const auto config = config3({0, 1, 2}, FusionSpec::none(3),
+                              FittingKind::kCubic, 12, true);
+  const double eb = 1e-3;
+  const auto plain = ClizCompressor(config).compress(field.data, eb,
+                                                     &field.mask);
+
+  ClizOptions opts;
+  opts.verify_encode = true;
+  const ClizCompressor checked(config, opts);
+  // A healthy pipeline passes verification on the first attempt, so the
+  // stream is byte-identical to the unverified one.
+  EXPECT_EQ(checked.compress(field.data, eb, &field.mask), plain);
+  EXPECT_TRUE(checked.last_stats().verified);
+  EXPECT_EQ(checked.last_stats().verify_downgrades, 0u);
+  EXPECT_GT(checked.last_stats().verify_seconds, 0.0);
+
+  // Context-reusing variant reports through ctx.stats.
+  CodecContext ctx;
+  const auto again = checked.compress(field.data, eb, &field.mask, ctx);
+  EXPECT_EQ(again, plain);
+  EXPECT_TRUE(ctx.stats.verified);
+}
+
+TEST(Cliz, VerifiedEncodeF64RoundTrips) {
+  const Shape shape({16, 8, 8});
+  NdArray<double> data(shape);
+  Rng rng(77);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.01 * static_cast<double>(i % 97) + 0.001 * rng.normal();
+  }
+  ClizOptions opts;
+  opts.verify_encode = true;
+  const auto config = config3({0, 1, 2}, FusionSpec::none(3),
+                              FittingKind::kCubic, 0, false);
+  const auto stream =
+      ClizCompressor(config, opts).compress(data, 1e-4);
+  const auto recon = ClizCompressor::decompress_f64(stream);
+  ASSERT_EQ(recon.shape(), shape);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(recon[i] - data[i]), 1e-4);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/crc32c.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/timer.hpp"
 #include "src/common/version.hpp"
@@ -56,6 +57,75 @@ TEST(Parallel, SubrangeRespected) {
   parallel_for(3, 7, [&](std::size_t i) { hits[i] = 1; });
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(hits[i], i >= 3 && i < 7 ? 1 : 0);
+  }
+}
+
+std::vector<std::uint8_t> ascii(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s),
+          reinterpret_cast<const std::uint8_t*>(s) + std::strlen(s)};
+}
+
+TEST(Crc32c, Rfc3720TestVectors) {
+  // iSCSI standard vectors (RFC 3720 B.4).
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  const std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+  std::vector<std::uint8_t> inc(32);
+  for (std::size_t i = 0; i < 32; ++i) inc[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(crc32c(inc), 0x46DD794Eu);
+  std::vector<std::uint8_t> dec(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    dec[i] = static_cast<std::uint8_t>(31 - i);
+  }
+  EXPECT_EQ(crc32c(dec), 0x113FDB5Cu);
+  EXPECT_EQ(crc32c(ascii("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+}
+
+TEST(Crc32c, ExtendComposes) {
+  const auto whole = ascii("the quick brown fox jumps over the lazy dog!");
+  const std::uint32_t full = crc32c(whole);
+  // Every split point of the message must compose to the same digest.
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    const std::span<const std::uint8_t> head(whole.data(), cut);
+    const std::span<const std::uint8_t> tail(whole.data() + cut,
+                                             whole.size() - cut);
+    EXPECT_EQ(crc32c_extend(crc32c(head), tail), full) << cut;
+  }
+}
+
+TEST(Crc32c, SoftwareKernelMatchesDispatch) {
+  // The dispatched digest (hardware where available) must agree with the
+  // portable slice-by-8 kernel on every length and alignment, so streams
+  // written on SSE4.2 machines verify everywhere else.
+  std::vector<std::uint8_t> buf(300);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto& b : buf) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  for (std::size_t off = 0; off < 9; ++off) {
+    for (std::size_t len = 0; len + off <= buf.size(); len += 7) {
+      const std::span<const std::uint8_t> s(buf.data() + off, len);
+      const std::uint32_t sw =
+          ~detail_crc32c::update_sw(~0u, s.data(), s.size());
+      EXPECT_EQ(crc32c(s), sw) << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  auto msg = ascii("climate archives cross the WAN");
+  const std::uint32_t clean = crc32c(msg);
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      msg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32c(msg), clean) << byte << ":" << bit;
+      msg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
   }
 }
 

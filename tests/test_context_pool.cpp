@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "src/common/bytestream.hpp"
+#include "src/common/crc32c.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
@@ -246,11 +247,8 @@ std::vector<std::uint8_t> serial_reference_frame(const NdArray<T>& data,
   chunks = std::clamp<std::size_t>(chunks, 1, shape.dim(0));
   const std::size_t row = shape.size() / shape.dim(0);
 
-  ByteWriter w;
-  w.put(std::uint32_t{0x434C4B53u});  // "CLKS"
-  w.put_varint(shape.ndims());
-  for (const std::size_t d : shape.dims()) w.put_varint(d);
-  w.put_varint(chunks);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<std::vector<std::uint8_t>> streams;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = shape.dim(0) * c / chunks;
     const std::size_t hi = shape.dim(0) * (c + 1) / chunks;
@@ -270,13 +268,25 @@ std::vector<std::uint8_t> serial_reference_frame(const NdArray<T>& data,
         hi - lo < 2 * config.period) {
       cconfig.period = 0;  // undersized chunk: periodicity degrades
     }
-    const auto stream = ClizCompressor(std::move(cconfig))
-                            .compress(chunk, eb,
-                                      cmask.has_value() ? &*cmask : nullptr);
-    w.put_varint(lo);
-    w.put_varint(hi);
-    w.put_block(stream);
+    ranges.emplace_back(lo, hi);
+    streams.push_back(ClizCompressor(std::move(cconfig))
+                          .compress(chunk, eb,
+                                    cmask.has_value() ? &*cmask : nullptr));
   }
+
+  // v2 frame layout: CRC-covered header first, payload blocks after.
+  ByteWriter w;
+  w.put(std::uint32_t{0x434C4B32u});  // "CLK2"
+  w.put_varint(shape.ndims());
+  for (const std::size_t d : shape.dims()) w.put_varint(d);
+  w.put_varint(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    w.put_varint(ranges[c].first);
+    w.put_varint(ranges[c].second);
+    w.put(crc32c(streams[c]));
+  }
+  w.put(crc32c(w.bytes().subspan(4)));
+  for (std::size_t c = 0; c < chunks; ++c) w.put_block(streams[c]);
   return std::move(w).take();
 }
 

@@ -1,0 +1,298 @@
+// Fault-injection matrix over the committed golden corpus and a freshly
+// written CLZA archive: every seeded bit flip, truncation, and splice must
+// yield either a clean cliz::Error or output bit-identical to the pristine
+// decode. Nothing else is acceptable — no crashes, no unbounded
+// allocations, and above all no silently wrong data. ("Bit-identical" is a
+// real outcome, not a loophole: a flip in unused trailing Huffman bits or
+// in a section the decoder never reads changes nothing, and the CRC layer
+// is entitled to wave such streams through.)
+//
+// Faults are deterministic functions of (stream, seed), so any failure
+// reproduces from the printed case label.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/core/chunked.hpp"
+#include "src/core/cliz.hpp"
+#include "src/io/archive.hpp"
+#include "tests/fault_injection.hpp"
+
+namespace cliz {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::string golden_path(const char* file) {
+  return std::string(CLIZ_GOLDEN_DIR) + "/" + file;
+}
+
+/// Bitwise equality of two decoded fields (shape and payload bytes).
+bool bit_identical(const NdArray<float>& a, const NdArray<float>& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.flat().data(), b.flat().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+enum class Outcome { kCleanError, kIdentical, kSilentCorruption };
+
+/// Decode a faulted frame with `decode` and classify the result against the
+/// pristine decode. Any exception other than cliz::Error or std::bad_alloc
+/// (length_error from a hostile resize, say) propagates and fails the test
+/// loudly with the case label attached by the caller.
+template <typename DecodeFn>
+Outcome classify(const DecodeFn& decode,
+                 const std::vector<std::uint8_t>& faulted,
+                 const NdArray<float>& pristine) {
+  try {
+    const NdArray<float> out = decode(faulted);
+    return bit_identical(out, pristine) ? Outcome::kIdentical
+                                        : Outcome::kSilentCorruption;
+  } catch (const Error&) {
+    return Outcome::kCleanError;
+  } catch (const std::bad_alloc&) {
+    // An allocator refusal is a clean failure too, but the integrity layer
+    // exists to cap untrusted sizes before they hit the allocator; treat a
+    // bad_alloc as a budget violation so it shows up here.
+    ADD_FAILURE() << "fault drove an unbounded allocation";
+    return Outcome::kCleanError;
+  }
+}
+
+/// classify() without the silent-corruption assertion, for checksum-less
+/// v1 streams where a decodable-but-different result is allowed by design.
+template <typename DecodeFn>
+Outcome classify_nofail(const DecodeFn& decode,
+                        const std::vector<std::uint8_t>& faulted,
+                        const NdArray<float>& pristine) {
+  try {
+    const NdArray<float> out = decode(faulted);
+    return bit_identical(out, pristine) ? Outcome::kIdentical
+                                        : Outcome::kSilentCorruption;
+  } catch (const Error&) {
+    return Outcome::kCleanError;
+  } catch (const std::bad_alloc&) {
+    ADD_FAILURE() << "fault drove an unbounded allocation";
+    return Outcome::kCleanError;
+  }
+}
+
+struct MatrixTally {
+  std::size_t clean = 0;
+  std::size_t identical = 0;
+};
+
+/// Run every generated fault for one stream through `decode`.
+template <typename DecodeFn>
+MatrixTally run_matrix(const char* stream_name,
+                       const std::vector<std::uint8_t>& stream,
+                       const std::vector<std::uint8_t>& donor,
+                       const DecodeFn& decode) {
+  const NdArray<float> pristine = decode(stream);
+
+  std::vector<fault::Fault> cases = fault::bit_flip_cases(stream, 160, 0xF1);
+  auto truncs = fault::truncation_cases(stream, 40);
+  cases.insert(cases.end(), std::make_move_iterator(truncs.begin()),
+               std::make_move_iterator(truncs.end()));
+  auto splices = fault::splice_cases(stream, donor, 24, 0xF2);
+  cases.insert(cases.end(), std::make_move_iterator(splices.begin()),
+               std::make_move_iterator(splices.end()));
+
+  MatrixTally tally;
+  for (const auto& f : cases) {
+    SCOPED_TRACE(std::string(stream_name) + " " + f.label);
+    switch (classify(decode, f.bytes, pristine)) {
+      case Outcome::kCleanError:
+        ++tally.clean;
+        break;
+      case Outcome::kIdentical:
+        ++tally.identical;
+        break;
+      case Outcome::kSilentCorruption:
+        ADD_FAILURE() << "decoded without error but produced wrong data";
+        break;
+    }
+  }
+  EXPECT_EQ(tally.clean + tally.identical, cases.size());
+  // The corpus streams are dense enough that most faults land in live
+  // sections; if almost everything sailed through "identical", the CRC
+  // layer is not actually being exercised.
+  EXPECT_GT(tally.clean, cases.size() / 2)
+      << stream_name << ": too few faults detected";
+  return tally;
+}
+
+const auto kClizDecode = [](const std::vector<std::uint8_t>& bytes) {
+  return ClizCompressor::decompress(bytes);
+};
+const auto kChunkedDecode = [](const std::vector<std::uint8_t>& bytes) {
+  return chunked_decompress(bytes);
+};
+
+TEST(FaultMatrix, PlainGoldenStream) {
+  const auto stream = read_file(golden_path("golden_plain.cliz"));
+  const auto donor = read_file(golden_path("golden_periodic.cliz"));
+  ASSERT_FALSE(stream.empty());
+  run_matrix("golden_plain", stream, donor, kClizDecode);
+}
+
+TEST(FaultMatrix, MaskedGoldenStream) {
+  const auto stream = read_file(golden_path("golden_masked.cliz"));
+  const auto donor = read_file(golden_path("golden_plain.cliz"));
+  ASSERT_FALSE(stream.empty());
+  run_matrix("golden_masked", stream, donor, kClizDecode);
+}
+
+TEST(FaultMatrix, PeriodicGoldenStream) {
+  const auto stream = read_file(golden_path("golden_periodic.cliz"));
+  const auto donor = read_file(golden_path("golden_masked.cliz"));
+  ASSERT_FALSE(stream.empty());
+  run_matrix("golden_periodic", stream, donor, kClizDecode);
+}
+
+TEST(FaultMatrix, ChunkedGoldenFrame) {
+  const auto stream = read_file(golden_path("golden_chunked.clks"));
+  const auto donor = read_file(golden_path("golden_plain.cliz"));
+  ASSERT_FALSE(stream.empty());
+  run_matrix("golden_chunked", stream, donor, kChunkedDecode);
+}
+
+// Checksum-less v1 frames predate the integrity layer, so "detect every
+// flip" is off the table — but hostile bytes must still never crash or
+// allocate unboundedly, and shape mismatches must still throw cleanly.
+TEST(FaultMatrix, V1StreamsNeverCrash) {
+  for (const char* name :
+       {"v1_plain.cliz", "v1_masked.cliz", "v1_periodic.cliz"}) {
+    const auto stream = read_file(golden_path(name));
+    ASSERT_FALSE(stream.empty()) << name;
+    const NdArray<float> pristine = kClizDecode(stream);
+    auto cases = fault::truncation_cases(stream, 40);
+    auto flips = fault::bit_flip_cases(stream, 80, 0xF3);
+    cases.insert(cases.end(), std::make_move_iterator(flips.begin()),
+                 std::make_move_iterator(flips.end()));
+    for (const auto& f : cases) {
+      SCOPED_TRACE(std::string(name) + " " + f.label);
+      // v1 has no payload CRCs: silent corruption is possible by design,
+      // so only the no-crash / no-OOM guarantee is asserted here.
+      (void)classify_nofail(kClizDecode, f.bytes, pristine);
+    }
+  }
+}
+
+// --- archive salvage under the same fault matrix -------------------------
+
+class FaultArchive : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-unique path: ctest -j runs each test as its own process of this
+    // binary, and parallel fixtures must not clobber each other's file.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cliz_fault_archive_" + std::to_string(::getpid()) + ".clza"))
+                .string();
+    ArchiveWriter writer(path_);
+    for (int v = 0; v < 3; ++v) {
+      names_.push_back("VAR" + std::to_string(v));
+      NdArray<float> data(Shape({12, 10}));
+      Rng rng(7100 + static_cast<std::uint64_t>(v));
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<float>(0.01 * static_cast<double>(i) +
+                                     0.05 * rng.uniform());
+      }
+      writer.add_variable_with("sz3", names_.back(), data, 1e-3);
+    }
+    writer.finish();
+    bytes_ = read_file(path_);
+    ASSERT_FALSE(bytes_.empty());
+    // The reference for bit-exactness is the pristine *decode* (the codec
+    // is lossy, so the input array is not the right baseline).
+    ArchiveReader reference(path_);
+    for (const auto& name : names_) {
+      pristine_.push_back(reference.read(name));
+    }
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  void write_faulted(const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::vector<std::string> names_;
+  std::vector<NdArray<float>> pristine_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(FaultArchive, EveryFaultYieldsErrorOrExactData) {
+  std::vector<fault::Fault> cases = fault::bit_flip_cases(bytes_, 96, 0xA1);
+  auto truncs = fault::truncation_cases(bytes_, 32);
+  cases.insert(cases.end(), std::make_move_iterator(truncs.begin()),
+               std::make_move_iterator(truncs.end()));
+  const auto donor = read_file(golden_path("golden_plain.cliz"));
+  auto splices = fault::splice_cases(bytes_, donor, 16, 0xA2);
+  cases.insert(cases.end(), std::make_move_iterator(splices.begin()),
+               std::make_move_iterator(splices.end()));
+
+  for (const auto& f : cases) {
+    SCOPED_TRACE("archive " + f.label);
+    write_faulted(f.bytes);
+
+    // Strict mode: open+read either throws Error or returns exact data.
+    try {
+      ArchiveReader reader(path_);
+      for (std::size_t v = 0; v < names_.size(); ++v) {
+        const auto got = reader.read(names_[v]);
+        EXPECT_TRUE(bit_identical(got, pristine_[v]))
+            << "strict read of " << names_[v] << " returned wrong data";
+      }
+    } catch (const Error&) {
+    } catch (const std::bad_alloc&) {
+      ADD_FAILURE() << "strict open drove an unbounded allocation";
+    }
+
+    // Tolerant mode: must never throw on byte-level damage, and every
+    // variable it claims to have recovered must decode bit-exactly.
+    ArchiveReader tolerant(path_, ArchiveOpenMode::kTolerant);
+    for (const auto& recovered : tolerant.salvage().recovered) {
+      for (std::size_t v = 0; v < names_.size(); ++v) {
+        if (names_[v] != recovered) continue;
+        const auto got = tolerant.read(recovered);
+        EXPECT_TRUE(bit_identical(got, pristine_[v]))
+            << "salvaged " << recovered << " is not bit-exact";
+      }
+    }
+  }
+}
+
+TEST_F(FaultArchive, TolerantOpenOfPristineBytesRecoversEverything) {
+  ArchiveReader tolerant(path_, ArchiveOpenMode::kTolerant);
+  EXPECT_TRUE(tolerant.salvage().index_intact);
+  EXPECT_EQ(tolerant.salvage().recovered.size(), names_.size());
+  EXPECT_TRUE(tolerant.salvage().quarantined.empty());
+}
+
+}  // namespace
+}  // namespace cliz

@@ -6,13 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
 
+#include "src/common/bytestream.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/status.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
 #include "src/core/compressor.hpp"
 #include "src/huffman/huffman.hpp"
+#include "src/io/archive.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/metrics/metrics.hpp"
 
@@ -351,6 +356,138 @@ TEST(FuzzChunked, WrongDecoderAndSampleWidth) {
   const auto plain = ClizCompressor(PipelineConfig::defaults(3))
                          .compress(data, 1e-3);
   EXPECT_THROW((void)chunked_decompress(plain, &scratch), Error);
+}
+
+// --- CLZA archive reader ------------------------------------------------
+
+/// Dumps `bytes` to a temp path, opens it in both modes, and asserts the
+/// robustness contract: strict open/read may only fail with cliz::Error;
+/// tolerant open never throws on byte damage and its report stays sane
+/// (recovered and quarantined names bounded by what was written).
+class FuzzArchive : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-unique path: ctest -j runs each test as its own process of this
+    // binary, and parallel fixtures must not clobber each other's file.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cliz_fuzz_archive_" + std::to_string(::getpid()) + ".clza"))
+                .string();
+    ArchiveWriter w(path_);
+    for (int v = 0; v < 3; ++v) {
+      NdArray<float> data(Shape({10, 8}));
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<float>(i % 7) * 0.25f;
+      }
+      w.add_variable_with("sz3", "VAR" + std::to_string(v), data, 1e-3);
+    }
+    w.finish();
+    std::ifstream in(path_, std::ios::binary);
+    pristine_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(pristine_.size(), kTrailer);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  void probe(const std::vector<std::uint8_t>& bytes) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.is_open());
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    expect_no_crash([&] {
+      ArchiveReader strict(path_);
+      for (const auto& v : strict.variables()) (void)strict.read(v.name);
+    });
+    expect_no_crash([&] {
+      ArchiveReader tol(path_, ArchiveOpenMode::kTolerant);
+      EXPECT_LE(tol.salvage().recovered.size(), 3u);
+      for (const auto& name : tol.salvage().recovered) {
+        (void)tol.read(name);
+      }
+    });
+  }
+
+  /// Pristine bytes with the trailer's index offset replaced.
+  std::vector<std::uint8_t> with_index_offset(std::uint64_t offset) const {
+    auto bytes = pristine_;
+    ByteWriter w;
+    w.put(offset);
+    std::copy(w.bytes().begin(), w.bytes().end(),
+              bytes.end() - static_cast<std::ptrdiff_t>(kTrailer));
+    return bytes;
+  }
+
+  static constexpr std::size_t kTrailer = 12;
+  std::string path_;
+  std::vector<std::uint8_t> pristine_;
+};
+
+TEST_F(FuzzArchive, HostileTrailerOffsets) {
+  // Offsets pointing before the first record, past EOF, at the trailer
+  // itself, mid-payload, and mid-index.
+  for (const std::uint64_t offset :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+        std::uint64_t{pristine_.size()}, std::uint64_t{pristine_.size() - 1},
+        std::uint64_t{pristine_.size() - kTrailer},
+        std::uint64_t{pristine_.size() / 2}, std::uint64_t{1} << 60,
+        ~std::uint64_t{0}}) {
+    SCOPED_TRACE("index offset " + std::to_string(offset));
+    probe(with_index_offset(offset));
+  }
+}
+
+TEST_F(FuzzArchive, TruncatedIndexAndTrailer) {
+  // Cut the file short at every boundary near the end: chops through the
+  // trailer, then the index CRC, then the index body.
+  for (std::size_t cut = 1; cut <= kTrailer + 40 && cut < pristine_.size();
+       ++cut) {
+    SCOPED_TRACE("truncated by " + std::to_string(cut));
+    probe({pristine_.begin(),
+           pristine_.end() - static_cast<std::ptrdiff_t>(cut)});
+  }
+}
+
+TEST_F(FuzzArchive, OverlappingAndDuplicatedRecords) {
+  // Splice the front half of the file over the back half (duplicate
+  // record magics at bogus offsets), and duplicate the whole body before
+  // the trailer (every record appears twice; offsets point at the first
+  // copy only).
+  auto overlap = pristine_;
+  const std::size_t half = overlap.size() / 2;
+  std::copy(overlap.begin(), overlap.begin() + static_cast<std::ptrdiff_t>(
+                                                   overlap.size() - half),
+            overlap.begin() + static_cast<std::ptrdiff_t>(half));
+  probe(overlap);
+
+  const std::size_t body = pristine_.size() - kTrailer;
+  std::vector<std::uint8_t> doubled(pristine_.begin(),
+                                    pristine_.begin() +
+                                        static_cast<std::ptrdiff_t>(body));
+  doubled.insert(doubled.end(), pristine_.begin(),
+                 pristine_.begin() + static_cast<std::ptrdiff_t>(body));
+  doubled.insert(doubled.end(),
+                 pristine_.end() - static_cast<std::ptrdiff_t>(kTrailer),
+                 pristine_.end());
+  probe(doubled);
+}
+
+TEST_F(FuzzArchive, GarbageWithValidTrailerMagic) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    auto bytes = random_bytes(64 + seed * 53, 5000 + seed);
+    // Grafting the real trailer magic on makes the scanner actually walk
+    // the garbage instead of bailing at the magic check.
+    ByteWriter w;
+    w.put(std::uint64_t{8});
+    w.put(std::uint32_t{0x434C5A41u});  // "CLZA"
+    bytes.insert(bytes.end(), w.bytes().begin(), w.bytes().end());
+    SCOPED_TRACE("garbage seed " + std::to_string(seed));
+    probe(bytes);
+  }
 }
 
 TEST(FuzzCrossCodec, StreamsFedToWrongDecoder) {

@@ -237,5 +237,52 @@ TEST(GoldenStreams, ChunkedFrameDecodesAndReproduces) {
       << "chunked frame drifted from the committed stream";
 }
 
+// --- v1 compatibility fixtures ------------------------------------------
+// Frozen copies of the corpus as the checksum-less v1 code wrote it.
+// Unlike the golden_* locks these are decode-only: v2 writers must keep
+// *reading* v1 streams, not reproducing them.
+
+TEST(GoldenStreams, V1PlainStreamStillDecodes) {
+  const auto stream = read_file(golden_path("v1_plain.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = plain_field();
+  CodecContext ctx;
+  NdArray<float> out(data.shape());
+  ClizCompressor::decompress_into(stream, ctx, out);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+}
+
+TEST(GoldenStreams, V1MaskedStreamStillDecodes) {
+  const auto stream = read_file(golden_path("v1_masked.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto field = masked_field();
+  const auto out = ClizCompressor::decompress(stream);
+  ASSERT_EQ(out.shape(), field.data.shape());
+  EXPECT_LE(
+      error_stats(field.data.flat(), out.flat(), &field.mask).max_abs_error,
+      kEb);
+}
+
+TEST(GoldenStreams, V1PeriodicStreamStillDecodes) {
+  const auto stream = read_file(golden_path("v1_periodic.cliz"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = periodic_field();
+  const auto out = ClizCompressor::decompress(stream);
+  ASSERT_EQ(out.shape(), data.shape());
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+}
+
+TEST(GoldenStreams, V1ChunkedFrameStillDecodes) {
+  const auto stream = read_file(golden_path("v1_chunked.clks"));
+  ASSERT_FALSE(stream.empty());
+  const auto data = chunked_field();
+  ASSERT_TRUE(is_chunked_stream(stream));
+  EXPECT_EQ(chunked_sample_bytes(stream), 4u);
+  ChunkedScratch scratch;
+  NdArray<float> out(data.shape());
+  chunked_decompress_into(stream, out, &scratch);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+}
+
 }  // namespace
 }  // namespace cliz

@@ -91,6 +91,89 @@ TEST(Transfer, StreamCountCappedByFiles) {
   EXPECT_GT(out.transfer_seconds, 0.0);
 }
 
+TEST(Transfer, PerfectLinkMatchesRetryFreeModel) {
+  // p = 0 must reproduce the original analytical model exactly: no draws,
+  // no retries, no waits.
+  auto p = base_plan();
+  WanLink link;
+  link.per_file_failure_prob = 0.0;
+  const auto out = simulate_transfer(p, link);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_EQ(out.failed_files, 0u);
+  EXPECT_DOUBLE_EQ(out.retry_wait_seconds, 0.0);
+  // 1024 files over 64 streams = 16 per stream; each send is overhead plus
+  // 64 MiB at min(40, 1250/64) MB/s.
+  const double rate = std::min(40.0, 1250.0 / 64.0);
+  EXPECT_DOUBLE_EQ(out.transfer_seconds, 16.0 * (0.05 + 64.0 / rate));
+}
+
+TEST(Transfer, RetriesAreDeterministicPerSeed) {
+  auto p = base_plan();
+  WanLink flaky;
+  flaky.per_file_failure_prob = 0.2;
+  const auto a = simulate_transfer(p, flaky);
+  const auto b = simulate_transfer(p, flaky);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failed_files, b.failed_files);
+  EXPECT_DOUBLE_EQ(a.transfer_seconds, b.transfer_seconds);
+  EXPECT_DOUBLE_EQ(a.retry_wait_seconds, b.retry_wait_seconds);
+  EXPECT_GT(a.retries, 0u);  // 1024 files at 20%: retries are certain
+
+  p.retry_seed = 0xDEADBEEFull;
+  const auto c = simulate_transfer(p, flaky);
+  EXPECT_NE(a.retries, c.retries);  // different draws, different schedule
+}
+
+TEST(Transfer, FlakierLinksRetryMoreAndRunLonger) {
+  auto p = base_plan();
+  WanLink mild;
+  mild.per_file_failure_prob = 0.05;
+  WanLink harsh;
+  harsh.per_file_failure_prob = 0.4;
+  const auto clean = simulate_transfer(p);
+  const auto m = simulate_transfer(p, mild);
+  const auto h = simulate_transfer(p, harsh);
+  EXPECT_LT(m.retries, h.retries);
+  EXPECT_LE(clean.transfer_seconds, m.transfer_seconds);
+  EXPECT_LT(m.transfer_seconds, h.transfer_seconds);
+}
+
+TEST(Transfer, DeadLinkAbandonsEveryFile) {
+  auto p = base_plan();
+  p.n_files = 32;
+  WanLink dead;
+  dead.per_file_failure_prob = 1.0;
+  dead.max_retries = 3;
+  const auto out = simulate_transfer(p, dead);
+  EXPECT_EQ(out.failed_files, 32u);
+  EXPECT_EQ(out.retries, 32u * 3u);  // every file burns its full budget
+  EXPECT_GT(out.retry_wait_seconds, 0.0);
+}
+
+TEST(Transfer, BackoffIsCappedExponential) {
+  TransferPlan p;
+  p.cores = 1;
+  p.n_files = 1;
+  p.compressed_bytes_per_file = 1 << 20;
+  WanLink dead;
+  dead.per_file_failure_prob = 1.0;
+  dead.max_retries = 6;
+  dead.initial_backoff_s = 1.0;
+  dead.max_backoff_s = 8.0;
+  const auto out = simulate_transfer(p, dead);
+  // Waits: 1 + 2 + 4 + 8 + 8 + 8 (doubling, clamped at the cap).
+  EXPECT_DOUBLE_EQ(out.retry_wait_seconds, 31.0);
+  EXPECT_EQ(out.failed_files, 1u);
+}
+
+TEST(Transfer, InvalidFailureProbabilityThrows) {
+  WanLink bad;
+  bad.per_file_failure_prob = 1.5;
+  EXPECT_THROW((void)simulate_transfer(base_plan(), bad), Error);
+  bad.per_file_failure_prob = -0.1;
+  EXPECT_THROW((void)simulate_transfer(base_plan(), bad), Error);
+}
+
 TEST(Transfer, InvalidPlansThrow) {
   TransferPlan p = base_plan();
   p.cores = 0;

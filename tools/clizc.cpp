@@ -38,6 +38,8 @@ using namespace cliz;
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
                    [--tune RATE] [--time-dim N] [--chunks N] [--stats]
+                   [--verify]   (cliz only: decode-and-check the bound
+                                 before writing; retries conservatively)
   clizc decompress <in>      -o <out.f32> [--stats]
                    (f64 and chunked streams auto-detected)
   clizc info       <in>
@@ -48,9 +50,12 @@ using namespace cliz;
                    [--scale S]
   clizc archive-create  <out.clza> NAME=FILE:DIMS[:CODEC] ...
                    [-r REL | -e ABS] [--mask-fill] [--tune RATE]
-  clizc archive-list    <in.clza>
-  clizc archive-extract <in.clza> <var> -o <out.f32>
+  clizc archive-list    <in.clza> [--salvage]
+  clizc archive-extract <in.clza> <var> -o <out.f32> [--salvage]
 
+--salvage opens the archive tolerantly: variables whose record checksums
+verify are recovered even when the trailer or index is damaged, and the
+salvage report is printed to stderr.
 raw files are flat little-endian float32, row-major.
 )");
   std::exit(2);
@@ -145,6 +150,7 @@ int cmd_compress(Args& args) {
   bool mask_fill = false;
   bool f64 = false;
   bool show_stats = false;
+  bool verify = false;
   double tune_rate = 0.01;
   std::size_t time_dim = 0;
   std::size_t chunks = 0;
@@ -177,6 +183,8 @@ int cmd_compress(Args& args) {
           std::atoll(args.next("chunk count").c_str()));
     } else if (opt == "--stats") {
       show_stats = true;
+    } else if (opt == "--verify") {
+      verify = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -186,6 +194,11 @@ int cmd_compress(Args& args) {
   if (chunked && codec != "cliz") {
     usage("--chunks is only supported with -c cliz");
   }
+  if (verify && codec != "cliz") {
+    usage("--verify is only supported with -c cliz");
+  }
+  ClizOptions cliz_opts;
+  cliz_opts.verify_encode = verify;
 
   if (f64) {
     const auto data = load_raw_t<double>(input, *dims);
@@ -204,7 +217,7 @@ int cmd_compress(Args& args) {
       eb = hi > lo ? rel_eb * (hi - lo) : rel_eb;
     }
     std::vector<std::uint8_t> stream;
-    if (chunked || (show_stats && codec == "cliz")) {
+    if (chunked || ((show_stats || verify) && codec == "cliz")) {
       // Tune on a float32 downcast (ranking only), then compress the
       // float64 samples through a context so --stats has telemetry.
       NdArray<float> downcast(data.shape());
@@ -220,12 +233,13 @@ int cmd_compress(Args& args) {
         ChunkedOptions copts;
         copts.chunks = chunks;
         copts.scratch = &scratch;
+        copts.codec = cliz_opts;
         stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
         if (show_stats) print_pool_stats(scratch);
       } else {
         CodecContext cctx;
-        stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr,
-                                                     cctx);
+        stream = ClizCompressor(tuned.best, cliz_opts)
+                     .compress(data, eb, mask_ptr, cctx);
         std::fputs(cctx.stats.to_text().c_str(), stderr);
       }
     } else {
@@ -269,11 +283,13 @@ int cmd_compress(Args& args) {
       ChunkedOptions copts;
       copts.chunks = chunks;
       copts.scratch = &scratch;
+      copts.codec = cliz_opts;
       stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
       if (show_stats) print_pool_stats(scratch);
     } else {
       CodecContext cctx;
-      stream = ClizCompressor(tuned.best).compress(data, eb, mask_ptr, cctx);
+      stream = ClizCompressor(tuned.best, cliz_opts)
+                   .compress(data, eb, mask_ptr, cctx);
       if (show_stats) std::fputs(cctx.stats.to_text().c_str(), stderr);
     }
   } else {
@@ -539,7 +555,18 @@ int cmd_archive_create(Args& args) {
 
 int cmd_archive_list(Args& args) {
   const std::string input = args.next("archive path");
-  const ArchiveReader reader(input);
+  bool salvage = false;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "--salvage") {
+      salvage = true;
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  const ArchiveReader reader(
+      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict);
+  if (salvage) std::fputs(reader.salvage().to_text().c_str(), stderr);
   for (const auto& v : reader.variables()) {
     std::printf("%s\n", v.name.c_str());
   }
@@ -550,16 +577,21 @@ int cmd_archive_extract(Args& args) {
   const std::string input = args.next("archive path");
   const std::string var = args.next("variable name");
   std::string output;
+  bool salvage = false;
   while (!args.done()) {
     const std::string opt = args.next("option");
     if (opt == "-o") {
       output = args.next("output path");
+    } else if (opt == "--salvage") {
+      salvage = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
   }
   if (output.empty()) usage("archive-extract needs -o OUTPUT");
-  const ArchiveReader reader(input);
+  const ArchiveReader reader(
+      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict);
+  if (salvage) std::fputs(reader.salvage().to_text().c_str(), stderr);
   const auto data = reader.read(var);
   write_file(output, data.data(), data.size() * sizeof(float));
   std::fprintf(stderr, "extracted %s %s -> %s\n", var.c_str(),
