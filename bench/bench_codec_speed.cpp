@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/climate/datasets.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/chunked.hpp"
@@ -158,6 +159,47 @@ void BM_ClizDecodeInto(benchmark::State& state, bool into) {
   bench::record_json("decompress_into", into ? "into" : "returning", r);
 }
 
+/// Thread-scaling sweep for the line-parallel CliZ hot path. state.range(0)
+/// is the worker count (0 = the machine default). The compressed stream is
+/// byte-identical at every setting (locked by test_golden_streams), so this
+/// sweep isolates pure wall-time scaling of the prediction/quantization,
+/// Huffman, and block-split lossless stages.
+void BM_ClizCompressThreads(benchmark::State& state) {
+  auto& c = ctx();
+  const int saved = hardware_threads();
+  const int threads = static_cast<int>(state.range(0));
+  set_thread_count(threads == 0 ? saved : threads);
+  const ClizCompressor comp(c.tuned);
+  CodecContext cctx;
+  std::vector<std::uint8_t> stream;
+  comp.compress_into(c.field.data, c.eb, c.field.mask_ptr(), cctx, stream);
+  for (auto _ : state) {
+    comp.compress_into(c.field.data, c.eb, c.field.mask_ptr(), cctx, stream);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  set_thread_count(saved);
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["threads"] = threads == 0 ? saved : threads;
+}
+
+void BM_ClizDecompressThreads(benchmark::State& state) {
+  auto& c = ctx();
+  const int saved = hardware_threads();
+  const int threads = static_cast<int>(state.range(0));
+  set_thread_count(threads == 0 ? saved : threads);
+  const ClizCompressor comp(c.tuned);
+  const auto stream = comp.compress(c.field.data, c.eb, c.field.mask_ptr());
+  CodecContext cctx;
+  NdArray<float> out(c.field.data.shape());
+  for (auto _ : state) {
+    ClizCompressor::decompress_into(stream, cctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_thread_count(saved);
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["threads"] = threads == 0 ? saved : threads;
+}
+
 void BM_HuffmanEncode(benchmark::State& state) {
   Rng rng(1);
   std::vector<std::uint32_t> syms(1 << 20);
@@ -175,6 +217,28 @@ void BM_HuffmanEncode(benchmark::State& state) {
   report_bytes(state, syms.size() * sizeof(std::uint32_t));
 }
 
+/// Batched Huffman decode over a quantization-bin-shaped stream: the
+/// pair-augmented fast table should stay well above the encode rate.
+void BM_HuffmanDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint32_t> syms(1 << 20);
+  for (auto& s : syms) {
+    const double u = rng.uniform();
+    s = 32768 + static_cast<std::uint32_t>(-std::log2(1.0 - u));
+  }
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  BitWriter bits;
+  codec.encode(syms, bits);
+  const auto payload = bits.finish();
+  std::vector<std::uint32_t> out(syms.size());
+  for (auto _ : state) {
+    BitReader br(payload);
+    codec.decode_batch(br, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  report_bytes(state, syms.size() * sizeof(std::uint32_t));
+}
+
 void BM_LosslessCompress(benchmark::State& state) {
   Rng rng(2);
   std::vector<std::uint8_t> data(1 << 20);
@@ -186,6 +250,26 @@ void BM_LosslessCompress(benchmark::State& state) {
   for (auto _ : state) {
     auto out = lossless_compress(data);
     benchmark::DoNotOptimize(out);
+  }
+  report_bytes(state, data.size());
+}
+
+/// Block-split lossless container (mode 4): 4 MiB crosses the split
+/// threshold, so blocks compress in parallel; scratch is reused so the
+/// loop measures steady-state throughput.
+void BM_LosslessBlocks(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint8_t> data(4u << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i / 128) % 4 == 0 ? 0
+                                 : static_cast<std::uint8_t>(
+                                       rng.uniform_index(16));
+  }
+  LosslessScratch scratch;
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    lossless_compress_into(data, scratch, out);
+    benchmark::DoNotOptimize(out.data());
   }
   report_bytes(state, data.size());
 }
@@ -246,11 +330,31 @@ int main(int argc, char** argv) {
         [into](benchmark::State& s) { cliz::BM_ClizDecodeInto(s, into); })
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("cliz_compress_threads",
+                               cliz::BM_ClizCompressThreads)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(0)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("cliz_decompress_threads",
+                               cliz::BM_ClizDecompressThreads)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(0)
+      ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("substrate/huffman_encode",
                                cliz::BM_HuffmanEncode)
       ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("substrate/huffman_decode",
+                               cliz::BM_HuffmanDecode)
+      ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("substrate/lossless_compress",
                                cliz::BM_LosslessCompress)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("substrate/lossless_blocks",
+                               cliz::BM_LosslessBlocks)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("substrate/fft_16k", cliz::BM_FftPow2)
       ->Unit(benchmark::kMillisecond);

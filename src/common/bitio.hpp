@@ -1,6 +1,8 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -89,7 +91,23 @@ class BitReader {
   /// Next `n` bits without consuming them, zero-padded past the end of the
   /// stream (used by table-driven decoders; a padded lookup that resolves
   /// to a code longer than the remaining bits is caught by skip_bits).
+  ///
+  /// Fast path: when 8 whole bytes remain, one unaligned load + byte swap
+  /// yields a 64-bit big-endian window; the requested bits are the top of
+  /// the window after dropping the sub-byte offset. Valid for n in [1, 57]
+  /// (57 = 64 - 7, the worst-case offset), which covers the decoders'
+  /// kTableBits peeks and kMaxCodeLength codes.
   [[nodiscard]] std::uint64_t peek_bits(int n) const {
+    const std::size_t byte = bitpos_ >> 3;
+    if (byte + 8 <= data_.size() && n >= 1 && n <= 57) {
+      std::uint64_t w;
+      std::memcpy(&w, data_.data() + byte, 8);
+      if constexpr (std::endian::native == std::endian::little) {
+        w = __builtin_bswap64(w);
+      }
+      w <<= bitpos_ & 7u;
+      return w >> (64 - n);
+    }
     std::uint64_t v = 0;
     const std::size_t total = data_.size() * 8;
     for (int i = 0; i < n; ++i) {

@@ -36,32 +36,6 @@ std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
   return out;
 }
 
-/// First-exception capture for parallel_for bodies: an exception escaping
-/// an OpenMP parallel region aborts the process, so chunk workers stash it
-/// here and the caller rethrows after the join.
-class ErrorLatch {
- public:
-  template <typename Fn>
-  void run(Fn&& fn) noexcept {
-    try {
-      fn();
-    } catch (...) {
-      if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
-        error_ = std::current_exception();
-      }
-    }
-  }
-
-  /// Call after the parallel join (single-threaded again).
-  void rethrow_if_failed() {
-    if (error_) std::rethrow_exception(error_);
-  }
-
- private:
-  std::atomic<bool> claimed_{false};
-  std::exception_ptr error_;
-};
-
 struct ChunkRef {
   std::size_t lo = 0;
   std::size_t hi = 0;

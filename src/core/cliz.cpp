@@ -188,18 +188,9 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
   outliers.clear();
   pass_fits.clear();
   const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
-  const auto sink = [&](std::size_t off, std::uint32_t code) {
-    offsets.push_back(off);
-    codes.push_back(code);
-  };
-
-  if (!config.dynamic_fitting) {
-    interp_encode(work.data(), axes, order, config.fitting, quantizer,
-                  outliers, validity, sink);
-  } else {
-    interp_encode_dynamic(work.data(), axes, order, config.fitting, quantizer,
-                          outliers, validity, pass_fits, sink);
-  }
+  interp_encode_lines(work.data(), axes, order, config.dynamic_fitting,
+                      config.fitting, quantizer, validity, offsets, codes,
+                      outliers, pass_fits, ctx.interp);
   out.put_varint(pass_fits.size());
   out.put_bytes(pass_fits);
   out.put_varint(outliers.size());
@@ -346,6 +337,7 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
                    std::vector<std::uint8_t>& out) {
   const auto t_all = Clock::now();
   ctx.stats.reset();
+  ctx.stats.threads_used = hardware_threads();
   CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
   const Shape& shape = data.shape();
   CLIZ_REQUIRE(config.permutation.size() == shape.ndims(),
@@ -396,6 +388,7 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
                       BindOut&& bind_out) {
   const auto t_all = Clock::now();
   ctx.stats.reset();
+  ctx.stats.threads_used = hardware_threads();
   {
     const auto t0 = Clock::now();
     auto& st = ctx.stats.at(CodecStage::kLossless);
@@ -509,28 +502,37 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
     bits.emplace(in.get_block());
   }
   ctx.stats.at(CodecStage::kEncode).seconds = seconds_since(t_tables);
-  const auto read_code = [&](std::size_t off) -> std::uint32_t {
-    ++decoded;
-    if (!classify) return ctx.trees[0].decode_one(*bits);
-    const std::size_t col = off % plane;
-    const HuffmanCodec& tree = ctx.trees[classification->group_of(col)];
-    const std::uint32_t sym = tree.decode_one(*bits);
-    if (sym == escape) return 0;
-    const int shift = classification->shift_of(col);
-    return static_cast<std::uint32_t>(
-        static_cast<std::int64_t>(sym) + shift -
-        static_cast<std::int64_t>(classification->params().j));
+  // Batched symbol source for the quantization codes, classified or plain.
+  // The line-parallel decoder hands over a whole pass of target offsets at
+  // once; entropy decoding stays serial (the bitstream is inherently
+  // sequential) but the unclassified path runs through the multi-symbol
+  // fast-table batch decoder.
+  const auto fetch = [&](const std::uint64_t* offs, std::uint32_t* dst,
+                         std::size_t n) {
+    decoded += n;
+    if (!classify) {
+      ctx.trees[0].decode_batch(*bits, dst, n);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t col = static_cast<std::size_t>(offs[i]) % plane;
+      const HuffmanCodec& tree = ctx.trees[classification->group_of(col)];
+      const std::uint32_t sym = tree.decode_one(*bits);
+      if (sym == escape) {
+        dst[i] = 0;
+        continue;
+      }
+      const int shift = classification->shift_of(col);
+      dst[i] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(sym) + shift -
+          static_cast<std::int64_t>(classification->params().j));
+    }
   };
 
   const auto t_decode = Clock::now();
-  if (!config.dynamic_fitting) {
-    interp_decode(out, axes, order, config.fitting, quantizer,
-                  std::span<const T>(outliers), cursor, validity, read_code);
-  } else {
-    interp_decode_dynamic(out, axes, order, quantizer,
-                          std::span<const T>(outliers), cursor, validity,
-                          pass_fit_bytes, read_code);
-  }
+  interp_decode_lines(out, axes, order, config.dynamic_fitting, config.fitting,
+                      pass_fit_bytes, quantizer, std::span<const T>(outliers),
+                      cursor, validity, ctx.interp, fetch);
   CLIZ_REQUIRE(decoded == n_codes, "code count mismatch after decode");
   {
     auto& st = ctx.stats.at(CodecStage::kPredict);

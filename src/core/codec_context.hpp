@@ -11,6 +11,7 @@
 #include "src/core/stage_stats.hpp"
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
+#include "src/predictor/interp_engine.hpp"
 
 namespace cliz {
 
@@ -50,6 +51,7 @@ class CodecContext {
   std::vector<std::uint64_t> offsets;   ///< linear offset per emitted code
   std::vector<std::uint32_t> codes;     ///< quantization bin codes
   std::vector<std::uint8_t> pass_fits;  ///< dynamic-fitting choice per pass
+  InterpLineScratch interp;             ///< line-parallel engine scratch
 
   // --- classification / entropy-coding stage ---
   std::vector<std::uint32_t> shifted;  ///< per-point shifted symbols

@@ -32,6 +32,8 @@ void StageStats::accumulate(const StageStats& other) {
   verified = verified || other.verified;
   verify_downgrades += other.verify_downgrades;
   verify_seconds += other.verify_seconds;
+  threads_used = threads_used > other.threads_used ? threads_used
+                                                   : other.threads_used;
   // Entropy does not sum; keep the outermost (residual) stream's value.
   if (code_entropy_bits == 0.0) code_entropy_bits = other.code_entropy_bits;
 }
@@ -39,20 +41,22 @@ void StageStats::accumulate(const StageStats& other) {
 std::string StageStats::to_text() const {
   char buf[256];
   std::string out;
-  std::snprintf(buf, sizeof(buf), "%-9s %10s %12s %12s\n", "stage",
-                "time (ms)", "in (bytes)", "out (bytes)");
+  std::snprintf(buf, sizeof(buf), "%-9s %10s %12s %12s %10s\n", "stage",
+                "time (ms)", "in (bytes)", "out (bytes)", "MB/s");
   out += buf;
   for (std::size_t i = 0; i < kNumCodecStages; ++i) {
     const Stage& s = stages[i];
-    std::snprintf(buf, sizeof(buf), "%-9s %10.3f %12zu %12zu\n",
+    std::snprintf(buf, sizeof(buf), "%-9s %10.3f %12zu %12zu %10.1f\n",
                   codec_stage_name(static_cast<CodecStage>(i)),
-                  s.seconds * 1e3, s.input_bytes, s.output_bytes);
+                  s.seconds * 1e3, s.input_bytes, s.output_bytes,
+                  s.throughput_mbps());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "codes=%zu outliers=%zu entropy=%.3f bits/code total=%.3f ms\n",
+                "codes=%zu outliers=%zu entropy=%.3f bits/code total=%.3f ms "
+                "threads=%d\n",
                 code_count, outlier_count, code_entropy_bits,
-                total_seconds * 1e3);
+                total_seconds * 1e3, threads_used);
   out += buf;
   if (verified) {
     std::snprintf(buf, sizeof(buf),
@@ -70,20 +74,20 @@ std::string StageStats::to_json() const {
     const Stage& s = stages[i];
     std::snprintf(buf, sizeof(buf),
                   "%s\"%s\":{\"seconds\":%.6f,\"input_bytes\":%zu,"
-                  "\"output_bytes\":%zu}",
+                  "\"output_bytes\":%zu,\"mbps\":%.3f}",
                   i == 0 ? "" : ",",
                   codec_stage_name(static_cast<CodecStage>(i)), s.seconds,
-                  s.input_bytes, s.output_bytes);
+                  s.input_bytes, s.output_bytes, s.throughput_mbps());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
                 "},\"code_entropy_bits\":%.6f,\"code_count\":%zu,"
                 "\"outlier_count\":%zu,\"total_seconds\":%.6f,"
                 "\"verified\":%s,\"verify_downgrades\":%zu,"
-                "\"verify_seconds\":%.6f}",
+                "\"verify_seconds\":%.6f,\"threads_used\":%d}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
-                verify_seconds);
+                verify_seconds, threads_used);
   out += buf;
   return out;
 }

@@ -29,6 +29,13 @@ struct StageStats {
     double seconds = 0.0;          ///< wall time spent in the stage
     std::size_t input_bytes = 0;   ///< bytes the stage consumed
     std::size_t output_bytes = 0;  ///< bytes the stage produced
+
+    /// Stage throughput in MB/s over the bytes it consumed (0 when the
+    /// stage did not run or ran too fast to time).
+    [[nodiscard]] double throughput_mbps() const {
+      if (seconds <= 0.0 || input_bytes == 0) return 0.0;
+      return static_cast<double>(input_bytes) / seconds / 1e6;
+    }
   };
 
   std::array<Stage, kNumCodecStages> stages{};
@@ -50,6 +57,9 @@ struct StageStats {
   std::size_t verify_downgrades = 0;
   /// Wall time spent in the post-encode verification decode(s).
   double verify_seconds = 0.0;
+  /// Worker threads available to the parallel stages of this run
+  /// (hardware_threads() at call time).
+  int threads_used = 1;
 
   [[nodiscard]] Stage& at(CodecStage s) {
     return stages[static_cast<unsigned>(s)];

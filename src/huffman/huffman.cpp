@@ -115,6 +115,9 @@ HuffmanCodec HuffmanCodec::from_symbols(
 void HuffmanCodec::build_canonical() {
   const std::size_t n = symbols_.size();
   CLIZ_REQUIRE(lengths_.size() == n, "length/symbol arity mismatch");
+  // The fast decode table packs 24-bit canonical indices; parse() enforces
+  // the same cap on deserialized tables.
+  CLIZ_REQUIRE(n <= (std::size_t{1} << 24), "huffman alphabet too large");
 
   // Canonical order: by (length, symbol). The permuted copies land in
   // member scratch and are swapped in, so both buffers keep their capacity
@@ -177,7 +180,7 @@ void HuffmanCodec::build_canonical() {
   }
 
   // One-shot decode table: every kTableBits-bit prefix of a short code maps
-  // straight to its symbol; longer codes leave a miss marker.
+  // straight to its canonical index; longer codes leave a miss marker.
   fast_table_.assign(n == 0 ? 0 : (std::size_t{1} << kTableBits), 0);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t l = lengths_[i];
@@ -187,8 +190,26 @@ void HuffmanCodec::build_canonical() {
     CLIZ_REQUIRE(base + fill <= fast_table_.size(),
                  "corrupt huffman table (code overflow)");
     const std::uint64_t entry =
-        (static_cast<std::uint64_t>(symbols_[i]) << 8) | l;
+        (static_cast<std::uint64_t>(i) << 16) | l;
     for (std::uint64_t p = 0; p < fill; ++p) fast_table_[base + p] = entry;
+  }
+  // Pair augmentation: when a prefix's remaining bits hold a complete second
+  // code, record it so batch decoding consumes two symbols per peek. The
+  // second symbol is found by re-probing the table with the leftover bits
+  // moved to the top of the window; only the first-symbol fields (which this
+  // pass never alters) of the probed entry are read, so in-place
+  // augmentation is safe.
+  for (std::uint64_t p = 0; p < fast_table_.size(); ++p) {
+    const std::uint64_t e1 = fast_table_[p];
+    const std::uint64_t l1 = e1 & 0xFF;
+    if (l1 == 0 || l1 >= kTableBits) continue;
+    const std::uint64_t rem = kTableBits - l1;
+    const std::uint64_t probe = (p & ((std::uint64_t{1} << rem) - 1)) << l1;
+    const std::uint64_t e2 = fast_table_[probe];
+    const std::uint64_t l2 = e2 & 0xFF;
+    if (l2 == 0 || l2 > rem) continue;
+    const std::uint64_t idx2 = (e2 >> 16) & 0xFFFFFF;
+    fast_table_[p] = e1 | (l2 << 8) | (idx2 << 40);
   }
 }
 
@@ -260,9 +281,38 @@ std::uint32_t HuffmanCodec::decode_one(BitReader& bits) const {
       fast_table_[bits.peek_bits(kTableBits)];
   if ((entry & 0xFF) != 0) {
     bits.skip_bits(static_cast<int>(entry & 0xFF));
-    return static_cast<std::uint32_t>(entry >> 8);
+    return symbols_[(entry >> 16) & 0xFFFFFF];
   }
   return decode_slow(bits);
+}
+
+void HuffmanCodec::decode_batch(BitReader& bits, std::uint32_t* out,
+                                std::size_t n) const {
+  if (n == 0) return;
+  CLIZ_REQUIRE(max_length_ > 0, "decoding with empty huffman table");
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t entry = fast_table_[bits.peek_bits(kTableBits)];
+    const std::uint64_t l1 = entry & 0xFF;
+    if (l1 == 0) {
+      out[i++] = decode_slow(bits);
+      continue;
+    }
+    const std::uint64_t l2 = (entry >> 8) & 0xFF;
+    // A pair hit is exact even near the stream's end: i + 1 < n means the
+    // stream still holds a complete second code, whose bits are real (the
+    // peek's zero padding only starts past them), and prefix-freeness makes
+    // the window lookup resolve to exactly that code.
+    if (l2 != 0 && i + 1 < n) {
+      bits.skip_bits(static_cast<int>(l1 + l2));
+      out[i] = symbols_[(entry >> 16) & 0xFFFFFF];
+      out[i + 1] = symbols_[(entry >> 40) & 0xFFFFFF];
+      i += 2;
+      continue;
+    }
+    bits.skip_bits(static_cast<int>(l1));
+    out[i++] = symbols_[(entry >> 16) & 0xFFFFFF];
+  }
 }
 
 std::uint32_t HuffmanCodec::decode_slow(BitReader& bits) const {

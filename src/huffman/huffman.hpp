@@ -49,6 +49,12 @@ class HuffmanCodec {
   /// Reads one symbol.
   [[nodiscard]] std::uint32_t decode_one(BitReader& bits) const;
 
+  /// Reads exactly `n` symbols into `out`. Semantically n decode_one calls,
+  /// but the hot loop peeks once per iteration and consumes up to two
+  /// symbols from the pair-augmented fast table — the dominant decode path
+  /// for short codes (the common case for quantization-bin streams).
+  void decode_batch(BitReader& bits, std::uint32_t* out, std::size_t n) const;
+
   /// Exact number of payload bits encode() would emit, without emitting.
   [[nodiscard]] std::uint64_t encoded_bits(
       std::span<const std::uint32_t> symbols) const;
@@ -92,7 +98,12 @@ class HuffmanCodec {
   std::vector<std::uint32_t> first_index_;  // index into symbols_ per length
   std::vector<std::uint32_t> count_;        // #codes per length
   std::uint8_t max_length_ = 0;
-  // Fast path: prefix -> (symbol << 8) | code length; length 0 = miss.
+  // Fast path: kTableBits-bit prefix -> up to two decoded symbols, packed as
+  //   bits 0-7   first code length (0 = miss, fall back to the slow scan)
+  //   bits 8-15  second code length (0 = no complete second code in window)
+  //   bits 16-39 canonical index of the first symbol
+  //   bits 40-63 canonical index of the second symbol
+  // Indices fit 24 bits because the alphabet is capped at 2^24 entries.
   std::vector<std::uint64_t> fast_table_;
   // Build-time scratch, retained across rebuilds so a codec that lives in a
   // CodecContext rebuilds with zero steady-state allocations.

@@ -128,16 +128,38 @@ ArchiveWriter::~ArchiveWriter() {
   }
 }
 
+template <typename T>
+void ArchiveWriter::add_cliz_variable(
+    const std::string& name, const NdArray<T>& data, double abs_error_bound,
+    const PipelineConfig& pipeline, const MaskMap* mask,
+    std::map<std::string, std::string> attributes) {
+  const std::size_t raw_bytes = data.size() * sizeof(T);
+  if (chunk_threshold_ != 0 && raw_bytes >= chunk_threshold_ &&
+      data.shape().dim(0) >= 2) {
+    // Large variable: chunked frame, compressed slab-parallel through the
+    // writer's shared pool; the reader decodes it the same way.
+    ChunkedOptions opts;
+    opts.scratch = &scratch_;
+    chunked_compress_into(data, abs_error_bound, pipeline, mask, opts,
+                          stream_buf_);
+  } else {
+    const ClizCompressor codec(pipeline);
+    auto lease = scratch_.pool.acquire();
+    codec.compress_into(data, abs_error_bound, mask, lease.ctx(),
+                        stream_buf_);
+  }
+  append_stream("cliz", name, data.shape(), abs_error_bound,
+                std::move(attributes), stream_buf_, sizeof(T));
+}
+
 void ArchiveWriter::add_variable(const std::string& name,
                                  const NdArray<float>& data,
                                  double abs_error_bound,
                                  const PipelineConfig& pipeline,
                                  const MaskMap* mask,
                                  std::map<std::string, std::string> attributes) {
-  const ClizCompressor codec(pipeline);
-  const auto stream = codec.compress(data, abs_error_bound, mask);
-  append_stream("cliz", name, data.shape(), abs_error_bound,
-                std::move(attributes), stream, sizeof(float));
+  add_cliz_variable(name, data, abs_error_bound, pipeline, mask,
+                    std::move(attributes));
 }
 
 void ArchiveWriter::add_variable(const std::string& name,
@@ -146,10 +168,8 @@ void ArchiveWriter::add_variable(const std::string& name,
                                  const PipelineConfig& pipeline,
                                  const MaskMap* mask,
                                  std::map<std::string, std::string> attributes) {
-  const ClizCompressor codec(pipeline);
-  const auto stream = codec.compress(data, abs_error_bound, mask);
-  append_stream("cliz", name, data.shape(), abs_error_bound,
-                std::move(attributes), stream, sizeof(double));
+  add_cliz_variable(name, data, abs_error_bound, pipeline, mask,
+                    std::move(attributes));
 }
 
 void ArchiveWriter::add_variable_with(
@@ -449,9 +469,11 @@ NdArray<float> ArchiveReader::read(const std::string& name) const {
   CLIZ_REQUIRE(v.sample_bytes == 4,
                "variable '" + name + "' is float64: use read_f64()");
   const auto stream = read_raw(name);
-  NdArray<float> data = v.codec == "cliz"
-                            ? ClizCompressor::decompress(stream)
-                            : make_compressor(v.codec)->decompress(stream);
+  NdArray<float> data =
+      v.codec == "cliz"
+          ? (is_chunked_stream(stream) ? chunked_decompress(stream)
+                                       : ClizCompressor::decompress(stream))
+          : make_compressor(v.codec)->decompress(stream);
   CLIZ_REQUIRE(data.shape().dims() == v.dims,
                "decoded shape disagrees with archive index");
   return data;
@@ -463,7 +485,9 @@ NdArray<double> ArchiveReader::read_f64(const std::string& name) const {
                "variable '" + name + "' is float32: use read()");
   CLIZ_REQUIRE(v.codec == "cliz", "float64 archive variables use CliZ");
   const auto stream = read_raw(name);
-  NdArray<double> data = ClizCompressor::decompress_f64(stream);
+  NdArray<double> data = is_chunked_stream(stream)
+                             ? chunked_decompress_f64(stream)
+                             : ClizCompressor::decompress_f64(stream);
   CLIZ_REQUIRE(data.shape().dims() == v.dims,
                "decoded shape disagrees with archive index");
   return data;

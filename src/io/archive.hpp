@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/chunked.hpp"
 #include "src/core/mask.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/ndarray/ndarray.hpp"
@@ -68,6 +69,14 @@ enum class ArchiveOpenMode {
 
 /// Streaming archive writer. Variables are compressed and appended in call
 /// order; finish() (or the destructor) writes the index and trailer.
+///
+/// All CliZ variables of one writer compress through a single shared
+/// ChunkedScratch (context pool + staging), so a multi-variable archive
+/// reaches the steady-state allocation profile of a reused context after
+/// the first variable. Variables whose raw size reaches the chunk
+/// threshold are stored as chunked frames — compressed slab-parallel and
+/// decodable slab-parallel by the reader — while small ones stay single
+/// CliZ streams.
 class ArchiveWriter {
  public:
   explicit ArchiveWriter(const std::string& path);
@@ -75,6 +84,12 @@ class ArchiveWriter {
 
   ArchiveWriter(const ArchiveWriter&) = delete;
   ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Raw-byte size at or above which a CliZ variable is stored as a
+  /// chunked frame (default 8 MiB). 0 disables chunking. Takes effect for
+  /// variables added after the call; arrays whose dim 0 extent is 1 are
+  /// never chunked (nothing to slice).
+  void set_chunk_threshold(std::size_t bytes) { chunk_threshold_ = bytes; }
 
   /// Compresses `data` with CliZ under `pipeline` and appends it.
   void add_variable(const std::string& name, const NdArray<float>& data,
@@ -113,11 +128,22 @@ class ArchiveWriter {
                      const std::vector<std::uint8_t>& stream,
                      std::uint32_t sample_bytes);
 
+  template <typename T>
+  void add_cliz_variable(const std::string& name, const NdArray<T>& data,
+                         double abs_error_bound,
+                         const PipelineConfig& pipeline, const MaskMap* mask,
+                         std::map<std::string, std::string> attributes);
+
   std::string path_;
   std::ofstream out_;
   std::vector<Entry> entries_;
   std::uint64_t cursor_ = 0;
   bool finished_ = false;
+  /// Shared across all variables of this writer: context pool + chunk
+  /// staging for the chunked path, context lease for the single-stream one.
+  ChunkedScratch scratch_;
+  std::vector<std::uint8_t> stream_buf_;  ///< compressed-stream staging
+  std::size_t chunk_threshold_ = std::size_t{8} << 20;
 };
 
 /// Random-access archive reader. The index is parsed on construction; each

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/crc32c.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/status.hpp"
 
 namespace cliz {
@@ -25,6 +26,13 @@ constexpr std::uint8_t kModeLz = 1;
 // decoded bytes reach a consumer.
 constexpr std::uint8_t kModeStoredCrc = 2;
 constexpr std::uint8_t kModeLzCrc = 3;
+// Block-split container: the payload is cut into fixed-size blocks, each
+// carried as an independent single-block v2 frame, so blocks (de)compress
+// on separate threads. The split is purely size-driven — the same bytes go
+// out for every thread count.
+constexpr std::uint8_t kModeBlocksCrc = 4;
+constexpr std::size_t kBlockSize = std::size_t{1} << 18;
+constexpr std::size_t kBlockSplitThreshold = std::size_t{1} << 20;
 
 // Section sub-modes for huff_bytes().
 constexpr std::uint8_t kSectionRaw = 0;
@@ -88,11 +96,10 @@ void get_section(ByteReader& in, LosslessScratch& ctx,
   }
 }
 
-}  // namespace
-
-void lossless_compress_into(std::span<const std::uint8_t> in,
-                            LosslessScratch& ctx,
-                            std::vector<std::uint8_t>& out) {
+/// Compresses `in` as one single-block v2 frame (mode 2 or 3) into `out`.
+void compress_single_into(std::span<const std::uint8_t> in,
+                          LosslessScratch& ctx,
+                          std::vector<std::uint8_t>& out) {
   const std::size_t n = in.size();
   const std::uint32_t payload_crc = crc32c(in);
 
@@ -187,6 +194,62 @@ void lossless_compress_into(std::span<const std::uint8_t> in,
   out.assign(stored.bytes().begin(), stored.bytes().end());
 }
 
+/// Grows the per-worker nested scratch pool to the current thread count and
+/// the per-block staging to `n_blocks`.
+void reserve_block_scratch(LosslessScratch& ctx, std::size_t n_blocks) {
+  const auto workers =
+      static_cast<std::size_t>(std::max(1, hardware_threads()));
+  if (ctx.block_scratch.size() < workers) ctx.block_scratch.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!ctx.block_scratch[w]) {
+      ctx.block_scratch[w] = std::make_unique<LosslessScratch>();
+    }
+  }
+  if (ctx.block_out.size() < n_blocks) ctx.block_out.resize(n_blocks);
+}
+
+}  // namespace
+
+void lossless_compress_into(std::span<const std::uint8_t> in,
+                            LosslessScratch& ctx,
+                            std::vector<std::uint8_t>& out) {
+  const std::size_t n = in.size();
+  if (n < kBlockSplitThreshold) {
+    compress_single_into(in, ctx, out);
+    return;
+  }
+
+  // Block-split path: fixed-size blocks compressed independently. Each
+  // worker compresses through its own nested scratch into per-block
+  // staging, then the frames are concatenated in block order — the output
+  // depends only on the input bytes, never on the thread count.
+  const std::size_t n_blocks = (n + kBlockSize - 1) / kBlockSize;
+  reserve_block_scratch(ctx, n_blocks);
+  ErrorLatch latch;
+  parallel_for(0, n_blocks, 2, [&](std::size_t b) {
+    latch.run([&] {
+      const std::size_t lo = b * kBlockSize;
+      const std::size_t len = std::min(kBlockSize, n - lo);
+      compress_single_into(in.subspan(lo, len),
+                           *ctx.block_scratch[static_cast<std::size_t>(
+                               thread_index())],
+                           ctx.block_out[b]);
+    });
+  });
+  latch.rethrow_if_failed();
+
+  ByteWriter& frame = ctx.lz;
+  frame.clear();
+  frame.put_u8(kModeBlocksCrc);
+  frame.put_varint(n);
+  frame.put(crc32c(in));
+  frame.put_varint(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    frame.put_block(ctx.block_out[b]);
+  }
+  out.assign(frame.bytes().begin(), frame.bytes().end());
+}
+
 std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> in) {
   LosslessScratch scratch;
   std::vector<std::uint8_t> out;
@@ -201,7 +264,8 @@ void lossless_decompress_into(std::span<const std::uint8_t> in,
   const std::uint8_t mode = r.get_u8();
   const std::uint64_t n = r.get_varint();
   CLIZ_REQUIRE(n <= (std::uint64_t{1} << 40), "implausible lossless size");
-  const bool has_crc = mode == kModeStoredCrc || mode == kModeLzCrc;
+  const bool has_crc =
+      mode == kModeStoredCrc || mode == kModeLzCrc || mode == kModeBlocksCrc;
   std::uint32_t expected_crc = 0;
   if (has_crc) expected_crc = r.get<std::uint32_t>();
 
@@ -212,6 +276,45 @@ void lossless_decompress_into(std::span<const std::uint8_t> in,
                    "lossless payload CRC mismatch (stored)");
     }
     out.assign(b.begin(), b.end());
+    return;
+  }
+  if (mode == kModeBlocksCrc) {
+    const std::uint64_t n_blocks = r.get_varint();
+    CLIZ_REQUIRE(n_blocks == (n + kBlockSize - 1) / kBlockSize,
+                 "corrupt lossless block count");
+    // Parse the block frames serially — headers must be validated before
+    // any worker touches them, so no Error can surface inside the parallel
+    // region below without the latch.
+    std::vector<std::span<const std::uint8_t>> frames(
+        static_cast<std::size_t>(n_blocks));
+    for (std::uint64_t b = 0; b < n_blocks; ++b) {
+      frames[b] = r.get_block();
+      ByteReader hdr(frames[b]);
+      const std::uint8_t inner = hdr.get_u8();
+      CLIZ_REQUIRE(inner >= kModeStoredCrc && inner <= kModeLzCrc,
+                   "corrupt nested lossless block mode");
+      const std::uint64_t inner_n = hdr.get_varint();
+      const std::uint64_t expect =
+          std::min<std::uint64_t>(kBlockSize, n - b * kBlockSize);
+      CLIZ_REQUIRE(inner_n == expect, "corrupt lossless block size");
+    }
+    reserve_block_scratch(ctx, frames.size());
+    out.resize(static_cast<std::size_t>(n));
+    ErrorLatch latch;
+    parallel_for(0, frames.size(), 2, [&](std::size_t b) {
+      latch.run([&] {
+        auto& staging = ctx.block_out[b];
+        lossless_decompress_into(
+            frames[b],
+            *ctx.block_scratch[static_cast<std::size_t>(thread_index())],
+            staging);
+        std::memcpy(out.data() + b * kBlockSize, staging.data(),
+                    staging.size());
+      });
+    });
+    latch.rethrow_if_failed();
+    CLIZ_REQUIRE(crc32c(out) == expected_crc,
+                 "lossless payload CRC mismatch (blocks)");
     return;
   }
   CLIZ_REQUIRE(mode == kModeLz || mode == kModeLzCrc,

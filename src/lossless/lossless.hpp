@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,12 @@ struct LosslessScratch {
   // Decompression staging.
   std::vector<std::uint8_t> dec_literals;
   std::vector<std::uint8_t> dec_matches;
+  // Block-split mode: one nested scratch per worker thread (created
+  // lazily; unique_ptr keeps the recursive member well-formed) and one
+  // staging buffer per block, so independent blocks (de)compress in
+  // parallel without sharing mutable state.
+  std::vector<std::unique_ptr<LosslessScratch>> block_scratch;
+  std::vector<std::vector<std::uint8_t>> block_out;
 };
 
 /// Byte-stream lossless backend (LZ77 hash-chain matching + canonical

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "src/common/parallel.hpp"
 #include "src/predictor/fitting.hpp"
 #include "src/predictor/interp_traversal.hpp"
 #include "src/quantizer/linear_quantizer.hpp"
@@ -177,6 +180,501 @@ void interp_decode_dynamic(T* data, std::span<const AxisSpec> axes,
       });
   CLIZ_REQUIRE(pass_idx == pass_fits.size(),
                "pass-fit table not fully consumed");
+}
+
+// ---------------------------------------------------------------------------
+// Line-parallel engine. A pass's targets are partitioned into independent
+// 1-D lines along the active axis: every reference of a target sits at an
+// even multiple of h along that axis (refined in an earlier pass or level),
+// so within one pass reads and writes never alias and lines can run on any
+// thread in any order. Codes land at precomputed disjoint positions and
+// per-block outlier runs are concatenated in line order, so the emitted
+// stream is byte-identical to the serial engine for every thread count.
+// ---------------------------------------------------------------------------
+
+/// Minimum targets in a pass before its lines are dispatched in parallel;
+/// below this the fork/join overhead outweighs the work (bench_codec_speed
+/// puts the break-even around a few thousand quantizations per fork).
+inline constexpr std::size_t kLineParallelGrain = 4096;
+
+/// Reusable scratch for the line-parallel engine (owned by CodecContext).
+/// The per-block staging vectors hold one predictions buffer and one
+/// outlier run per concurrent line block.
+struct InterpLineScratch {
+  std::vector<std::size_t> line_base;   ///< per-line base offsets of a pass
+  std::vector<std::size_t> line_start;  ///< exclusive per-line code prefix
+  std::vector<std::size_t> line_zero;   ///< decode: per-line outlier prefix
+  std::vector<double> probe_lin;        ///< dynamic-fit probe terms, linear
+  std::vector<double> probe_cub;        ///< dynamic-fit probe terms, cubic
+  std::vector<std::uint8_t> probe_valid;
+  std::vector<std::uint64_t> dec_offsets;  ///< decode: pass target offsets
+  std::vector<std::uint32_t> dec_codes;    ///< decode: pass code batch
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>>& preds();
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>>& block_outliers();
+
+ private:
+  std::vector<std::vector<float>> preds_f32_;
+  std::vector<std::vector<double>> preds_f64_;
+  std::vector<std::vector<float>> outl_f32_;
+  std::vector<std::vector<double>> outl_f64_;
+};
+
+template <>
+[[nodiscard]] inline std::vector<std::vector<float>>&
+InterpLineScratch::preds<float>() {
+  return preds_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<std::vector<double>>&
+InterpLineScratch::preds<double>() {
+  return preds_f64_;
+}
+template <>
+[[nodiscard]] inline std::vector<std::vector<float>>&
+InterpLineScratch::block_outliers<float>() {
+  return outl_f32_;
+}
+template <>
+[[nodiscard]] inline std::vector<std::vector<double>>&
+InterpLineScratch::block_outliers<double>() {
+  return outl_f64_;
+}
+
+namespace detail {
+
+/// Reference offsets for the target at coordinate `c` (linear offset `off`)
+/// along the pass axis — identical to the refs run_pass builds.
+inline InterpRefs line_refs(std::size_t off, std::size_t c, std::size_t h,
+                            const AxisSpec& ax) {
+  InterpRefs refs{};
+  refs.in_range[0] = c >= 3 * h;
+  refs.in_range[1] = true;  // c >= h by construction
+  refs.in_range[2] = c + h < ax.extent;
+  refs.in_range[3] = c + 3 * h < ax.extent;
+  refs.offset[0] = refs.in_range[0] ? off - 3 * h * ax.stride : 0;
+  refs.offset[1] = off - h * ax.stride;
+  refs.offset[2] = refs.in_range[2] ? off + h * ax.stride : 0;
+  refs.offset[3] = refs.in_range[3] ? off + 3 * h * ax.stride : 0;
+  return refs;
+}
+
+/// Interior index range [lo, hi) of a line's n targets: the targets whose
+/// references (for this fitting) are all in range, so the branch-free
+/// fixed-coefficient kernel applies.
+inline std::pair<std::size_t, std::size_t> line_interior(std::size_t extent,
+                                                         std::size_t h,
+                                                         std::size_t s,
+                                                         std::size_t n,
+                                                         FittingKind fit) {
+  if (fit == FittingKind::kCubic) {
+    // c = h + i*s needs c >= 3h (i >= 1) and c + 3h < extent.
+    const std::size_t lo = std::min<std::size_t>(1, n);
+    const std::size_t raw =
+        extent > 4 * h ? (extent - 4 * h + s - 1) / s : 0;
+    return {lo, std::min(n, std::max(raw, lo))};
+  }
+  // Linear uses refs 1 and 2 only; ref 1 is always in range, ref 2 needs
+  // c + h = (i+1)*s < extent.
+  return {0, std::min(n, (extent - 1) / s)};
+}
+
+/// Predictions for every target of one unmasked line into preds[0..n):
+/// interior targets through the fixed-coefficient kernel (bit-identical to
+/// interp_predict — the all-valid Theorem-1 rows have no zero coefficient,
+/// so the generic path performs exactly these accumulations), boundary
+/// targets through the generic path. Reads only non-target positions.
+template <typename T>
+void predict_line(const T* data, std::size_t base, const AxisSpec& ax,
+                  std::size_t h, std::size_t s, FittingKind fit,
+                  std::size_t n, T* preds) {
+  const std::size_t st = ax.stride;
+  const auto [lo, hi] = line_interior(ax.extent, h, s, n, fit);
+  const T* dp = data + base;
+  if (fit == FittingKind::kCubic) {
+    const CubicFit& f = cubic_fit(0xFu);
+    const double c0 = f.p[0];
+    const double c1 = f.p[1];
+    const double c2 = f.p[2];
+    const double c3 = f.p[3];
+    const std::size_t hs = h * st;
+    const std::size_t h3 = 3 * h * st;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t o = (h + i * s) * st;
+      double p = 0.0;
+      p += c0 * static_cast<double>(dp[o - h3]);
+      p += c1 * static_cast<double>(dp[o - hs]);
+      p += c2 * static_cast<double>(dp[o + hs]);
+      p += c3 * static_cast<double>(dp[o + h3]);
+      preds[i] = static_cast<T>(p);
+    }
+  } else {
+    const auto lf = linear_fit(1u, 1u);
+    const double l0 = lf[0];
+    const double l1 = lf[1];
+    const std::size_t hs = h * st;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t o = (h + i * s) * st;
+      double p = 0.0;
+      p += l0 * static_cast<double>(dp[o - hs]);
+      p += l1 * static_cast<double>(dp[o + hs]);
+      preds[i] = static_cast<T>(p);
+    }
+  }
+  for (std::size_t i = 0; i < lo; ++i) {
+    const std::size_t c = h + i * s;
+    preds[i] =
+        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
+  }
+  for (std::size_t i = hi; i < n; ++i) {
+    const std::size_t c = h + i * s;
+    preds[i] =
+        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
+  }
+}
+
+/// Encodes one line of a pass: exactly `count` (offset, code) pairs into
+/// off_out/code_out, outliers appended in target order.
+template <typename T>
+void encode_line(T* data, std::size_t base, const AxisSpec& ax, std::size_t h,
+                 std::size_t s, FittingKind fit, const LinearQuantizer<T>& q,
+                 const std::uint8_t* validity, std::uint64_t* off_out,
+                 std::uint32_t* code_out, std::size_t count,
+                 std::vector<T>& outliers, std::vector<T>& preds) {
+  const std::size_t st = ax.stride;
+  if (validity != nullptr) {
+    std::size_t k = 0;
+    for (std::size_t c = h; c < ax.extent; c += s) {
+      const std::size_t off = base + c * st;
+      if (validity[off] == 0) continue;
+      const T pred =
+          interp_predict(data, line_refs(off, c, h, ax), validity, fit);
+      off_out[k] = off;
+      code_out[k] = q.quantize(data[off], pred, outliers);
+      ++k;
+    }
+    return;
+  }
+  preds.resize(count);
+  predict_line(data, base, ax, h, s, fit, count, preds.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    off_out[i] = base + (h + i * s) * st;
+  }
+  q.quantize_line(data + base + h * st, s * st, preds.data(), code_out, count,
+                  outliers);
+}
+
+/// Decodes one line: recover() runs in target order from a line-local
+/// outlier cursor (the caller prefix-summed the per-line escape counts, so
+/// the cursor is exact no matter which thread runs the line).
+template <typename T>
+void decode_line(T* out, std::size_t base, const AxisSpec& ax, std::size_t h,
+                 std::size_t s, FittingKind fit, const LinearQuantizer<T>& q,
+                 const std::uint8_t* validity, const std::uint32_t* codes,
+                 std::size_t count, std::span<const T> outliers,
+                 std::size_t cursor, std::vector<T>& preds) {
+  const std::size_t st = ax.stride;
+  if (validity != nullptr) {
+    std::size_t k = 0;
+    for (std::size_t c = h; c < ax.extent; c += s) {
+      const std::size_t off = base + c * st;
+      if (validity[off] == 0) continue;
+      const T pred =
+          interp_predict(out, line_refs(off, c, h, ax), validity, fit);
+      out[off] = q.recover(codes[k++], pred, outliers, cursor);
+    }
+    return;
+  }
+  preds.resize(count);
+  predict_line(out, base, ax, h, s, fit, count, preds.data());
+  T* dp = out + base;
+  for (std::size_t i = 0; i < count; ++i) {
+    dp[(h + i * s) * st] = q.recover(codes[i], preds[i], outliers, cursor);
+  }
+}
+
+/// Exclusive per-line code-count prefix for one pass into `start`
+/// (n_lines + 1 entries). Unmasked passes have `tpl` targets on every line;
+/// masked ones count valid targets per line in parallel, then prefix-sum.
+inline void line_code_prefix(std::span<const std::size_t> line_base,
+                             const AxisSpec& ax, std::size_t h, std::size_t s,
+                             std::size_t tpl, const std::uint8_t* validity,
+                             std::vector<std::size_t>& start) {
+  const std::size_t n_lines = line_base.size();
+  start.resize(n_lines + 1);
+  if (validity == nullptr) {
+    for (std::size_t i = 0; i <= n_lines; ++i) start[i] = i * tpl;
+    return;
+  }
+  const std::size_t grain =
+      std::max<std::size_t>(2, kLineParallelGrain / std::max<std::size_t>(
+                                                        tpl, std::size_t{1}));
+  start[0] = 0;
+  parallel_for(0, n_lines, grain, [&](std::size_t ln) {
+    const std::size_t base = line_base[ln];
+    std::size_t cnt = 0;
+    for (std::size_t c = h; c < ax.extent; c += s) {
+      cnt += validity[base + c * ax.stride] != 0 ? 1u : 0u;
+    }
+    start[ln + 1] = cnt;
+  });
+  for (std::size_t i = 0; i < n_lines; ++i) start[i + 1] += start[i];
+}
+
+/// Dynamic-fitting probe of one pass, parallelized by probe slot. Each
+/// slot's |error| terms are computed independently, then summed serially in
+/// slot (== serial probe) order, so the accumulated sums — and therefore
+/// the committed fit — are bit-identical to interp_encode_dynamic's.
+/// Masked slots contribute an exact 0.0, which cannot change a
+/// non-negative accumulation.
+template <typename T>
+FittingKind probe_pass_fit(const T* data, const AxisSpec& ax,
+                           const InterpPass& pass,
+                           std::span<const std::size_t> line_base,
+                           std::size_t tpl, const std::uint8_t* validity,
+                           FittingKind fallback, InterpLineScratch& scratch) {
+  constexpr std::size_t kProbeStride = 8;
+  const std::size_t total = line_base.size() * tpl;
+  const std::size_t n_slots = (total + kProbeStride - 1) / kProbeStride;
+  auto& lin = scratch.probe_lin;
+  auto& cub = scratch.probe_cub;
+  auto& valid = scratch.probe_valid;
+  lin.resize(n_slots);
+  cub.resize(n_slots);
+  valid.resize(n_slots);
+  parallel_for(
+      0, n_slots, kLineParallelGrain / kProbeStride, [&](std::size_t k) {
+        const std::size_t tg = k * kProbeStride;
+        const std::size_t c = pass.h + (tg % tpl) * pass.s;
+        const std::size_t off = line_base[tg / tpl] + c * ax.stride;
+        if (validity != nullptr && validity[off] == 0) {
+          lin[k] = 0.0;
+          cub[k] = 0.0;
+          valid[k] = 0;
+          return;
+        }
+        const InterpRefs refs = line_refs(off, c, pass.h, ax);
+        const double v = static_cast<double>(data[off]);
+        lin[k] = std::abs(static_cast<double>(interp_predict(
+                              data, refs, validity, FittingKind::kLinear)) -
+                          v);
+        cub[k] = std::abs(static_cast<double>(interp_predict(
+                              data, refs, validity, FittingKind::kCubic)) -
+                          v);
+        valid[k] = 1;
+      });
+  double err_lin = 0.0;
+  double err_cub = 0.0;
+  std::size_t probed = 0;
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    err_lin += lin[k];
+    err_cub += cub[k];
+    probed += valid[k];
+  }
+  if (probed == 0) return fallback;
+  return err_cub <= err_lin ? FittingKind::kCubic : FittingKind::kLinear;
+}
+
+}  // namespace detail
+
+/// Line-parallel encode: the drop-in replacement for interp_encode /
+/// interp_encode_dynamic (select with `dynamic`) used by CliZ's predict
+/// stage. Emits (offset, code) pairs by appending to `offsets`/`codes` and
+/// outliers/pass_fits exactly as the serial engines' sink order would —
+/// byte-identical for every thread count, including masked inputs.
+template <typename T>
+void interp_encode_lines(T* data, std::span<const AxisSpec> axes,
+                         std::span<const std::size_t> order, bool dynamic,
+                         FittingKind fallback_fit,
+                         const LinearQuantizer<T>& quantizer,
+                         const std::uint8_t* validity,
+                         std::vector<std::uint64_t>& offsets,
+                         std::vector<std::uint32_t>& codes,
+                         std::vector<T>& outliers,
+                         std::vector<std::uint8_t>& pass_fits,
+                         InterpLineScratch& scratch) {
+  if (validity == nullptr || validity[0] != 0) {
+    offsets.push_back(0);
+    codes.push_back(quantizer.quantize(data[0], T{0}, outliers));
+  }
+  auto& preds_blocks = scratch.preds<T>();
+  auto& outl_blocks = scratch.block_outliers<T>();
+  interp_for_each_pass(axes, order, [&](const InterpPass& pass) {
+    const AxisSpec ax = axes[pass.d];
+    const std::size_t tpl = pass_line_targets(ax.extent, pass.h, pass.s);
+    detail::collect_pass_lines(axes, pass.d, pass.step, scratch.line_base);
+    const auto& line_base = scratch.line_base;
+    const std::size_t n_lines = line_base.size();
+
+    FittingKind fit = fallback_fit;
+    if (dynamic) {
+      fit = detail::probe_pass_fit(data, ax, pass, line_base, tpl, validity,
+                                   fallback_fit, scratch);
+      pass_fits.push_back(fit == FittingKind::kCubic ? 1 : 0);
+    }
+
+    auto& start = scratch.line_start;
+    detail::line_code_prefix(line_base, ax, pass.h, pass.s, tpl, validity,
+                             start);
+    const std::size_t tot = start[n_lines];
+    if (tot == 0) return;
+
+    const std::size_t cbase = codes.size();
+    codes.resize(cbase + tot);
+    offsets.resize(cbase + tot);
+
+    const auto workers =
+        static_cast<std::size_t>(std::max(1, hardware_threads()));
+    const std::size_t nblocks = tot >= kLineParallelGrain && n_lines > 1
+                                    ? std::min(n_lines, workers)
+                                    : 1;
+    if (preds_blocks.size() < nblocks) preds_blocks.resize(nblocks);
+    if (outl_blocks.size() < nblocks) outl_blocks.resize(nblocks);
+
+    ErrorLatch latch;
+    parallel_for(0, nblocks, 2, [&](std::size_t b) {
+      latch.run([&] {
+        auto& preds = preds_blocks[b];
+        auto& outl = outl_blocks[b];
+        outl.clear();
+        const std::size_t blo = n_lines * b / nblocks;
+        const std::size_t bhi = n_lines * (b + 1) / nblocks;
+        for (std::size_t ln = blo; ln < bhi; ++ln) {
+          detail::encode_line(data, line_base[ln], ax, pass.h, pass.s, fit,
+                              quantizer, validity,
+                              offsets.data() + cbase + start[ln],
+                              codes.data() + cbase + start[ln],
+                              start[ln + 1] - start[ln], outl, preds);
+        }
+      });
+    });
+    latch.rethrow_if_failed();
+    // Per-block outlier runs concatenate in block (== line == visit) order,
+    // so the side stream does not depend on the partition.
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      outliers.insert(outliers.end(), outl_blocks[b].begin(),
+                      outl_blocks[b].end());
+    }
+  });
+}
+
+/// Line-parallel decode, the inverse of interp_encode_lines. Entropy
+/// decoding stays serial — `fetch(offsets, codes, n)` must fill `codes`
+/// with the next n symbols in stream order (offsets identify the targets
+/// for classified sources) — while prediction + reconstruction of each
+/// pass's lines runs in parallel. Reconstructions are bit-identical to the
+/// serial decoders' for every thread count.
+template <typename T, typename FetchCodes>
+void interp_decode_lines(T* out, std::span<const AxisSpec> axes,
+                         std::span<const std::size_t> order, bool dynamic,
+                         FittingKind static_fit,
+                         std::span<const std::uint8_t> pass_fits,
+                         const LinearQuantizer<T>& quantizer,
+                         std::span<const T> outliers,
+                         std::size_t& outlier_cursor,
+                         const std::uint8_t* validity,
+                         InterpLineScratch& scratch, FetchCodes&& fetch) {
+  if (validity == nullptr || validity[0] != 0) {
+    const std::uint64_t off0 = 0;
+    std::uint32_t code0 = 0;
+    fetch(&off0, &code0, std::size_t{1});
+    out[0] = quantizer.recover(code0, T{0}, outliers, outlier_cursor);
+  }
+  auto& preds_blocks = scratch.preds<T>();
+  std::size_t pass_idx = 0;
+  interp_for_each_pass(axes, order, [&](const InterpPass& pass) {
+    FittingKind fit = static_fit;
+    if (dynamic) {
+      CLIZ_REQUIRE(pass_idx < pass_fits.size(), "pass-fit table truncated");
+      fit = pass_fits[pass_idx++] != 0 ? FittingKind::kCubic
+                                       : FittingKind::kLinear;
+    }
+    const AxisSpec ax = axes[pass.d];
+    const std::size_t tpl = pass_line_targets(ax.extent, pass.h, pass.s);
+    detail::collect_pass_lines(axes, pass.d, pass.step, scratch.line_base);
+    const auto& line_base = scratch.line_base;
+    const std::size_t n_lines = line_base.size();
+
+    auto& start = scratch.line_start;
+    detail::line_code_prefix(line_base, ax, pass.h, pass.s, tpl, validity,
+                             start);
+    const std::size_t tot = start[n_lines];
+    if (tot == 0) return;
+
+    auto& offs = scratch.dec_offsets;
+    auto& cds = scratch.dec_codes;
+    offs.resize(tot);
+    cds.resize(tot);
+    const std::size_t grain = std::max<std::size_t>(
+        2, kLineParallelGrain / std::max<std::size_t>(tpl, std::size_t{1}));
+    parallel_for(0, n_lines, grain, [&](std::size_t ln) {
+      std::uint64_t* dst = offs.data() + start[ln];
+      const std::size_t base = line_base[ln];
+      if (validity == nullptr) {
+        for (std::size_t i = 0; i < tpl; ++i) {
+          dst[i] = base + (pass.h + i * pass.s) * ax.stride;
+        }
+      } else {
+        std::size_t k = 0;
+        for (std::size_t c = pass.h; c < ax.extent; c += pass.s) {
+          const std::size_t off = base + c * ax.stride;
+          if (validity[off] != 0) dst[k++] = off;
+        }
+      }
+    });
+    fetch(static_cast<const std::uint64_t*>(offs.data()), cds.data(), tot);
+
+    // Per-line escape (code 0) prefix gives each line its outlier cursor;
+    // validating codes and the outlier supply here keeps recover() from
+    // throwing inside the parallel region below.
+    auto& zero = scratch.line_zero;
+    zero.resize(n_lines + 1);
+    zero[0] = 0;
+    const std::uint32_t code_limit = 2 * quantizer.radius();
+    for (std::size_t ln = 0; ln < n_lines; ++ln) {
+      std::size_t zc = 0;
+      for (std::size_t k = start[ln]; k < start[ln + 1]; ++k) {
+        if (cds[k] == 0) {
+          ++zc;
+        } else {
+          CLIZ_REQUIRE(cds[k] < code_limit, "quantization code out of range");
+        }
+      }
+      zero[ln + 1] = zero[ln] + zc;
+    }
+    CLIZ_REQUIRE(outlier_cursor + zero[n_lines] <= outliers.size(),
+                 "outlier stream truncated");
+
+    const auto workers =
+        static_cast<std::size_t>(std::max(1, hardware_threads()));
+    const std::size_t nblocks = tot >= kLineParallelGrain && n_lines > 1
+                                    ? std::min(n_lines, workers)
+                                    : 1;
+    if (preds_blocks.size() < nblocks) preds_blocks.resize(nblocks);
+
+    ErrorLatch latch;
+    parallel_for(0, nblocks, 2, [&](std::size_t b) {
+      latch.run([&] {
+        auto& preds = preds_blocks[b];
+        const std::size_t blo = n_lines * b / nblocks;
+        const std::size_t bhi = n_lines * (b + 1) / nblocks;
+        for (std::size_t ln = blo; ln < bhi; ++ln) {
+          detail::decode_line(out, line_base[ln], ax, pass.h, pass.s, fit,
+                              quantizer, validity, cds.data() + start[ln],
+                              start[ln + 1] - start[ln], outliers,
+                              outlier_cursor + zero[ln], preds);
+        }
+      });
+    });
+    latch.rethrow_if_failed();
+    outlier_cursor += zero[n_lines];
+  });
+  if (dynamic) {
+    CLIZ_REQUIRE(pass_idx == pass_fits.size(),
+                 "pass-fit table not fully consumed");
+  }
 }
 
 /// Cheap fitting-error probe used by auto-tuning: walks the traversal

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstddef>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.hpp"
 #include "src/ndarray/layout.hpp"
@@ -80,30 +82,79 @@ void run_pass(std::span<const AxisSpec> axes, std::size_t d, std::size_t h,
   }
 }
 
+/// Base offsets of the independent 1-D lines of one pass, appended to
+/// `bases` in the exact order run_pass iterates them (its outer odometer
+/// over the non-target axes). Every target of the pass lies on exactly one
+/// line, and the pass visits lines in `bases` order, targets in coordinate
+/// order within a line — so (line, target) enumeration reproduces the
+/// serial visit order, which is what lets the parallel encoder write codes
+/// to precomputed positions.
+inline void collect_pass_lines(std::span<const AxisSpec> axes, std::size_t d,
+                               const std::array<std::size_t, kMaxAxes>& step,
+                               std::vector<std::size_t>& bases) {
+  bases.clear();
+  const std::size_t m = axes.size();
+  std::array<std::size_t, kMaxAxes> coord{};
+  coord.fill(0);
+  for (;;) {
+    std::size_t base = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != d) base += coord[j] * axes[j].stride;
+    }
+    bases.push_back(base);
+
+    // Identical odometer advance to run_pass.
+    std::size_t j = m;
+    while (j-- > 0) {
+      if (j == d) {
+        if (j == 0) break;
+        continue;
+      }
+      coord[j] += step[j];
+      if (coord[j] < axes[j].extent) break;
+      coord[j] = 0;
+      if (j == 0) break;
+    }
+    bool done = true;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (q != d && coord[q] != 0) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+  }
+}
+
 }  // namespace detail
 
-/// SZ3-style level-by-level interpolation traversal over logical axes,
-/// exposing pass boundaries.
-///
-/// Starting from stride s = bit_ceil(max extent) down to 2, each level runs
-/// one pass per axis in `order`; a pass over axis d targets the points whose
-/// coordinate along d is an odd multiple of h = s/2, whose coordinates along
-/// axes earlier in `order` are multiples of h (already refined this level)
-/// and along later axes multiples of s (not yet refined). Every non-anchor
-/// point is visited exactly once, and all of a target's references are
-/// visited (or are the anchor) before the target itself — the invariant that
-/// makes compressor/decompressor prediction parity possible.
-///
-/// `pass_visitor(s, h, d, run)` is called once per non-empty pass; calling
-/// `run(point_visitor)` executes the pass, invoking
-/// point_visitor(target_offset, axis, h, refs) per target. A pass may be run
-/// more than once (QoZ probes a pass with both fittings before committing).
-/// The anchor (logical origin, offset 0) is NOT visited; callers handle it
-/// explicitly.
-template <typename PassVisitor>
-void interp_traverse_passes(std::span<const AxisSpec> axes,
-                            std::span<const std::size_t> order,
-                            PassVisitor&& pass_visitor) {
+/// One (scale, axis) interpolation pass: level stride `s`, half-stride
+/// `h = s/2`, target axis `d`, and the per-axis odometer steps (h along
+/// axes already refined this level, s along the rest).
+struct InterpPass {
+  std::size_t s = 0;
+  std::size_t h = 0;
+  std::size_t d = 0;
+  std::array<std::size_t, kMaxAxes> step{};
+};
+
+/// Number of targets per line of a pass over an axis of `extent`: the odd
+/// multiples of h in [h, extent) at stride s. Identical for every line of
+/// the pass (all lines span the same target axis).
+inline std::size_t pass_line_targets(std::size_t extent, std::size_t h,
+                                     std::size_t s) {
+  if (extent <= h) return 0;
+  return (extent - h - 1) / s + 1;
+}
+
+/// Enumerates the passes of the level-by-level traversal without running
+/// them: visitor(const InterpPass&) once per non-empty pass, in execution
+/// order. The workhorse behind interp_traverse_passes, exposed so the
+/// line-parallel engine can schedule a pass's lines itself.
+template <typename Visitor>
+void interp_for_each_pass(std::span<const AxisSpec> axes,
+                          std::span<const std::size_t> order,
+                          Visitor&& visitor) {
   const std::size_t m = axes.size();
   CLIZ_REQUIRE(m >= 1 && m <= kMaxAxes, "unsupported number of axes");
   CLIZ_REQUIRE(order.size() == m, "pass order arity mismatch");
@@ -128,16 +179,45 @@ void interp_traverse_passes(std::span<const AxisSpec> axes,
       const std::size_t d = order[k];
       if (axes[d].extent <= h) continue;  // no odd multiple of h exists
 
-      std::array<std::size_t, kMaxAxes> step{};
-      for (std::size_t j = 0; j < m; ++j) step[j] = pos[j] < k ? h : s;
-
-      const auto run = [&](auto&& point_visitor) {
-        detail::run_pass(axes, d, h, s, step,
-                         std::forward<decltype(point_visitor)>(point_visitor));
-      };
-      pass_visitor(s, h, d, run);
+      InterpPass pass;
+      pass.s = s;
+      pass.h = h;
+      pass.d = d;
+      for (std::size_t j = 0; j < m; ++j) pass.step[j] = pos[j] < k ? h : s;
+      visitor(std::as_const(pass));
     }
   }
+}
+
+/// SZ3-style level-by-level interpolation traversal over logical axes,
+/// exposing pass boundaries.
+///
+/// Starting from stride s = bit_ceil(max extent) down to 2, each level runs
+/// one pass per axis in `order`; a pass over axis d targets the points whose
+/// coordinate along d is an odd multiple of h = s/2, whose coordinates along
+/// axes earlier in `order` are multiples of h (already refined this level)
+/// and along later axes multiples of s (not yet refined). Every non-anchor
+/// point is visited exactly once, and all of a target's references are
+/// visited (or are the anchor) before the target itself — the invariant that
+/// makes compressor/decompressor prediction parity possible.
+///
+/// `pass_visitor(s, h, d, run)` is called once per non-empty pass; calling
+/// `run(point_visitor)` executes the pass, invoking
+/// point_visitor(target_offset, axis, h, refs) per target. A pass may be run
+/// more than once (QoZ probes a pass with both fittings before committing).
+/// The anchor (logical origin, offset 0) is NOT visited; callers handle it
+/// explicitly.
+template <typename PassVisitor>
+void interp_traverse_passes(std::span<const AxisSpec> axes,
+                            std::span<const std::size_t> order,
+                            PassVisitor&& pass_visitor) {
+  interp_for_each_pass(axes, order, [&](const InterpPass& pass) {
+    const auto run = [&](auto&& point_visitor) {
+      detail::run_pass(axes, pass.d, pass.h, pass.s, pass.step,
+                       std::forward<decltype(point_visitor)>(point_visitor));
+    };
+    pass_visitor(pass.s, pass.h, pass.d, run);
+  });
 }
 
 /// Flat traversal: visit(target_offset, axis, h, refs) over every pass in

@@ -10,11 +10,13 @@
 // and the checks are bit-identical across platforms and libc versions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
@@ -235,6 +237,85 @@ TEST(GoldenStreams, ChunkedFrameDecodesAndReproduces) {
 
   EXPECT_EQ(make_chunked_stream(), stream)
       << "chunked frame drifted from the committed stream";
+}
+
+// --- thread-count invariance --------------------------------------------
+// The line-parallel engine, block-split lossless backend, and chunked path
+// partition work by size only, never by worker count, so every stream must
+// come out byte-identical at any thread setting — and identical to the
+// committed corpus above. Running the whole corpus at several counts also
+// drives the std::thread backend under TSan (this binary matches the
+// thread-sanitize job's test regex).
+
+/// Restores the entry thread count on scope exit so a failing assertion
+/// cannot leak a modified global setting into later tests.
+struct ThreadCountGuard {
+  int saved = hardware_threads();
+  ~ThreadCountGuard() { set_thread_count(saved); }
+};
+
+TEST(GoldenStreams, StreamsAreThreadCountInvariant) {
+  const auto data = plain_field();
+  const auto mf = masked_field();
+  const auto periodic = periodic_field();
+  const std::vector<std::uint8_t> golden_plain =
+      read_file(golden_path("golden_plain.cliz"));
+  const std::vector<std::uint8_t> golden_masked =
+      read_file(golden_path("golden_masked.cliz"));
+  const std::vector<std::uint8_t> golden_periodic =
+      read_file(golden_path("golden_periodic.cliz"));
+  const std::vector<std::uint8_t> golden_chunked =
+      read_file(golden_path("golden_chunked.clks"));
+  ASSERT_FALSE(golden_plain.empty());
+
+  ThreadCountGuard guard;
+  const int max_threads = std::max(4, guard.saved);
+  for (const int threads : {1, 2, max_threads}) {
+    set_thread_count(threads);
+    EXPECT_EQ(ClizCompressor(PipelineConfig::defaults(2)).compress(data, kEb),
+              golden_plain)
+        << "plain stream differs at " << threads << " thread(s)";
+    EXPECT_EQ(
+        ClizCompressor(masked_config()).compress(mf.data, kEb, &mf.mask),
+        golden_masked)
+        << "masked stream differs at " << threads << " thread(s)";
+    EXPECT_EQ(ClizCompressor(periodic_config()).compress(periodic, kEb),
+              golden_periodic)
+        << "periodic stream differs at " << threads << " thread(s)";
+    EXPECT_EQ(make_chunked_stream(), golden_chunked)
+        << "chunked frame differs at " << threads << " thread(s)";
+  }
+}
+
+/// Big enough to cross both the line-parallel grain (4096 targets per
+/// pass) and the lossless block-split threshold (1 MiB of residuals would
+/// need a huge field, so this locks the line-parallel path; the block
+/// split has its own invariance lock in test_lossless.cpp). Round-trips
+/// and compares streams across thread counts without a committed fixture.
+TEST(GoldenStreams, LargeFieldThreadCountInvariant) {
+  const Shape shape({48, 96, 80});
+  NdArray<float> big(shape);
+  Rng rng(5005);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    const double v = 0.02 * static_cast<double>(i % 96) -
+                     0.01 * static_cast<double>((i / 96) % 80) +
+                     0.05 * rng.uniform();
+    big[i] = static_cast<float>(v);
+  }
+  PipelineConfig cfg = PipelineConfig::defaults(3);
+  cfg.dynamic_fitting = true;
+
+  ThreadCountGuard guard;
+  set_thread_count(1);
+  const auto serial = ClizCompressor(cfg).compress(big, kEb);
+  for (const int threads : {2, std::max(4, guard.saved)}) {
+    set_thread_count(threads);
+    EXPECT_EQ(ClizCompressor(cfg).compress(big, kEb), serial)
+        << "stream differs at " << threads << " thread(s)";
+  }
+
+  const auto out = ClizCompressor::decompress(serial);
+  EXPECT_LE(error_stats(big.flat(), out.flat()).max_abs_error, kEb);
 }
 
 // --- v1 compatibility fixtures ------------------------------------------

@@ -142,6 +142,88 @@ TEST(Huffman, NearEntropyOnSkewedData) {
   EXPECT_LT(coded, floor_bits + static_cast<double>(syms.size()) * 0.25);
 }
 
+// Property: for any encodable stream, encoded_bits() must equal the bit
+// count encode() actually emits — the size estimator and the emitter may
+// never drift apart (the stream layout depends on the estimate). Runs over
+// distributions chosen to populate every decode path: near-uniform (short
+// codes, pair-table hits), geometric skew (mixed lengths), Fibonacci skew
+// (codes past the 11-bit fast-table width), and a single-symbol alphabet.
+TEST(Huffman, EncodedBitsMatchesEmittedBitsProperty) {
+  std::vector<std::vector<std::uint32_t>> streams;
+
+  {
+    Rng rng(21);
+    std::vector<std::uint32_t> syms(4096);
+    for (auto& s : syms) {
+      s = static_cast<std::uint32_t>(rng.uniform_index(1 << 10));
+    }
+    streams.push_back(std::move(syms));
+  }
+  {
+    Rng rng(22);
+    std::vector<std::uint32_t> syms(4096);
+    for (auto& s : syms) {
+      const double u = rng.uniform();
+      const int mag = static_cast<int>(std::floor(-std::log2(1.0 - u)));
+      s = static_cast<std::uint32_t>(32768 + mag);
+    }
+    streams.push_back(std::move(syms));
+  }
+  {
+    // Fibonacci frequencies force code lengths well past kTableBits.
+    std::vector<std::uint32_t> syms;
+    std::uint64_t a = 1;
+    std::uint64_t b = 1;
+    for (std::uint32_t s = 0; s < 40 && b < (1ull << 40); ++s) {
+      for (std::uint64_t k = 0; k < (a < 64 ? a : 64); ++k) {
+        syms.push_back(s);
+      }
+      const std::uint64_t next = a + b;
+      a = b;
+      b = next;
+    }
+    streams.push_back(std::move(syms));
+  }
+  streams.emplace_back(std::vector<std::uint32_t>(257, 9u));
+
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const auto& syms = streams[i];
+    const auto codec = HuffmanCodec::from_symbols(syms);
+    BitWriter bits;
+    codec.encode(syms, bits);
+    EXPECT_EQ(codec.encoded_bits(syms), bits.bit_count())
+        << "stream " << i;
+
+    // The batched decoder (pair-augmented fast table + wide peek) must
+    // read back exactly what the bit-at-a-time decoder does.
+    const auto payload = bits.finish();
+    BitReader batch_reader(payload);
+    std::vector<std::uint32_t> batched(syms.size());
+    codec.decode_batch(batch_reader, batched.data(), batched.size());
+    EXPECT_EQ(batched, syms) << "stream " << i;
+
+    BitReader one_reader(payload);
+    std::vector<std::uint32_t> singles;
+    singles.reserve(syms.size());
+    for (std::size_t k = 0; k < syms.size(); ++k) {
+      singles.push_back(codec.decode_one(one_reader));
+    }
+    EXPECT_EQ(singles, batched) << "stream " << i;
+  }
+}
+
+TEST(Huffman, DecodeBatchTruncatedPayloadThrows) {
+  const std::vector<std::uint32_t> syms{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto codec = HuffmanCodec::from_symbols(syms);
+  BitWriter bits;
+  codec.encode(syms, bits);
+  auto payload = bits.finish();
+  if (!payload.empty()) payload.pop_back();
+  BitReader r(payload);
+  std::vector<std::uint32_t> out(syms.size());
+  EXPECT_THROW(codec.decode_batch(r, out.data(), out.size()), Error);
+}
+
 TEST(Huffman, CorruptTableThrows) {
   ByteWriter w;
   w.put_varint(2);

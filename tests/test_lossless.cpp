@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/status.hpp"
 
@@ -120,6 +121,85 @@ TEST(Lossless, TruncatedStreamThrows) {
 
 TEST(Lossless, EmptyStreamThrows) {
   EXPECT_THROW(lossless_decompress({}), Error);
+}
+
+// --- block-split container (mode 4) -------------------------------------
+// Inputs of 1 MiB and up are cut into fixed 256 KiB blocks compressed
+// independently (and in parallel); the partition is purely size-based, so
+// the container must be byte-identical at every thread count.
+
+std::vector<std::uint8_t> block_split_input(std::size_t n) {
+  Rng rng(42);
+  std::vector<std::uint8_t> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = (i / 96) % 3 == 0
+                   ? 0x33
+                   : static_cast<std::uint8_t>(rng.uniform_index(24));
+  }
+  return input;
+}
+
+TEST(Lossless, BlockSplitRoundTrip) {
+  // 1 MiB + change: crosses the split threshold with an uneven tail block.
+  const auto input = block_split_input((1u << 20) + 12345);
+  const auto compressed = lossless_compress(input);
+  ASSERT_FALSE(compressed.empty());
+  EXPECT_EQ(compressed[0], 4) << "expected the block-split container";
+  EXPECT_LT(compressed.size(), input.size());
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST(Lossless, BlockSplitExactMultipleRoundTrip) {
+  const auto input = block_split_input(1u << 20);
+  const auto compressed = lossless_compress(input);
+  ASSERT_FALSE(compressed.empty());
+  EXPECT_EQ(compressed[0], 4);
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST(Lossless, BlockSplitThreadCountInvariant) {
+  const auto input = block_split_input((1u << 20) + 777);
+  const int saved = hardware_threads();
+  set_thread_count(1);
+  const auto serial = lossless_compress(input);
+  set_thread_count(4);
+  const auto parallel = lossless_compress(input);
+  set_thread_count(saved);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(lossless_decompress(parallel), input);
+}
+
+TEST(Lossless, BlockSplitCorruptBlockThrows) {
+  const auto input = block_split_input(1u << 20);
+  auto compressed = lossless_compress(input);
+  ASSERT_EQ(compressed[0], 4);
+  // Flip a byte deep inside a block payload: either the inner frame's CRC
+  // or the outer whole-payload CRC must reject it.
+  compressed[compressed.size() / 2] ^= 0xFF;
+  EXPECT_THROW(lossless_decompress(compressed), Error);
+}
+
+TEST(Lossless, BlockSplitTruncatedThrows) {
+  const auto input = block_split_input(1u << 20);
+  auto compressed = lossless_compress(input);
+  ASSERT_EQ(compressed[0], 4);
+  compressed.resize(compressed.size() - compressed.size() / 4);
+  EXPECT_THROW(lossless_decompress(compressed), Error);
+}
+
+TEST(Lossless, BlockSplitScratchReuseMatches) {
+  const auto input = block_split_input((1u << 20) + 4096);
+  const auto reference = lossless_compress(input);
+  LosslessScratch scratch;
+  std::vector<std::uint8_t> out;
+  lossless_compress_into(input, scratch, out);
+  EXPECT_EQ(out, reference);
+  // Second call through the same scratch (steady state) must not drift.
+  lossless_compress_into(input, scratch, out);
+  EXPECT_EQ(out, reference);
+  std::vector<std::uint8_t> round;
+  lossless_decompress_into(out, scratch, round);
+  EXPECT_EQ(round, input);
 }
 
 TEST(Lossless, FloatPayloadRoundTrip) {

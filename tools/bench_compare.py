@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON report against a committed baseline.
+
+Usage:
+  bench_codec_speed --benchmark_format=json > run.json
+  tools/bench_compare.py run.json BENCH_codec_speed.json          # compare
+  tools/bench_compare.py run.json BENCH_codec_speed.json --write-baseline
+
+Comparison is on bytes_per_second (throughput) when a benchmark reports
+it, falling back to real_time (lower is better). A benchmark regresses
+when its throughput drops more than --threshold (default 0.20) below the
+baseline. Benchmarks present on only one side are reported but never
+fail the run, so the baseline does not have to be regenerated for every
+added bench.
+
+The committed baseline is a trimmed map (name -> metrics), not the full
+google-benchmark report, so diffs stay readable. --write-baseline
+accepts either format and writes the trimmed one.
+
+Exit status: 0 ok, 1 regression(s), 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: {"bytes_per_second": float|None, "real_time": float}}.
+
+    Accepts a full google-benchmark JSON report or an already-trimmed
+    baseline map.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        entries = doc["benchmarks"]
+        out = {}
+        for b in entries:
+            # Skip aggregate rows (mean/median/stddev of repetitions).
+            if b.get("run_type") == "aggregate":
+                continue
+            out[b["name"]] = {
+                "bytes_per_second": b.get("bytes_per_second"),
+                "real_time": b.get("real_time"),
+                "time_unit": b.get("time_unit", "ns"),
+            }
+        return out
+    if isinstance(doc, dict):
+        return doc
+    print(f"bench_compare: {path} is not a benchmark report", file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("run", help="fresh google-benchmark JSON report")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop before failing "
+        "(default 0.20; CI uses a looser value for shared runners)",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="trim the run report and overwrite the baseline file",
+    )
+    args = ap.parse_args()
+
+    run = load_benchmarks(args.run)
+    if not run:
+        print("bench_compare: run report has no benchmarks", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(run, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: wrote {len(run)} baselines to {args.baseline}")
+        return 0
+
+    base = load_benchmarks(args.baseline)
+    if not base:
+        print(
+            f"bench_compare: baseline {args.baseline} is empty — "
+            "regenerate it with --write-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(run) | set(base)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'run':>12}  change")
+    for name in sorted(set(run) | set(base)):
+        if name not in run:
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  missing from run")
+            continue
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  new (no baseline)")
+            continue
+        r, b = run[name], base[name]
+        if r.get("bytes_per_second") and b.get("bytes_per_second"):
+            # Throughput: higher is better.
+            new, old = r["bytes_per_second"], b["bytes_per_second"]
+            change = new / old - 1.0
+            fmt = lambda v: f"{v / 1e6:.1f}MB/s"  # noqa: E731
+            regressed = change < -args.threshold
+        elif r.get("real_time") and b.get("real_time"):
+            # Wall time: lower is better.
+            new, old = r["real_time"], b["real_time"]
+            change = old / new - 1.0
+            fmt = lambda v: f"{v:.3g}{r.get('time_unit', '')}"  # noqa: E731
+            regressed = change < -args.threshold
+        else:
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  no common metric")
+            continue
+        mark = "  REGRESSED" if regressed else ""
+        print(
+            f"{name:<{width}}  {fmt(old):>12}  {fmt(new):>12}  "
+            f"{change:+.1%}{mark}"
+        )
+        if regressed:
+            regressions.append(name)
+
+    if regressions:
+        print(
+            f"\nbench_compare: {len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/climate/datasets.hpp"
+#include "src/common/parallel.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
@@ -56,6 +57,8 @@ using namespace cliz;
 --salvage opens the archive tolerantly: variables whose record checksums
 verify are recovered even when the trailer or index is damaged, and the
 salvage report is printed to stderr.
+--threads N (any command) caps the worker threads used by the parallel
+codec paths; streams are byte-identical for every setting.
 raw files are flat little-endian float32, row-major.
 )");
   std::exit(2);
@@ -602,6 +605,20 @@ int cmd_archive_extract(Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global option, stripped before command dispatch: --threads N sets the
+  // worker-thread count for every parallel codec path. Output streams do
+  // not depend on it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage("--threads needs a thread count");
+      const int n = std::atoi(argv[i + 1]);
+      if (n < 1) usage("--threads needs a positive thread count");
+      cliz::set_thread_count(n);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   Args args{argc, argv};
