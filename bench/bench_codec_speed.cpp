@@ -274,6 +274,67 @@ void BM_LosslessBlocks(benchmark::State& state) {
   report_bytes(state, data.size());
 }
 
+/// Entropy-backend A/B on the fixture field: the full cliz compress and
+/// decompress path with the stage-3/4 coder forced to one registry backend.
+/// Ratio is reported alongside throughput so the tANS size/speed trade is
+/// visible in the JSON.
+void BM_EntropyBackendCompress(benchmark::State& state,
+                               EntropyBackend backend) {
+  auto& c = ctx();
+  ClizOptions opts;
+  opts.entropy = backend;
+  const ClizCompressor comp(c.tuned, opts);
+  CodecContext cctx;
+  std::vector<std::uint8_t> stream;
+  comp.compress_into(c.field.data, c.eb, c.field.mask_ptr(), cctx, stream);
+  for (auto _ : state) {
+    comp.compress_into(c.field.data, c.eb, c.field.mask_ptr(), cctx, stream);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["ratio"] =
+      static_cast<double>(c.field.data.size() * sizeof(float)) /
+      static_cast<double>(stream.size());
+}
+
+void BM_EntropyBackendDecompress(benchmark::State& state,
+                                 EntropyBackend backend) {
+  auto& c = ctx();
+  ClizOptions opts;
+  opts.entropy = backend;
+  const ClizCompressor comp(c.tuned, opts);
+  const auto stream = comp.compress(c.field.data, c.eb, c.field.mask_ptr());
+  CodecContext cctx;
+  NdArray<float> out(c.field.data.shape());
+  for (auto _ : state) {
+    ClizCompressor::decompress_into(stream, cctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  report_bytes(state, c.field.data.size() * sizeof(float));
+}
+
+/// Lossless-backend A/B on a residual-shaped byte stream: the default LZ
+/// parse vs the store/RLE fast path (which trades ratio for near-memcpy
+/// speed on payloads like this).
+void BM_LosslessBackend(benchmark::State& state, LosslessBackend backend) {
+  Rng rng(6);
+  std::vector<std::uint8_t> data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i / 128) % 4 == 0 ? 0
+                                 : static_cast<std::uint8_t>(
+                                       rng.uniform_index(16));
+  }
+  LosslessScratch scratch;
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    lossless_compress_into(data, scratch, out, backend);
+    benchmark::DoNotOptimize(out.data());
+  }
+  report_bytes(state, data.size());
+  state.counters["ratio"] = static_cast<double>(data.size()) /
+                            static_cast<double>(out.size());
+}
+
 void BM_FftPow2(benchmark::State& state) {
   Rng rng(3);
   std::vector<std::complex<double>> signal(1 << 14);
@@ -344,6 +405,33 @@ int main(int argc, char** argv) {
       ->Arg(4)
       ->Arg(0)
       ->Unit(benchmark::kMillisecond);
+  for (const cliz::EntropyBackend backend :
+       {cliz::EntropyBackend::kHuffman, cliz::EntropyBackend::kTans}) {
+    const std::string name = cliz::entropy_backend_name(backend);
+    benchmark::RegisterBenchmark(
+        ("entropy_backend/" + name + "/compress").c_str(),
+        [backend](benchmark::State& s) {
+          cliz::BM_EntropyBackendCompress(s, backend);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("entropy_backend/" + name + "/decompress").c_str(),
+        [backend](benchmark::State& s) {
+          cliz::BM_EntropyBackendDecompress(s, backend);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const cliz::LosslessBackend backend :
+       {cliz::LosslessBackend::kLz, cliz::LosslessBackend::kStore}) {
+    benchmark::RegisterBenchmark(
+        (std::string("lossless_backend/") +
+         cliz::lossless_backend_name(backend))
+            .c_str(),
+        [backend](benchmark::State& s) {
+          cliz::BM_LosslessBackend(s, backend);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RegisterBenchmark("substrate/huffman_encode",
                                cliz::BM_HuffmanEncode)
       ->Unit(benchmark::kMillisecond);

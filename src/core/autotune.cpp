@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <utility>
 
 #include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
@@ -307,6 +308,49 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
 
   result.best = result.candidates.front().config;
   result.best_estimated_ratio = result.candidates.front().estimated_ratio;
+
+  // Backend grid: trial every entropy/lossless combination on the winning
+  // pipeline. Runs sequentially on pool[0] in a fixed order with a strict
+  // comparison, so the choice is deterministic and ties keep the defaults
+  // (= the golden byte-identical stream).
+  result.best_entropy = opts.codec.entropy;
+  result.best_lossless = opts.codec.lossless;
+  if (opts.consider_backends) {
+    const SampledData* s = &sample;
+    std::optional<SampledData> backend_periodic;
+    if (result.best.period > 0) {
+      backend_periodic =
+          sample_time_preserving(data, mask, opts.sampling_rate,
+                                 opts.time_dim);
+      s = &*backend_periodic;
+    }
+    constexpr std::pair<EntropyBackend, LosslessBackend> kGrid[] = {
+        {EntropyBackend::kHuffman, LosslessBackend::kLz},
+        {EntropyBackend::kHuffman, LosslessBackend::kStore},
+        {EntropyBackend::kTans, LosslessBackend::kLz},
+        {EntropyBackend::kTans, LosslessBackend::kStore},
+    };
+    double best_ratio = 0.0;
+    for (const auto& [entropy, lossless] : kGrid) {
+      ClizOptions codec = opts.codec;
+      codec.entropy = entropy;
+      codec.lossless = lossless;
+      const ClizCompressor comp(result.best, codec);
+      const auto stream =
+          comp.compress(s->data, abs_error_bound, s->mask_ptr(), pool[0]);
+      const double ratio =
+          static_cast<double>(s->data.size() * sizeof(float)) /
+          static_cast<double>(stream.size());
+      result.backend_candidates.push_back(
+          {entropy, lossless, ratio, pool[0].stats});
+      if (ratio > best_ratio) {  // strict: ties keep the earlier (default)
+        best_ratio = ratio;
+        result.best_entropy = entropy;
+        result.best_lossless = lossless;
+      }
+    }
+  }
+
   result.tuning_seconds = timer.seconds();
   return result;
 }

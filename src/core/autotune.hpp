@@ -41,7 +41,15 @@ struct AutotuneOptions {
   /// allocations in the trial loop). Off: every trial gets a fresh context.
   /// Exists for A/B benching; streams and ranking are identical either way.
   bool reuse_contexts = true;
-  /// Codec options forwarded to the trial compressions.
+  /// After the pipeline search, trial the entropy/lossless backend grid on
+  /// the winning configuration and record the best combination in
+  /// best_entropy/best_lossless. Ties keep the defaults (huffman + lz), so
+  /// a stream produced with the chosen backends only deviates from the
+  /// golden default when it is strictly smaller on the sample.
+  bool consider_backends = true;
+  /// Codec options forwarded to the trial compressions. The entropy and
+  /// lossless fields seed the backend grid's baseline (and are the final
+  /// choice when consider_backends is false).
   ClizOptions codec;
 };
 
@@ -54,12 +62,29 @@ struct PipelineCandidate {
   StageStats stats;
 };
 
+/// One tested entropy/lossless backend combination on the winning pipeline.
+struct BackendCandidate {
+  EntropyBackend entropy = EntropyBackend::kHuffman;
+  LosslessBackend lossless = LosslessBackend::kLz;
+  double estimated_ratio = 0.0;
+  /// Stats of this combination's trial compression; entropy_backend here is
+  /// the backend actually used (a tANS trial that downgraded reads 0).
+  StageStats stats;
+};
+
 /// Output of autotune().
 struct AutotuneResult {
   PipelineConfig best;
   double best_estimated_ratio = 0.0;
   /// Every candidate tested, sorted by estimated ratio (best first).
   std::vector<PipelineCandidate> candidates;
+  /// Backend choice for the winning pipeline (defaults when the grid is
+  /// disabled or nothing beat huffman + lz on the sample).
+  EntropyBackend best_entropy = EntropyBackend::kHuffman;
+  LosslessBackend best_lossless = LosslessBackend::kLz;
+  /// Every backend combination tested on `best`, in trial order (empty when
+  /// consider_backends is false).
+  std::vector<BackendCandidate> backend_candidates;
   double tuning_seconds = 0.0;
   std::size_t sample_points = 0;
   /// FFT period estimate over the probed rows (nullopt: not periodic or

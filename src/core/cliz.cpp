@@ -12,6 +12,7 @@
 #include "src/core/bin_classify.hpp"
 #include "src/core/codec_context.hpp"
 #include "src/core/periodic.hpp"
+#include "src/core/stage_backends.hpp"
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/predictor/interp_engine.hpp"
@@ -26,13 +27,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/// In classified mode, shifted symbols (biased by +j) occupy
-/// [1, 2*radius-1+2j]; the outlier escape is remapped above that range so a
-/// shift can never collide with it.
-std::uint32_t escape_symbol(std::uint32_t radius, unsigned j) {
-  return 2 * radius + 2 * j + 2;
 }
 
 /// Columns for bin classification: the trailing lat x lon plane (paper:
@@ -209,10 +203,16 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
 /// the shifted symbol stream plus the per-group census; otherwise the
 /// census of the raw codes lands in ctx.freq[0]. Either way the census
 /// yields the symbol-stream entropy recorded in ctx.stats.
-void stage_classify(const Shape& shape, const PipelineConfig& config,
-                    const ClizOptions& options, CodecContext& ctx,
-                    ByteWriter& out,
-                    std::optional<BinClassification>& classification) {
+///
+/// The stage opens with the entropy byte — (backend id << 1) | classified —
+/// which doubles as the registry key for decode dispatch. The Huffman id is
+/// 0, so default streams keep the historical 0/1 values byte-for-byte.
+/// Returns the byte's stream offset so stage_encode can patch the id if the
+/// requested backend turns out to be infeasible for this census.
+std::size_t stage_classify(const Shape& shape, const PipelineConfig& config,
+                           const ClizOptions& options, CodecContext& ctx,
+                           ByteWriter& out,
+                           std::optional<BinClassification>& classification) {
   const auto t0 = Clock::now();
   auto& st = ctx.stats.at(CodecStage::kClassify);
   st.input_bytes = ctx.codes.size() * sizeof(std::uint32_t);
@@ -220,7 +220,9 @@ void stage_classify(const Shape& shape, const PipelineConfig& config,
 
   const std::size_t plane = classification_plane(shape);
   const bool classify = config.classify_bins && plane > 0;
-  out.put_u8(classify ? 1 : 0);
+  out.put_u8(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(options.entropy) << 1) |
+      (classify ? 1u : 0u)));
   std::size_t n_groups = 1;
 
   if (classify) {
@@ -232,7 +234,7 @@ void stage_classify(const Shape& shape, const PipelineConfig& config,
 
     // Shift codes per column and split the census by group.
     const std::uint32_t escape =
-        escape_symbol(options.radius, options.classify.j);
+        entropy_escape_symbol(options.radius, options.classify.j);
     auto& shifted = ctx.shifted;
     auto& group = ctx.group;
     shifted.resize(ctx.codes.size());
@@ -277,55 +279,53 @@ void stage_classify(const Shape& shape, const PipelineConfig& config,
   st.output_bytes =
       ctx.codes.size() * sizeof(std::uint32_t) + (out.size() - base);
   st.seconds = seconds_since(t0);
+  return base;
 }
 
-/// Stage 4 (kEncode): multi-Huffman entropy coding. Trees are rebuilt in
-/// place from the stage-3 censuses (one per group, or the single table in
-/// unclassified mode), serialized, and the symbol stream is bit-packed.
+/// Stage 4 (kEncode): entropy coding of the symbol stream through the
+/// backend registry (multi-Huffman by default, tANS on request). Tables are
+/// rebuilt in place from the stage-3 censuses (one per group, or the single
+/// table in unclassified mode), serialized, and the symbol stream is
+/// bit-packed. When the requested backend cannot represent the census (tANS
+/// with an alphabet past 2^15 symbols) the stage falls back to Huffman and
+/// patches the entropy byte stage_classify wrote at `entropy_byte_pos`.
 void stage_encode(const ClizOptions& options,
                   const std::optional<BinClassification>& classification,
-                  CodecContext& ctx, ByteWriter& out) {
+                  std::size_t entropy_byte_pos, CodecContext& ctx,
+                  ByteWriter& out) {
   const auto t0 = Clock::now();
   auto& st = ctx.stats.at(CodecStage::kEncode);
   st.input_bytes = ctx.codes.size() * sizeof(std::uint32_t);
   const std::size_t base = out.size();
 
-  if (classification.has_value()) {
-    const unsigned n_groups = options.classify.group_types();
-    ctx.reserve_trees(n_groups);
-    for (unsigned g = 0; g < n_groups; ++g) {
-      ctx.trees[g].rebuild_from_frequencies(ctx.freq[g]);
-      ctx.tree_bytes.clear();
-      ctx.trees[g].serialize(ctx.tree_bytes);
-      out.put_block(ctx.tree_bytes.bytes());
-    }
-    ctx.bits.reset();
-    for (std::size_t i = 0; i < ctx.shifted.size(); ++i) {
-      ctx.trees[ctx.group[i]].encode(
-          std::span<const std::uint32_t>(&ctx.shifted[i], 1), ctx.bits);
-    }
-    out.put_block(ctx.bits.finish_view());
-  } else {
-    ctx.reserve_trees(1);
-    ctx.trees[0].rebuild_from_frequencies(ctx.freq[0]);
-    ctx.tree_bytes.clear();
-    ctx.trees[0].serialize(ctx.tree_bytes);
-    out.put_block(ctx.tree_bytes.bytes());
-    ctx.bits.reset();
-    ctx.trees[0].encode(ctx.codes, ctx.bits);
-    out.put_block(ctx.bits.finish_view());
+  const bool classified = classification.has_value();
+  const std::size_t n_groups =
+      classified ? options.classify.group_types() : 1;
+  const EntropyBackendOps* ops = &entropy_backend_ops(options.entropy);
+  if (!ops->encodable(ctx, n_groups)) {
+    ops = &entropy_backend_ops(EntropyBackend::kHuffman);
+    out.overwrite_u8(entropy_byte_pos,
+                     static_cast<std::uint8_t>(
+                         (static_cast<std::uint8_t>(ops->id) << 1) |
+                         (classified ? 1u : 0u)));
+    ctx.stats.entropy_downgraded = true;
   }
+  ops->encode(classified, n_groups, ctx, out);
+  ctx.stats.entropy_backend = static_cast<std::uint8_t>(ops->id);
 
   st.output_bytes = out.size() - base;
   st.seconds = seconds_since(t0);
 }
 
 /// Stage 5 (kLossless): byte-stream backend over the assembled stream.
-void stage_lossless(CodecContext& ctx, std::vector<std::uint8_t>& out) {
+void stage_lossless(const ClizOptions& options, CodecContext& ctx,
+                    std::vector<std::uint8_t>& out) {
   const auto t0 = Clock::now();
   auto& st = ctx.stats.at(CodecStage::kLossless);
   st.input_bytes = ctx.raw_stream.size();
-  lossless_compress_into(ctx.raw_stream.bytes(), ctx.lossless, out);
+  lossless_compress_into(ctx.raw_stream.bytes(), ctx.lossless, out,
+                         options.lossless);
+  ctx.stats.lossless_backend = static_cast<std::uint8_t>(options.lossless);
   st.output_bytes = out.size();
   st.seconds = seconds_since(t0);
 }
@@ -368,9 +368,10 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
 
   stage_predict(work, quant_eb, mask, config, options, ctx, raw);
   std::optional<BinClassification> classification;
-  stage_classify(shape, config, options, ctx, raw, classification);
-  stage_encode(options, classification, ctx, raw);
-  stage_lossless(ctx, out);
+  const std::size_t entropy_byte_pos =
+      stage_classify(shape, config, options, ctx, raw, classification);
+  stage_encode(options, classification, entropy_byte_pos, ctx, raw);
+  stage_lossless(options, ctx, out);
 
   // Return the work buffer to the context for the next run.
   ctx.work<T>() = std::move(work).take_flat();
@@ -456,7 +457,17 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   for (auto& v : outliers) v = in.get<T>();
   const std::size_t n_codes = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_codes <= shape.size(), "corrupt code count");
-  const bool classify = in.get_u8() != 0;
+  // Entropy byte: (backend id << 1) | classified. Dispatch is driven purely
+  // by the stored id; an id this build does not know (e.g. a stream from a
+  // future version) is a clean error, never UB.
+  const std::uint8_t entropy_byte = in.get_u8();
+  const bool classify = (entropy_byte & 1u) != 0;
+  const EntropyBackendOps* entropy_ops =
+      find_entropy_backend(static_cast<std::uint8_t>(entropy_byte >> 1));
+  CLIZ_REQUIRE(entropy_ops != nullptr, "unknown entropy backend id");
+  ctx.stats.entropy_backend = static_cast<std::uint8_t>(entropy_byte >> 1);
+  ctx.stats.lossless_backend =
+      static_cast<std::uint8_t>(lossless_frame_backend(stream));
   ctx.stats.code_count = n_codes;
   ctx.stats.outlier_count = n_outliers;
 
@@ -473,60 +484,38 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   std::size_t cursor = 0;
   std::size_t decoded = 0;
 
-  // Symbol source for the quantization codes, classified or plain. Tables
-  // are parsed into the context's tree pool (kEncode's inverse).
+  // Symbol source for the quantization codes, classified or plain. The
+  // classification block is backend-independent; the coding tables behind
+  // it are parsed by the backend named in the entropy byte (kEncode's
+  // inverse), into the context's codec pools.
   const auto t_tables = Clock::now();
   std::optional<BinClassification> classification;
-  std::optional<BitReader> bits;
-  std::size_t plane = 0;
-  std::uint32_t escape = 0;
+  EntropyDecodeState entropy_state;
+  entropy_state.ctx = &ctx;
   std::size_t n_trees = 1;
   if (classify) {
-    plane = classification_plane(shape);
+    const std::size_t plane = classification_plane(shape);
     CLIZ_REQUIRE(plane > 0, "classified stream with < 3 dims");
     classification = BinClassification::deserialize(in);
     CLIZ_REQUIRE(classification->plane_size() == plane,
                  "classification plane mismatch");
     n_trees = classification->params().group_types();
-    ctx.reserve_trees(n_trees);
-    for (std::size_t g = 0; g < n_trees; ++g) {
-      ByteReader tr(in.get_block());
-      ctx.trees[g].parse(tr);
-    }
-    bits.emplace(in.get_block());
-    escape = escape_symbol(radius, classification->params().j);
-  } else {
-    ctx.reserve_trees(1);
-    ByteReader table_reader(in.get_block());
-    ctx.trees[0].parse(table_reader);
-    bits.emplace(in.get_block());
+    entropy_state.classification = &*classification;
+    entropy_state.plane = plane;
+    entropy_state.escape =
+        entropy_escape_symbol(radius, classification->params().j);
   }
+  entropy_ops->parse(in, n_trees, entropy_state);
   ctx.stats.at(CodecStage::kEncode).seconds = seconds_since(t_tables);
   // Batched symbol source for the quantization codes, classified or plain.
   // The line-parallel decoder hands over a whole pass of target offsets at
   // once; entropy decoding stays serial (the bitstream is inherently
-  // sequential) but the unclassified path runs through the multi-symbol
-  // fast-table batch decoder.
+  // sequential) but the backends batch internally (the unclassified Huffman
+  // path runs through the multi-symbol fast-table decoder).
   const auto fetch = [&](const std::uint64_t* offs, std::uint32_t* dst,
                          std::size_t n) {
     decoded += n;
-    if (!classify) {
-      ctx.trees[0].decode_batch(*bits, dst, n);
-      return;
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t col = static_cast<std::size_t>(offs[i]) % plane;
-      const HuffmanCodec& tree = ctx.trees[classification->group_of(col)];
-      const std::uint32_t sym = tree.decode_one(*bits);
-      if (sym == escape) {
-        dst[i] = 0;
-        continue;
-      }
-      const int shift = classification->shift_of(col);
-      dst[i] = static_cast<std::uint32_t>(
-          static_cast<std::int64_t>(sym) + shift -
-          static_cast<std::int64_t>(classification->params().j));
-    }
+    entropy_ops->fetch(entropy_state, offs, dst, n);
   };
 
   const auto t_decode = Clock::now();

@@ -8,6 +8,8 @@
 #include "src/core/mask.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/stage_stats.hpp"
+#include "src/entropy/backend.hpp"
+#include "src/lossless/lossless.hpp"
 #include "src/ndarray/ndarray.hpp"
 
 namespace cliz {
@@ -24,6 +26,15 @@ struct ClizOptions {
   /// Bin-classification shift radius / dispersion levels (paper: j = k = 1;
   /// see bench_ablation_jk for why larger values do not pay off).
   ClassifyParams classify;
+  /// Entropy-stage backend for the quant-code stream. Recorded in the
+  /// stream's entropy byte, so any reader decodes any choice; the defaults
+  /// reproduce the golden corpus byte-for-byte. When the requested backend
+  /// cannot represent a stream (tANS with an alphabet past 2^15 symbols)
+  /// the encoder falls back to Huffman and notes it in StageStats.
+  EntropyBackend entropy = EntropyBackend::kHuffman;
+  /// Lossless-stage backend wrapping the assembled stream (recorded by the
+  /// lossless frame's mode byte).
+  LosslessBackend lossless = LosslessBackend::kLz;
   /// Encode-side verification: after compressing, decode the stream and
   /// confirm every valid point honours the error bound. On a violation (or
   /// a stage failure) the encode retries once with the conservative

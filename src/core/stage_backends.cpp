@@ -1,0 +1,219 @@
+#include "src/core/stage_backends.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <span>
+#include <unordered_map>
+
+#include "src/common/status.hpp"
+#include "src/core/codec_context.hpp"
+#include "src/entropy/tans.hpp"
+
+namespace cliz {
+
+namespace {
+
+std::size_t census_alphabet(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& freq) {
+  std::size_t n = 0;
+  for (const auto& [sym, f] : freq) {
+    if (f != 0) ++n;  // zeroed nodes kept alive by reset_freq
+  }
+  return n;
+}
+
+// --- Huffman (id 0) --------------------------------------------------------
+// Byte-identical to the pre-registry direct calls: same table order, same
+// per-symbol encode calls, same block framing.
+
+bool huffman_encodable(const CodecContext&, std::size_t) { return true; }
+
+void huffman_encode(bool classified, std::size_t n_groups, CodecContext& ctx,
+                    ByteWriter& out) {
+  if (classified) {
+    ctx.reserve_trees(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      ctx.trees[g].rebuild_from_frequencies(ctx.freq[g]);
+      ctx.tree_bytes.clear();
+      ctx.trees[g].serialize(ctx.tree_bytes);
+      out.put_block(ctx.tree_bytes.bytes());
+    }
+    ctx.bits.reset();
+    for (std::size_t i = 0; i < ctx.shifted.size(); ++i) {
+      ctx.trees[ctx.group[i]].encode(
+          std::span<const std::uint32_t>(&ctx.shifted[i], 1), ctx.bits);
+    }
+    out.put_block(ctx.bits.finish_view());
+  } else {
+    ctx.reserve_trees(1);
+    ctx.trees[0].rebuild_from_frequencies(ctx.freq[0]);
+    ctx.tree_bytes.clear();
+    ctx.trees[0].serialize(ctx.tree_bytes);
+    out.put_block(ctx.tree_bytes.bytes());
+    ctx.bits.reset();
+    ctx.trees[0].encode(ctx.codes, ctx.bits);
+    out.put_block(ctx.bits.finish_view());
+  }
+}
+
+void huffman_parse(ByteReader& in, std::size_t n_tables,
+                   EntropyDecodeState& state) {
+  CodecContext& ctx = *state.ctx;
+  ctx.reserve_trees(n_tables);
+  for (std::size_t g = 0; g < n_tables; ++g) {
+    ByteReader table_reader(in.get_block());
+    ctx.trees[g].parse(table_reader);
+  }
+  state.bits.emplace(in.get_block());
+}
+
+void huffman_fetch(EntropyDecodeState& state, const std::uint64_t* offs,
+                   std::uint32_t* dst, std::size_t n) {
+  CodecContext& ctx = *state.ctx;
+  if (state.classification == nullptr) {
+    ctx.trees[0].decode_batch(*state.bits, dst, n);
+    return;
+  }
+  const BinClassification& cls = *state.classification;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t col =
+        static_cast<std::size_t>(offs[i]) % state.plane;
+    const HuffmanCodec& tree = ctx.trees[cls.group_of(col)];
+    const std::uint32_t sym = tree.decode_one(*state.bits);
+    if (sym == state.escape) {
+      dst[i] = 0;
+      continue;
+    }
+    const int shift = cls.shift_of(col);
+    dst[i] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(sym) + shift -
+        static_cast<std::int64_t>(cls.params().j));
+  }
+}
+
+// --- tANS (id 1) -----------------------------------------------------------
+// Stream layout after the classification block:
+//   u8 table_log                  (shared by every group's table)
+//   n_tables x block              (normalized count tables)
+//   block payload: [final encoder state: table_log bits][refill bits...]
+// One interleaved state walks all groups (ANS is LIFO: encode runs in
+// reverse, so the decoder reads the stream strictly forward).
+
+bool tans_encodable(const CodecContext& ctx, std::size_t n_groups) {
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (census_alphabet(ctx.freq[g]) >
+        (std::size_t{1} << TansCodec::kMaxTableLog)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void tans_encode(bool classified, std::size_t n_groups, CodecContext& ctx,
+                 ByteWriter& out) {
+  std::size_t max_alphabet = 0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    max_alphabet = std::max(max_alphabet, census_alphabet(ctx.freq[g]));
+  }
+  const unsigned table_log = TansCodec::pick_table_log(max_alphabet);
+
+  ctx.reserve_tans(n_groups);
+  out.put_u8(static_cast<std::uint8_t>(table_log));
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const bool ok = ctx.tans[g].rebuild_from_frequencies(ctx.freq[g],
+                                                         table_log);
+    CLIZ_REQUIRE(ok, "tANS alphabet exceeds the table");
+    ctx.tree_bytes.clear();
+    ctx.tans[g].serialize(ctx.tree_bytes);
+    out.put_block(ctx.tree_bytes.bytes());
+  }
+
+  auto& stack = ctx.tans_stack;
+  stack.clear();
+  std::uint32_t state = 1u << table_log;
+  if (classified) {
+    for (std::size_t i = ctx.shifted.size(); i-- > 0;) {
+      ctx.tans[ctx.group[i]].encode_symbol(ctx.shifted[i], state, stack);
+    }
+  } else {
+    for (std::size_t i = ctx.codes.size(); i-- > 0;) {
+      ctx.tans[0].encode_symbol(ctx.codes[i], state, stack);
+    }
+  }
+  ctx.bits.reset();
+  ctx.bits.put_bits(state - (1u << table_log), static_cast<int>(table_log));
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    ctx.bits.put_bits(*it & 0xFFFFu, static_cast<int>(*it >> 16));
+  }
+  out.put_block(ctx.bits.finish_view());
+}
+
+void tans_parse(ByteReader& in, std::size_t n_tables,
+                EntropyDecodeState& state) {
+  CodecContext& ctx = *state.ctx;
+  const unsigned table_log = in.get_u8();
+  CLIZ_REQUIRE(table_log >= TansCodec::kMinTableLog &&
+                   table_log <= TansCodec::kMaxTableLog,
+               "corrupt tANS table log");
+  ctx.reserve_tans(n_tables);
+  for (std::size_t g = 0; g < n_tables; ++g) {
+    ByteReader table_reader(in.get_block());
+    ctx.tans[g].parse(table_reader, table_log);
+  }
+  state.bits.emplace(in.get_block());
+  state.tans_state =
+      (1u << table_log) +
+      static_cast<std::uint32_t>(state.bits->get_bits(
+          static_cast<int>(table_log)));
+}
+
+void tans_fetch(EntropyDecodeState& state, const std::uint64_t* offs,
+                std::uint32_t* dst, std::size_t n) {
+  CodecContext& ctx = *state.ctx;
+  if (state.classification == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = ctx.tans[0].decode_symbol(state.tans_state, *state.bits);
+    }
+    return;
+  }
+  const BinClassification& cls = *state.classification;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t col =
+        static_cast<std::size_t>(offs[i]) % state.plane;
+    const TansCodec& codec = ctx.tans[cls.group_of(col)];
+    const std::uint32_t sym =
+        codec.decode_symbol(state.tans_state, *state.bits);
+    if (sym == state.escape) {
+      dst[i] = 0;
+      continue;
+    }
+    const int shift = cls.shift_of(col);
+    dst[i] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(sym) + shift -
+        static_cast<std::int64_t>(cls.params().j));
+  }
+}
+
+// Dense by wire id: kOps[id] is the backend the entropy byte names.
+const EntropyBackendOps kOps[] = {
+    {EntropyBackend::kHuffman, "huffman", huffman_encodable, huffman_encode,
+     huffman_parse, huffman_fetch},
+    {EntropyBackend::kTans, "tans", tans_encodable, tans_encode, tans_parse,
+     tans_fetch},
+};
+
+}  // namespace
+
+const EntropyBackendOps* find_entropy_backend(std::uint8_t id) {
+  if (id >= std::size(kOps)) return nullptr;
+  return &kOps[id];
+}
+
+const EntropyBackendOps& entropy_backend_ops(EntropyBackend backend) {
+  const EntropyBackendOps* ops =
+      find_entropy_backend(static_cast<std::uint8_t>(backend));
+  CLIZ_REQUIRE(ops != nullptr, "unregistered entropy backend");
+  return *ops;
+}
+
+}  // namespace cliz

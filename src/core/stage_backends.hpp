@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bitio.hpp"
+#include "src/common/bytestream.hpp"
+#include "src/core/bin_classify.hpp"
+#include "src/entropy/backend.hpp"
+#include "src/lossless/lossless.hpp"
+
+namespace cliz {
+
+class CodecContext;
+
+/// In classified mode, shifted symbols (biased by +j) occupy
+/// [1, 2*radius-1+2j]; the outlier escape is remapped above that range so a
+/// shift can never collide with it. Shared by every entropy backend — the
+/// bin-classification layer is backend-independent.
+inline std::uint32_t entropy_escape_symbol(std::uint32_t radius, unsigned j) {
+  return 2 * radius + 2 * j + 2;
+}
+
+/// Decode-side state of one entropy stream, shared across fetch calls. The
+/// classification fields are filled by the caller (the classification block
+/// itself is backend-independent); `bits` and any backend-private state are
+/// set up by the backend's parse hook.
+struct EntropyDecodeState {
+  CodecContext* ctx = nullptr;
+  std::optional<BitReader> bits;
+  /// Non-null in classified mode; drives per-point group/shift resolution.
+  const BinClassification* classification = nullptr;
+  std::size_t plane = 0;       ///< classification column period
+  std::uint32_t escape = 0;    ///< outlier escape symbol
+  std::uint32_t tans_state = 0;  ///< tANS walking state in [L, 2L)
+};
+
+/// One entry of the entropy-stage backend registry. Backends are plain
+/// function tables (no virtual dispatch, no per-call allocation — scratch
+/// lives in the CodecContext) keyed by the wire id the stream's entropy
+/// byte records. The encode/parse hooks own everything after the
+/// classification block: table serialization and the code payload.
+struct EntropyBackendOps {
+  EntropyBackend id;
+  const char* name;
+  /// True when the stage-3 census in ctx.freq can be represented by this
+  /// backend. When false the encoder falls back to Huffman (always
+  /// encodable) and patches the stream's entropy byte.
+  bool (*encodable)(const CodecContext& ctx, std::size_t n_groups);
+  /// Serializes the per-group coding tables and the symbol payload
+  /// (ctx.shifted/ctx.group when classified, ctx.codes otherwise).
+  void (*encode)(bool classified, std::size_t n_groups, CodecContext& ctx,
+                 ByteWriter& out);
+  /// Parses the tables + payload framing written by encode and positions
+  /// `state` for fetches.
+  void (*parse)(ByteReader& in, std::size_t n_tables,
+                EntropyDecodeState& state);
+  /// Decodes `n` symbols into `dst`; in classified mode `offs` locates each
+  /// point's column for group/shift resolution.
+  void (*fetch)(EntropyDecodeState& state, const std::uint64_t* offs,
+                std::uint32_t* dst, std::size_t n);
+};
+
+/// Registry lookup by the stream's stored id; nullptr for unknown ids (the
+/// decoder turns that into a clean cliz::Error, never UB).
+[[nodiscard]] const EntropyBackendOps* find_entropy_backend(std::uint8_t id);
+
+/// Lookup by enum for encode-side callers; throws on an unregistered value.
+[[nodiscard]] const EntropyBackendOps& entropy_backend_ops(
+    EntropyBackend backend);
+
+}  // namespace cliz

@@ -36,7 +36,34 @@ void StageStats::accumulate(const StageStats& other) {
                                                    : other.threads_used;
   // Entropy does not sum; keep the outermost (residual) stream's value.
   if (code_entropy_bits == 0.0) code_entropy_bits = other.code_entropy_bits;
+  // Backend ids describe the outermost stream and are not merged; a
+  // fallback anywhere in the recursion is still worth surfacing.
+  entropy_downgraded = entropy_downgraded || other.entropy_downgraded;
 }
+
+namespace {
+
+const char* entropy_backend_label(std::uint8_t id) {
+  switch (id) {
+    case 0:
+      return "huffman";
+    case 1:
+      return "tans";
+  }
+  return "unknown";
+}
+
+const char* lossless_backend_label(std::uint8_t id) {
+  switch (id) {
+    case 0:
+      return "lz";
+    case 1:
+      return "store";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 std::string StageStats::to_text() const {
   char buf[256];
@@ -57,6 +84,11 @@ std::string StageStats::to_text() const {
                 "threads=%d\n",
                 code_count, outlier_count, code_entropy_bits,
                 total_seconds * 1e3, threads_used);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "backends: entropy=%s%s lossless=%s\n",
+                entropy_backend_label(entropy_backend),
+                entropy_downgraded ? " (downgraded)" : "",
+                lossless_backend_label(lossless_backend));
   out += buf;
   if (verified) {
     std::snprintf(buf, sizeof(buf),
@@ -84,10 +116,15 @@ std::string StageStats::to_json() const {
                 "},\"code_entropy_bits\":%.6f,\"code_count\":%zu,"
                 "\"outlier_count\":%zu,\"total_seconds\":%.6f,"
                 "\"verified\":%s,\"verify_downgrades\":%zu,"
-                "\"verify_seconds\":%.6f,\"threads_used\":%d}",
+                "\"verify_seconds\":%.6f,\"threads_used\":%d,"
+                "\"entropy_backend\":\"%s\",\"lossless_backend\":\"%s\","
+                "\"entropy_downgraded\":%s}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
-                verify_seconds, threads_used);
+                verify_seconds, threads_used,
+                entropy_backend_label(entropy_backend),
+                lossless_backend_label(lossless_backend),
+                entropy_downgraded ? "true" : "false");
   out += buf;
   return out;
 }

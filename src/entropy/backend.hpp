@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cliz {
+
+/// Entropy-stage backends. The enumerator value is the wire id stored in the
+/// high bits of the CliZ stream's entropy byte (see docs/FORMAT.md); ids are
+/// append-only so old readers fail cleanly on streams from newer writers.
+enum class EntropyBackend : std::uint8_t {
+  kHuffman = 0,  ///< canonical multi-Huffman (default, golden-locked)
+  kTans = 1,     ///< table-based asymmetric numeral system
+};
+
+inline const char* entropy_backend_name(EntropyBackend backend) {
+  switch (backend) {
+    case EntropyBackend::kHuffman:
+      return "huffman";
+    case EntropyBackend::kTans:
+      return "tans";
+  }
+  return "unknown";
+}
+
+inline std::optional<EntropyBackend> parse_entropy_backend(
+    std::string_view name) {
+  if (name == "huffman") return EntropyBackend::kHuffman;
+  if (name == "tans") return EntropyBackend::kTans;
+  return std::nullopt;
+}
+
+}  // namespace cliz

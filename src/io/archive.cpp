@@ -132,7 +132,8 @@ template <typename T>
 void ArchiveWriter::add_cliz_variable(
     const std::string& name, const NdArray<T>& data, double abs_error_bound,
     const PipelineConfig& pipeline, const MaskMap* mask,
-    std::map<std::string, std::string> attributes) {
+    std::map<std::string, std::string> attributes,
+    const ClizOptions& options) {
   const std::size_t raw_bytes = data.size() * sizeof(T);
   if (chunk_threshold_ != 0 && raw_bytes >= chunk_threshold_ &&
       data.shape().dim(0) >= 2) {
@@ -140,10 +141,11 @@ void ArchiveWriter::add_cliz_variable(
     // writer's shared pool; the reader decodes it the same way.
     ChunkedOptions opts;
     opts.scratch = &scratch_;
+    opts.codec = options;
     chunked_compress_into(data, abs_error_bound, pipeline, mask, opts,
                           stream_buf_);
   } else {
-    const ClizCompressor codec(pipeline);
+    const ClizCompressor codec(pipeline, options);
     auto lease = scratch_.pool.acquire();
     codec.compress_into(data, abs_error_bound, mask, lease.ctx(),
                         stream_buf_);
@@ -157,9 +159,10 @@ void ArchiveWriter::add_variable(const std::string& name,
                                  double abs_error_bound,
                                  const PipelineConfig& pipeline,
                                  const MaskMap* mask,
-                                 std::map<std::string, std::string> attributes) {
+                                 std::map<std::string, std::string> attributes,
+                                 const ClizOptions& options) {
   add_cliz_variable(name, data, abs_error_bound, pipeline, mask,
-                    std::move(attributes));
+                    std::move(attributes), options);
 }
 
 void ArchiveWriter::add_variable(const std::string& name,
@@ -167,9 +170,10 @@ void ArchiveWriter::add_variable(const std::string& name,
                                  double abs_error_bound,
                                  const PipelineConfig& pipeline,
                                  const MaskMap* mask,
-                                 std::map<std::string, std::string> attributes) {
+                                 std::map<std::string, std::string> attributes,
+                                 const ClizOptions& options) {
   add_cliz_variable(name, data, abs_error_bound, pipeline, mask,
-                    std::move(attributes));
+                    std::move(attributes), options);
 }
 
 void ArchiveWriter::add_variable_with(

@@ -91,17 +91,21 @@ class ArchiveWriter {
   /// never chunked (nothing to slice).
   void set_chunk_threshold(std::size_t bytes) { chunk_threshold_ = bytes; }
 
-  /// Compresses `data` with CliZ under `pipeline` and appends it.
+  /// Compresses `data` with CliZ under `pipeline` and appends it. `options`
+  /// carries the codec knobs — notably the entropy/lossless backend choice
+  /// (e.g. autotune's best_entropy/best_lossless) and encode verification.
   void add_variable(const std::string& name, const NdArray<float>& data,
                     double abs_error_bound, const PipelineConfig& pipeline,
                     const MaskMap* mask = nullptr,
-                    std::map<std::string, std::string> attributes = {});
+                    std::map<std::string, std::string> attributes = {},
+                    const ClizOptions& options = {});
 
   /// float64 variant (CliZ only).
   void add_variable(const std::string& name, const NdArray<double>& data,
                     double abs_error_bound, const PipelineConfig& pipeline,
                     const MaskMap* mask = nullptr,
-                    std::map<std::string, std::string> attributes = {});
+                    std::map<std::string, std::string> attributes = {},
+                    const ClizOptions& options = {});
 
   /// Appends `data` compressed with any registry codec by name.
   void add_variable_with(const std::string& codec, const std::string& name,
@@ -132,7 +136,8 @@ class ArchiveWriter {
   void add_cliz_variable(const std::string& name, const NdArray<T>& data,
                          double abs_error_bound,
                          const PipelineConfig& pipeline, const MaskMap* mask,
-                         std::map<std::string, std::string> attributes);
+                         std::map<std::string, std::string> attributes,
+                         const ClizOptions& options);
 
   std::string path_;
   std::ofstream out_;

@@ -70,6 +70,26 @@ inline std::vector<Fault> truncation_cases(
   return out;
 }
 
+/// Targeted single-byte overrides: one fault per value in `values`, each a
+/// copy of `stream` with the byte at `pos` replaced. Used to probe fields
+/// with a known offset (e.g. the entropy-backend id byte) for every
+/// reserved/unknown value rather than trusting seeded flips to land there.
+inline std::vector<Fault> byte_override_cases(
+    std::span<const std::uint8_t> stream, std::size_t pos,
+    std::span<const std::uint8_t> values) {
+  std::vector<Fault> out;
+  if (pos >= stream.size()) return out;
+  out.reserve(values.size());
+  for (const std::uint8_t v : values) {
+    Fault f;
+    f.label = "override@" + std::to_string(pos) + "=" + std::to_string(v);
+    f.bytes.assign(stream.begin(), stream.end());
+    f.bytes[pos] = v;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 /// `n` seeded splices of windows from `donor` into copies of `stream`
 /// (same-extent overwrite — total length preserved, the way a bad block
 /// or a mixed-up file chunk corrupts an archive at rest), plus `n`

@@ -154,6 +154,35 @@ TEST(FuzzClizHeader, RejectsOutOfRangeQuantizerRadius) {
   }
 }
 
+TEST(FuzzClizHeader, RejectsUnknownEntropyBackendId) {
+  // The entropy byte carries (backend_id << 1) | classified. Locate it as
+  // the first byte where Huffman and tANS compressions of the same input
+  // diverge, then sweep hostile ids through it: each must be rejected with
+  // a clean Error (never a crash, never garbage output).
+  const auto data = sample_data();
+  ClizOptions tans_opts;
+  tans_opts.entropy = EntropyBackend::kTans;
+  const auto huffman_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(3)).compress(data, 1e-3));
+  const auto tans_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(3), tans_opts)
+          .compress(data, 1e-3));
+  std::size_t pos = 0;
+  while (pos < huffman_raw.size() && huffman_raw[pos] == tans_raw[pos]) {
+    ++pos;
+  }
+  ASSERT_LT(pos, huffman_raw.size());
+  ASSERT_EQ(huffman_raw[pos], 0u);  // (huffman id << 1) | unclassified
+
+  for (const std::uint8_t id : {2, 3, 7, 63, 127}) {
+    auto mutated = huffman_raw;
+    mutated[pos] = static_cast<std::uint8_t>(id << 1);
+    const auto stream = lossless_compress(mutated);
+    EXPECT_THROW((void)ClizCompressor::decompress(stream), Error)
+        << "backend id " << static_cast<int>(id);
+  }
+}
+
 TEST(FuzzLossless, GarbageAndMutations) {
   for (std::uint64_t seed = 0; seed < 32; ++seed) {
     expect_no_crash([&] {

@@ -1,0 +1,495 @@
+// Stage-backend registry tests: every entropy x lossless backend pair must
+// round-trip the golden-corpus datasets within the bound, streams must stay
+// thread-count invariant for the non-default backends (the default pair is
+// locked byte-exactly by test_golden_streams.cpp), an unknown backend id in
+// a stream must be a clean cliz::Error, and an infeasible tANS alphabet
+// must downgrade to Huffman on encode rather than fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/core/autotune.hpp"
+#include "src/core/chunked.hpp"
+#include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
+#include "src/core/stage_backends.hpp"
+#include "src/entropy/tans.hpp"
+#include "src/lossless/lossless.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace cliz {
+namespace {
+
+constexpr double kEb = 1e-3;
+constexpr float kFill = 9.96921e36f;
+
+// --- the golden-corpus datasets (same generators as the golden locks) ----
+
+NdArray<float> plain_field() {
+  const Shape shape({40, 48});
+  NdArray<float> a(shape);
+  Rng rng(1001);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 48; ++c) {
+      const double v = 0.03 * static_cast<double>(r) -
+                       0.015 * static_cast<double>(c) +
+                       0.25 * static_cast<double>((r + c) % 9) +
+                       0.05 * rng.uniform();
+      a[r * 48 + c] = static_cast<float>(v);
+    }
+  }
+  return a;
+}
+
+struct MaskedField {
+  NdArray<float> data;
+  MaskMap mask;
+};
+
+MaskedField masked_field() {
+  const Shape shape({16, 12, 14});
+  NdArray<float> data(shape);
+  auto mask = MaskMap::all_valid(shape);
+  Rng rng(2002);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 13 == 0) {
+      mask.mutable_data()[i] = 0;
+      data[i] = kFill;
+      continue;
+    }
+    const double v = 0.1 * static_cast<double>(i % 14) -
+                     0.07 * static_cast<double>((i / 14) % 12) +
+                     0.04 * rng.uniform();
+    data[i] = static_cast<float>(v);
+  }
+  return {std::move(data), std::move(mask)};
+}
+
+NdArray<float> periodic_field() {
+  const Shape shape({36, 10, 12});
+  NdArray<float> a(shape);
+  Rng rng(3003);
+  for (std::size_t t = 0; t < 36; ++t) {
+    const double season =
+        0.1 * static_cast<double>((t % 6) * (11 - (t % 6)));
+    for (std::size_t p = 0; p < 120; ++p) {
+      const double v = season + 0.02 * static_cast<double>(p % 12) +
+                       0.03 * rng.uniform();
+      a[t * 120 + p] = static_cast<float>(v);
+    }
+  }
+  return a;
+}
+
+NdArray<float> chunked_field() {
+  const Shape shape({30, 12, 10});
+  NdArray<float> a(shape);
+  Rng rng(4004);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = 0.05 * static_cast<double>(i % 120) -
+                     0.002 * static_cast<double>(i / 120) +
+                     0.03 * rng.uniform();
+    a[i] = static_cast<float>(v);
+  }
+  return a;
+}
+
+PipelineConfig masked_config() {
+  PipelineConfig c = PipelineConfig::defaults(3);
+  c.dynamic_fitting = true;
+  c.classify_bins = true;
+  return c;
+}
+
+PipelineConfig periodic_config() {
+  PipelineConfig c = PipelineConfig::defaults(3);
+  c.period = 6;
+  c.time_dim = 0;
+  return c;
+}
+
+struct BackendPair {
+  EntropyBackend entropy;
+  LosslessBackend lossless;
+};
+
+const BackendPair kAllPairs[] = {
+    {EntropyBackend::kHuffman, LosslessBackend::kLz},
+    {EntropyBackend::kHuffman, LosslessBackend::kStore},
+    {EntropyBackend::kTans, LosslessBackend::kLz},
+    {EntropyBackend::kTans, LosslessBackend::kStore},
+};
+
+ClizOptions options_for(const BackendPair& p) {
+  ClizOptions o;
+  o.entropy = p.entropy;
+  o.lossless = p.lossless;
+  return o;
+}
+
+// --- round trips ---------------------------------------------------------
+
+TEST(StageBackends, AllPairsRoundTripGoldenCorpus) {
+  const auto plain = plain_field();
+  const auto mf = masked_field();
+  const auto periodic = periodic_field();
+  for (const BackendPair& pair : kAllPairs) {
+    SCOPED_TRACE(std::string("entropy=") +
+                 entropy_backend_name(pair.entropy) +
+                 " lossless=" + lossless_backend_name(pair.lossless));
+    const ClizOptions opts = options_for(pair);
+
+    CodecContext cctx;
+    const auto plain_stream = ClizCompressor(PipelineConfig::defaults(2),
+                                             opts)
+                                  .compress(plain, kEb, nullptr, cctx);
+    EXPECT_EQ(cctx.stats.entropy_backend,
+              static_cast<std::uint8_t>(pair.entropy));
+    EXPECT_FALSE(cctx.stats.entropy_downgraded);
+    CodecContext dctx;
+    const auto plain_out = ClizCompressor::decompress(plain_stream, dctx);
+    EXPECT_LE(error_stats(plain.flat(), plain_out.flat()).max_abs_error,
+              kEb);
+    EXPECT_EQ(dctx.stats.entropy_backend,
+              static_cast<std::uint8_t>(pair.entropy));
+
+    const auto masked_stream = ClizCompressor(masked_config(), opts)
+                                   .compress(mf.data, kEb, &mf.mask);
+    const auto masked_out = ClizCompressor::decompress(masked_stream);
+    EXPECT_LE(error_stats(mf.data.flat(), masked_out.flat(), &mf.mask)
+                  .max_abs_error,
+              kEb);
+    for (std::size_t i = 0; i < masked_out.size(); ++i) {
+      if (!mf.mask.valid(i)) {
+        ASSERT_EQ(masked_out[i], kFill);
+      }
+    }
+
+    const auto periodic_stream = ClizCompressor(periodic_config(), opts)
+                                     .compress(periodic, kEb);
+    const auto periodic_out = ClizCompressor::decompress(periodic_stream);
+    EXPECT_LE(error_stats(periodic.flat(), periodic_out.flat()).max_abs_error,
+              kEb);
+  }
+}
+
+TEST(StageBackends, AllPairsRoundTripChunkedFrames) {
+  const auto data = chunked_field();
+  for (const BackendPair& pair : kAllPairs) {
+    SCOPED_TRACE(std::string("entropy=") +
+                 entropy_backend_name(pair.entropy) +
+                 " lossless=" + lossless_backend_name(pair.lossless));
+    ChunkedOptions copts;
+    copts.chunks = 4;
+    copts.codec = options_for(pair);
+    const auto frame = chunked_compress(data, kEb,
+                                        PipelineConfig::defaults(3), nullptr,
+                                        copts);
+    const auto out = chunked_decompress(frame);
+    EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+  }
+}
+
+TEST(StageBackends, DefaultOptionsReproduceDefaultBackends) {
+  // ClizOptions{} must mean huffman + lz: the golden byte-identity locks in
+  // test_golden_streams.cpp depend on the default constructor.
+  EXPECT_EQ(ClizOptions{}.entropy, EntropyBackend::kHuffman);
+  EXPECT_EQ(ClizOptions{}.lossless, LosslessBackend::kLz);
+  const auto data = plain_field();
+  EXPECT_EQ(ClizCompressor(PipelineConfig::defaults(2)).compress(data, kEb),
+            ClizCompressor(PipelineConfig::defaults(2),
+                           options_for(kAllPairs[0]))
+                .compress(data, kEb));
+}
+
+// --- thread-count invariance ---------------------------------------------
+// Mirror of GoldenStreams.StreamsAreThreadCountInvariant for the
+// non-default pair: work partitioning never depends on the worker count,
+// whatever the backends.
+
+struct ThreadCountGuard {
+  int saved = hardware_threads();
+  ~ThreadCountGuard() { set_thread_count(saved); }
+};
+
+TEST(StageBackends, TansStoreStreamsAreThreadCountInvariant) {
+  const auto plain = plain_field();
+  const auto mf = masked_field();
+  const auto periodic = periodic_field();
+  ClizOptions opts;
+  opts.entropy = EntropyBackend::kTans;
+  opts.lossless = LosslessBackend::kStore;
+
+  ThreadCountGuard guard;
+  set_thread_count(1);
+  const auto serial_plain =
+      ClizCompressor(PipelineConfig::defaults(2), opts).compress(plain, kEb);
+  const auto serial_masked = ClizCompressor(masked_config(), opts)
+                                 .compress(mf.data, kEb, &mf.mask);
+  const auto serial_periodic =
+      ClizCompressor(periodic_config(), opts).compress(periodic, kEb);
+
+  const int max_threads = std::max(4, guard.saved);
+  for (const int threads : {2, max_threads}) {
+    set_thread_count(threads);
+    EXPECT_EQ(ClizCompressor(PipelineConfig::defaults(2), opts)
+                  .compress(plain, kEb),
+              serial_plain)
+        << "plain tans/store stream differs at " << threads << " thread(s)";
+    EXPECT_EQ(ClizCompressor(masked_config(), opts)
+                  .compress(mf.data, kEb, &mf.mask),
+              serial_masked)
+        << "masked tans/store stream differs at " << threads << " thread(s)";
+    EXPECT_EQ(ClizCompressor(periodic_config(), opts).compress(periodic, kEb),
+              serial_periodic)
+        << "periodic tans/store stream differs at " << threads
+        << " thread(s)";
+  }
+}
+
+// --- unknown backend id --------------------------------------------------
+
+/// Offset of the entropy byte in the unwrapped stream: the only byte that
+/// differs between a Huffman and a tANS compression of the same input
+/// before the coding tables start.
+std::size_t entropy_byte_offset(const std::vector<std::uint8_t>& huffman,
+                                const std::vector<std::uint8_t>& tans) {
+  const std::size_t n = std::min(huffman.size(), tans.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (huffman[i] != tans[i]) return i;
+  }
+  ADD_FAILURE() << "streams do not diverge";
+  return 0;
+}
+
+TEST(StageBackends, UnknownEntropyIdIsCleanError) {
+  const auto data = plain_field();
+  ClizOptions tans_opts;
+  tans_opts.entropy = EntropyBackend::kTans;
+  const auto huffman_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(2)).compress(data, kEb));
+  const auto tans_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(2), tans_opts)
+          .compress(data, kEb));
+  const std::size_t pos = entropy_byte_offset(huffman_raw, tans_raw);
+  // Sanity: the diverging byte really is the entropy byte of both streams.
+  ASSERT_EQ(huffman_raw[pos], 0u);  // (huffman id 0 << 1) | unclassified
+  ASSERT_EQ(tans_raw[pos], 2u);     // (tans id 1 << 1) | unclassified
+
+  // Every unknown id (2..127 in the id field) must be a clean Error; the
+  // two registered ids keep decoding.
+  const std::uint8_t overrides[] = {4, 5, 6, 0x80, 0xFE, 0xFF};
+  for (const auto& fault :
+       fault::byte_override_cases(huffman_raw, pos, overrides)) {
+    const auto stream = lossless_compress(fault.bytes);
+    EXPECT_THROW((void)ClizCompressor::decompress(stream), Error)
+        << fault.label;
+  }
+  EXPECT_EQ(find_entropy_backend(0)->id, EntropyBackend::kHuffman);
+  EXPECT_EQ(find_entropy_backend(1)->id, EntropyBackend::kTans);
+  EXPECT_EQ(find_entropy_backend(2), nullptr);
+  EXPECT_EQ(find_entropy_backend(0xFF), nullptr);
+}
+
+TEST(StageBackends, TansStreamMutationsNeverCrash) {
+  // Seeded bit flips over a tANS stream: the decoder must reject or decode,
+  // never crash (the tANS state/refill path has its own bounds checks).
+  const auto data = periodic_field();
+  ClizOptions opts;
+  opts.entropy = EntropyBackend::kTans;
+  const auto stream =
+      ClizCompressor(periodic_config(), opts).compress(data, kEb);
+  for (const auto& fault : fault::bit_flip_cases(stream, 60, 808)) {
+    try {
+      (void)ClizCompressor::decompress(fault.bytes);
+    } catch (const Error&) {
+      // detected corruption
+    } catch (const std::bad_alloc&) {
+      // bounded allocation bomb
+    }
+  }
+}
+
+// --- encode-side downgrade -----------------------------------------------
+
+TEST(StageBackends, InfeasibleTansAlphabetDowngradesToHuffman) {
+  // Wide-range noise against a tiny bound: the residual census spreads over
+  // more than 2^15 distinct codes, which no tANS table here can hold. The
+  // encoder must fall back to Huffman, patch the stream's entropy byte, and
+  // still round-trip.
+  const Shape shape({64, 64, 32});
+  NdArray<float> data(shape);
+  Rng rng(6006);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(0.02 * rng.uniform());
+  }
+  const double eb = 1e-7;
+  ClizOptions opts;
+  opts.entropy = EntropyBackend::kTans;
+
+  CodecContext cctx;
+  const auto stream = ClizCompressor(PipelineConfig::defaults(3), opts)
+                          .compress(data, eb, nullptr, cctx);
+  EXPECT_TRUE(cctx.stats.entropy_downgraded);
+  EXPECT_EQ(cctx.stats.entropy_backend,
+            static_cast<std::uint8_t>(EntropyBackend::kHuffman));
+
+  CodecContext dctx;
+  const auto out = ClizCompressor::decompress(stream, dctx);
+  EXPECT_EQ(dctx.stats.entropy_backend,
+            static_cast<std::uint8_t>(EntropyBackend::kHuffman));
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, eb);
+}
+
+// --- store/RLE lossless backend ------------------------------------------
+
+TEST(StageBackends, StoreBackendUsesRleWhenRunsPay) {
+  std::vector<std::uint8_t> runs(4096, 7);
+  for (std::size_t i = 1024; i < 2048; ++i) runs[i] = 42;
+  const auto frame = lossless_compress(runs, LosslessBackend::kStore);
+  EXPECT_EQ(lossless_frame_backend(frame), LosslessBackend::kStore);
+  EXPECT_LT(frame.size(), runs.size() / 4);
+  EXPECT_EQ(lossless_decompress(frame), runs);
+}
+
+TEST(StageBackends, StoreBackendFallsBackToStoredOnNoise) {
+  Rng rng(31337);
+  std::vector<std::uint8_t> noise(4096);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto frame = lossless_compress(noise, LosslessBackend::kStore);
+  // RLE would expand noise, so the frame is the stored fallback — which
+  // reads back as the (shared) kLz container.
+  EXPECT_EQ(lossless_frame_backend(frame), LosslessBackend::kLz);
+  EXPECT_LE(frame.size(), noise.size() + 16);
+  EXPECT_EQ(lossless_decompress(frame), noise);
+}
+
+TEST(StageBackends, RleFrameFaultsAreCleanErrors) {
+  std::vector<std::uint8_t> runs(2048, 9);
+  for (std::size_t i = 0; i < runs.size(); i += 100) runs[i] = 1;
+  const auto frame = lossless_compress(runs, LosslessBackend::kStore);
+  ASSERT_EQ(lossless_frame_backend(frame), LosslessBackend::kStore);
+  for (const auto& fault : fault::bit_flip_cases(frame, 40, 515)) {
+    try {
+      const auto out = lossless_decompress(fault.bytes);
+      // Undetected only if the decode reproduced the payload exactly
+      // (flip landed in slack space).
+      EXPECT_EQ(out, runs) << fault.label;
+    } catch (const Error&) {
+      // detected corruption
+    }
+  }
+  for (const auto& fault : fault::truncation_cases(frame, 24)) {
+    EXPECT_THROW((void)lossless_decompress(fault.bytes), Error)
+        << fault.label;
+  }
+}
+
+// --- tANS unit behaviour -------------------------------------------------
+
+TEST(StageBackends, TansCodecRoundTripsSkewedSymbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  std::vector<std::uint32_t> symbols;
+  Rng rng(99);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    // Skewed draw over a sparse alphabet.
+    const std::uint32_t sym =
+        rng.uniform_index(10) == 0
+            ? static_cast<std::uint32_t>(100 + rng.uniform_index(40) * 3)
+            : static_cast<std::uint32_t>(rng.uniform_index(4));
+    symbols.push_back(sym);
+    ++freq[sym];
+  }
+  TansCodec codec;
+  const unsigned table_log = TansCodec::pick_table_log(freq.size());
+  ASSERT_TRUE(codec.rebuild_from_frequencies(freq, table_log));
+
+  std::uint32_t state = 1u << table_log;
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = symbols.size(); i-- > 0;) {
+    codec.encode_symbol(symbols[i], state, stack);
+  }
+  BitWriter bits;
+  bits.put_bits(state - (1u << table_log), static_cast<int>(table_log));
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    bits.put_bits(*it & 0xFFFFu, static_cast<int>(*it >> 16));
+  }
+  const auto payload = bits.finish_view();
+
+  ByteWriter table;
+  codec.serialize(table);
+  TansCodec parsed;
+  ByteReader table_reader(table.bytes());
+  parsed.parse(table_reader, table_log);
+
+  BitReader reader(payload);
+  std::uint32_t dstate =
+      (1u << table_log) +
+      static_cast<std::uint32_t>(reader.get_bits(
+          static_cast<int>(table_log)));
+  for (const std::uint32_t expected : symbols) {
+    ASSERT_EQ(parsed.decode_symbol(dstate, reader), expected);
+  }
+}
+
+TEST(StageBackends, TansRejectsOversizedAlphabet) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  for (std::uint32_t s = 0; s < 40; ++s) freq[s] = 1;
+  TansCodec codec;
+  EXPECT_FALSE(codec.rebuild_from_frequencies(freq, 5));  // 40 > 2^5
+  EXPECT_TRUE(codec.rebuild_from_frequencies(freq, 6));
+}
+
+// --- autotune backend grid -----------------------------------------------
+
+TEST(StageBackends, AutotuneRecordsDeterministicBackendChoice) {
+  const auto data = periodic_field();
+  AutotuneOptions opts;
+  opts.sampling_rate = 0.2;
+  const auto first = autotune(data, kEb, nullptr, opts);
+  const auto second = autotune(data, kEb, nullptr, opts);
+  ASSERT_EQ(first.backend_candidates.size(), 4u);
+  EXPECT_EQ(first.best_entropy, second.best_entropy);
+  EXPECT_EQ(first.best_lossless, second.best_lossless);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(first.backend_candidates[i].estimated_ratio,
+              second.backend_candidates[i].estimated_ratio)
+        << "grid trial " << i;
+    EXPECT_GT(first.backend_candidates[i].estimated_ratio, 0.0);
+  }
+  // The winner is at least as good as the default pair, and the choice is
+  // reproduced by compressing with the recorded backends.
+  EXPECT_GE(std::max_element(first.backend_candidates.begin(),
+                             first.backend_candidates.end(),
+                             [](const BackendCandidate& a,
+                                const BackendCandidate& b) {
+                               return a.estimated_ratio < b.estimated_ratio;
+                             })
+                ->estimated_ratio,
+            first.backend_candidates[0].estimated_ratio);
+  ClizOptions copts;
+  copts.entropy = first.best_entropy;
+  copts.lossless = first.best_lossless;
+  const auto stream = ClizCompressor(first.best, copts).compress(data, kEb);
+  const auto out = ClizCompressor::decompress(stream);
+  EXPECT_LE(error_stats(data.flat(), out.flat()).max_abs_error, kEb);
+}
+
+TEST(StageBackends, AutotuneBackendGridCanBeDisabled) {
+  const auto data = plain_field();
+  AutotuneOptions opts;
+  opts.sampling_rate = 0.2;
+  opts.consider_backends = false;
+  const auto result = autotune(data, kEb, nullptr, opts);
+  EXPECT_TRUE(result.backend_candidates.empty());
+  EXPECT_EQ(result.best_entropy, EntropyBackend::kHuffman);
+  EXPECT_EQ(result.best_lossless, LosslessBackend::kLz);
+}
+
+}  // namespace
+}  // namespace cliz

@@ -57,6 +57,39 @@ def load_benchmarks(path):
     sys.exit(2)
 
 
+def backend_summary(run):
+    """Per-backend throughput diffs within one run.
+
+    Groups benchmarks named ``entropy_backend/<name>[/op]`` and
+    ``lossless_backend/<name>`` and prints each backend's throughput
+    relative to the stage's default (huffman / lz), so the backend trade
+    is visible without cross-referencing absolute numbers. Informational
+    only — never fails the run.
+    """
+    defaults = {"entropy_backend": "huffman", "lossless_backend": "lz"}
+    groups = {}
+    for name, metrics in run.items():
+        parts = name.split("/")
+        if parts[0] not in defaults or len(parts) < 2:
+            continue
+        if not metrics.get("bytes_per_second"):
+            continue
+        op = "/".join(parts[2:])  # "" for single-op groups like lossless
+        groups.setdefault((parts[0], op), {})[parts[1]] = metrics[
+            "bytes_per_second"
+        ]
+
+    if not groups:
+        return
+    print("\nper-backend throughput (relative to the stage default):")
+    for (stage, op), backends in sorted(groups.items()):
+        base = backends.get(defaults[stage])
+        label = f"{stage}{'/' + op if op else ''}"
+        for backend, bps in sorted(backends.items()):
+            rel = f"{bps / base:5.2f}x" if base else "    -"
+            print(f"  {label:<34} {backend:<10} {bps / 1e6:10.1f}MB/s  {rel}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("run", help="fresh google-benchmark JSON report")
@@ -129,6 +162,8 @@ def main():
         )
         if regressed:
             regressions.append(name)
+
+    backend_summary(run)
 
     if regressions:
         print(

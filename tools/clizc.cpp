@@ -39,6 +39,9 @@ using namespace cliz;
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
                    [--tune RATE] [--time-dim N] [--chunks N] [--stats]
+                   [--entropy huffman|tans] [--lossless lz|store]
+                   (cliz only: force a stage backend; without these flags
+                    the tuner picks the best backend pair per stream)
                    [--verify]   (cliz only: decode-and-check the bound
                                  before writing; retries conservatively)
   clizc decompress <in>      -o <out.f32> [--stats]
@@ -158,6 +161,8 @@ int cmd_compress(Args& args) {
   std::size_t time_dim = 0;
   std::size_t chunks = 0;
   bool chunked = false;
+  std::optional<EntropyBackend> entropy;
+  std::optional<LosslessBackend> lossless;
 
   while (!args.done()) {
     const std::string opt = args.next("option");
@@ -188,6 +193,16 @@ int cmd_compress(Args& args) {
       show_stats = true;
     } else if (opt == "--verify") {
       verify = true;
+    } else if (opt == "--entropy" || opt.rfind("--entropy=", 0) == 0) {
+      const std::string v =
+          opt == "--entropy" ? args.next("entropy backend") : opt.substr(10);
+      entropy = parse_entropy_backend(v);
+      if (!entropy.has_value()) usage("--entropy expects huffman or tans");
+    } else if (opt == "--lossless" || opt.rfind("--lossless=", 0) == 0) {
+      const std::string v =
+          opt == "--lossless" ? args.next("lossless backend") : opt.substr(11);
+      lossless = parse_lossless_backend(v);
+      if (!lossless.has_value()) usage("--lossless expects lz or store");
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -200,8 +215,16 @@ int cmd_compress(Args& args) {
   if (verify && codec != "cliz") {
     usage("--verify is only supported with -c cliz");
   }
+  if ((entropy.has_value() || lossless.has_value()) && codec != "cliz") {
+    usage("--entropy/--lossless are only supported with -c cliz");
+  }
   ClizOptions cliz_opts;
   cliz_opts.verify_encode = verify;
+  if (entropy.has_value()) cliz_opts.entropy = *entropy;
+  if (lossless.has_value()) cliz_opts.lossless = *lossless;
+  // A user-forced backend is final; otherwise the tuner trials the grid and
+  // its choice is adopted below.
+  const bool tune_backends = !entropy.has_value() && !lossless.has_value();
 
   if (f64) {
     const auto data = load_raw_t<double>(input, *dims);
@@ -220,7 +243,8 @@ int cmd_compress(Args& args) {
       eb = hi > lo ? rel_eb * (hi - lo) : rel_eb;
     }
     std::vector<std::uint8_t> stream;
-    if (chunked || ((show_stats || verify) && codec == "cliz")) {
+    if (chunked ||
+        ((show_stats || verify || !tune_backends) && codec == "cliz")) {
       // Tune on a float32 downcast (ranking only), then compress the
       // float64 samples through a context so --stats has telemetry.
       NdArray<float> downcast(data.shape());
@@ -230,7 +254,13 @@ int cmd_compress(Args& args) {
       AutotuneOptions opts;
       opts.sampling_rate = tune_rate;
       opts.time_dim = time_dim;
+      opts.codec = cliz_opts;
+      opts.consider_backends = tune_backends;
       const auto tuned = autotune(downcast, eb, mask_ptr, opts);
+      if (tune_backends) {
+        cliz_opts.entropy = tuned.best_entropy;
+        cliz_opts.lossless = tuned.best_lossless;
+      }
       if (chunked) {
         ChunkedScratch scratch;
         ChunkedOptions copts;
@@ -277,10 +307,20 @@ int cmd_compress(Args& args) {
     AutotuneOptions opts;
     opts.sampling_rate = tune_rate;
     opts.time_dim = time_dim;
+    opts.codec = cliz_opts;
+    opts.consider_backends = tune_backends;
     const auto tuned = autotune(data, eb, mask_ptr, opts);
-    std::fprintf(stderr, "tuned pipeline: %s (%zu candidates, %.2f s)\n",
-                 tuned.best.label().c_str(), tuned.candidates.size(),
-                 tuned.tuning_seconds);
+    if (tune_backends) {
+      cliz_opts.entropy = tuned.best_entropy;
+      cliz_opts.lossless = tuned.best_lossless;
+    }
+    std::fprintf(stderr,
+                 "tuned pipeline: %s [entropy=%s lossless=%s] "
+                 "(%zu candidates, %.2f s)\n",
+                 tuned.best.label().c_str(),
+                 entropy_backend_name(cliz_opts.entropy),
+                 lossless_backend_name(cliz_opts.lossless),
+                 tuned.candidates.size(), tuned.tuning_seconds);
     if (chunked) {
       ChunkedScratch scratch;
       ChunkedOptions copts;
@@ -541,9 +581,13 @@ int cmd_archive_create(Args& args) {
       AutotuneOptions opts;
       opts.sampling_rate = tune_rate;
       const auto tuned = autotune(data, eb, mask_ptr, opts);
+      ClizOptions var_opts;
+      var_opts.entropy = tuned.best_entropy;
+      var_opts.lossless = tuned.best_lossless;
       writer.add_variable(name, data, eb, tuned.best, mask_ptr,
                           {{"source", file},
-                           {"pipeline", tuned.best.label()}});
+                           {"pipeline", tuned.best.label()}},
+                          var_opts);
     } else {
       writer.add_variable_with(codec, name, data, eb, {{"source", file}});
     }
