@@ -1,9 +1,11 @@
 // Fig. 14: visual quality at a fixed compression ratio (~25x). Each
 // compressor is bisected to CR ~= 25 on the SSH dataset; a horizontal slice
-// of the original and each reconstruction is written as a PGM image next to
-// the binary, and per-slice SSIM / max error quantify what the paper shows
-// visually (CliZ clean, SZ3/QoZ visibly distorted at equal ratio).
+// of the original and each reconstruction is written as a PGM image under
+// docs/figures/ (created relative to the working directory), and per-slice
+// SSIM / max error quantify what the paper shows visually (CliZ clean,
+// SZ3/QoZ visibly distorted at equal ratio).
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "bench/bench_util.hpp"
@@ -41,15 +43,20 @@ void write_slice_pgm(const std::string& path, const NdArray<float>& data,
   }
 }
 
+/// Committed figure artifacts live under docs/figures/, not the repo root.
+constexpr const char* kFigureDir = "docs/figures";
+
 void run() {
   std::printf("== Fig. 14: visual quality at equal compression ratio ==\n");
   const auto field = make_ssh();
   const double target_cr = 25.0;
   const std::size_t slice_t = 0;
 
-  write_slice_pgm("fig14_original.pgm", field.data, field.mask_ptr(),
-                  slice_t);
-  std::printf("wrote fig14_original.pgm\n");
+  std::filesystem::create_directories(kFigureDir);
+  const std::string original =
+      std::string(kFigureDir) + "/fig14_original.pgm";
+  write_slice_pgm(original, field.data, field.mask_ptr(), slice_t);
+  std::printf("wrote %s\n", original.c_str());
 
   bench::Table t({"Compressor", "CR", "PSNR(dB)", "Slice SSIM", "Max error",
                   "Image"});
@@ -77,7 +84,8 @@ void run() {
     const auto stream = comp->compress(field.data, eb);
     const auto recon = comp->decompress(stream);
 
-    const std::string img = std::string("fig14_") + name + ".pgm";
+    const std::string img =
+        std::string(kFigureDir) + "/fig14_" + name + ".pgm";
     write_slice_pgm(img, recon, field.mask_ptr(), slice_t);
 
     const double ssim = mean_ssim(field.data, recon, field.mask_ptr());

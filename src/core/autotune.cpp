@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "src/common/parallel.hpp"
@@ -309,21 +311,50 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
   result.best = result.candidates.front().config;
   result.best_estimated_ratio = result.candidates.front().estimated_ratio;
 
-  // Backend grid: trial every entropy/lossless combination on the winning
-  // pipeline. Runs sequentially on pool[0] in a fixed order with a strict
-  // comparison, so the choice is deterministic and ties keep the defaults
-  // (= the golden byte-identical stream).
+  // Backend grids, phase A then B: predictor trials first (with the default
+  // entropy/lossless pair), then the entropy/lossless grid on the winning
+  // predictor. Both run sequentially on pool[0] in a fixed order with a
+  // strict comparison, so the choice is deterministic and ties keep the
+  // defaults (= the golden byte-identical stream). Sampled trials keep the
+  // 3-axis grid additive (4 + 4) rather than the full 16-cell product.
   result.best_entropy = opts.codec.entropy;
   result.best_lossless = opts.codec.lossless;
-  if (opts.consider_backends) {
-    const SampledData* s = &sample;
-    std::optional<SampledData> backend_periodic;
-    if (result.best.period > 0) {
-      backend_periodic =
-          sample_time_preserving(data, mask, opts.sampling_rate,
-                                 opts.time_dim);
-      s = &*backend_periodic;
+  result.best_predictor = opts.codec.predictor;
+  const SampledData* grid_sample = &sample;
+  std::optional<SampledData> backend_periodic;
+  if ((opts.consider_predictors || opts.consider_backends) &&
+      result.best.period > 0) {
+    backend_periodic = sample_time_preserving(data, mask, opts.sampling_rate,
+                                              opts.time_dim);
+    grid_sample = &*backend_periodic;
+  }
+  if (opts.consider_predictors) {
+    const SampledData* s = grid_sample;
+    constexpr PredictorBackend kPredictors[] = {
+        PredictorBackend::kInterp,
+        PredictorBackend::kLorenzo1,
+        PredictorBackend::kLorenzo2,
+        PredictorBackend::kRegression,
+    };
+    double best_ratio = 0.0;
+    for (const PredictorBackend predictor : kPredictors) {
+      ClizOptions codec = opts.codec;
+      codec.predictor = predictor;
+      const ClizCompressor comp(result.best, codec);
+      const auto stream =
+          comp.compress(s->data, abs_error_bound, s->mask_ptr(), pool[0]);
+      const double ratio =
+          static_cast<double>(s->data.size() * sizeof(float)) /
+          static_cast<double>(stream.size());
+      result.predictor_candidates.push_back({predictor, ratio, pool[0].stats});
+      if (ratio > best_ratio) {  // strict: ties keep the earlier (default)
+        best_ratio = ratio;
+        result.best_predictor = predictor;
+      }
     }
+  }
+  if (opts.consider_backends) {
+    const SampledData* s = grid_sample;
     constexpr std::pair<EntropyBackend, LosslessBackend> kGrid[] = {
         {EntropyBackend::kHuffman, LosslessBackend::kLz},
         {EntropyBackend::kHuffman, LosslessBackend::kStore},
@@ -333,6 +364,7 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
     double best_ratio = 0.0;
     for (const auto& [entropy, lossless] : kGrid) {
       ClizOptions codec = opts.codec;
+      codec.predictor = result.best_predictor;
       codec.entropy = entropy;
       codec.lossless = lossless;
       const ClizCompressor comp(result.best, codec);
@@ -353,6 +385,35 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
 
   result.tuning_seconds = timer.seconds();
   return result;
+}
+
+std::string AutotuneResult::to_json() const {
+  char buf[128];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"best_predictor\":\"%s\",\"best_entropy\":\"%s\","
+                "\"best_lossless\":\"%s\",\"best_estimated_ratio\":%.4f",
+                predictor_backend_name(best_predictor),
+                entropy_backend_name(best_entropy),
+                lossless_backend_name(best_lossless), best_estimated_ratio);
+  out += buf;
+  out += ",\"predictor_candidates\":{";
+  for (std::size_t i = 0; i < predictor_candidates.size(); ++i) {
+    const PredictorCandidate& c = predictor_candidates[i];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.4f", i == 0 ? "" : ",",
+                  predictor_backend_name(c.predictor), c.estimated_ratio);
+    out += buf;
+  }
+  out += "},\"backend_candidates\":{";
+  for (std::size_t i = 0; i < backend_candidates.size(); ++i) {
+    const BackendCandidate& c = backend_candidates[i];
+    std::snprintf(buf, sizeof(buf), "%s\"%s+%s\":%.4f", i == 0 ? "" : ",",
+                  entropy_backend_name(c.entropy),
+                  lossless_backend_name(c.lossless), c.estimated_ratio);
+    out += buf;
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace cliz

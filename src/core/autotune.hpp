@@ -47,6 +47,13 @@ struct AutotuneOptions {
   /// a stream produced with the chosen backends only deviates from the
   /// golden default when it is strictly smaller on the sample.
   bool consider_backends = true;
+  /// Before the entropy/lossless grid, trial every predictor backend on the
+  /// winning pipeline (with the default entropy/lossless pair) and record
+  /// the strict-best in best_predictor; the entropy/lossless grid then runs
+  /// with that predictor. Sampled trials keep the 3-axis grid additive
+  /// (4 + 4 trials) rather than multiplicative (16). Ties keep the default
+  /// (interpolation = the golden byte-identical stream).
+  bool consider_predictors = true;
   /// Codec options forwarded to the trial compressions. The entropy and
   /// lossless fields seed the backend grid's baseline (and are the final
   /// choice when consider_backends is false).
@@ -59,6 +66,14 @@ struct PipelineCandidate {
   double estimated_ratio = 0.0;
   /// Per-stage breakdown of this candidate's trial compression (refined
   /// candidates keep the stats of the refinement run).
+  StageStats stats;
+};
+
+/// One tested predictor backend on the winning pipeline.
+struct PredictorCandidate {
+  PredictorBackend predictor = PredictorBackend::kInterp;
+  double estimated_ratio = 0.0;
+  /// Stats of this predictor's trial compression on the sample.
   StageStats stats;
 };
 
@@ -82,6 +97,12 @@ struct AutotuneResult {
   /// disabled or nothing beat huffman + lz on the sample).
   EntropyBackend best_entropy = EntropyBackend::kHuffman;
   LosslessBackend best_lossless = LosslessBackend::kLz;
+  /// Predictor backend for the winning pipeline (interp unless a trial on
+  /// the sample strictly beat it).
+  PredictorBackend best_predictor = PredictorBackend::kInterp;
+  /// Every predictor backend tested on `best`, in trial (wire-id) order
+  /// (empty when consider_predictors is false).
+  std::vector<PredictorCandidate> predictor_candidates;
   /// Every backend combination tested on `best`, in trial order (empty when
   /// consider_backends is false).
   std::vector<BackendCandidate> backend_candidates;
@@ -90,6 +111,13 @@ struct AutotuneResult {
   /// FFT period estimate over the probed rows (nullopt: not periodic or
   /// periodicity not considered).
   std::optional<PeriodEstimate> period;
+
+  /// Single JSON object with the chosen backends and the per-backend
+  /// candidate ratios of both grids (keys stable for the bench tooling):
+  /// {"best_predictor":..., "best_entropy":..., "best_lossless":...,
+  ///  "predictor_candidates":{name: ratio, ...},
+  ///  "backend_candidates":{"entropy+lossless": ratio, ...}}
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// A sampled sub-dataset (block sample) with its cropped mask.

@@ -6,6 +6,7 @@
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 
 #include "src/common/bitio.hpp"
@@ -88,7 +89,12 @@ void write_header(const NdArray<T>& data, double abs_error_bound,
   out.put_varint(options.radius);
   out.put(static_cast<T>(options.fill_value));
   config.serialize(out);
-  out.put_u8(mask != nullptr ? 1 : 0);
+  // Predictor byte: (backend id << 1) | has_mask. The interpolation id is
+  // 0, so default streams keep the historical 0/1 mask-flag values
+  // byte-for-byte (same trick as the entropy byte in stage_classify).
+  out.put_u8(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(options.predictor) << 1) |
+      (mask != nullptr ? 1u : 0u)));
   if (mask != nullptr) mask->serialize(out);
 }
 
@@ -153,10 +159,12 @@ double stage_periodic(NdArray<T>& work, double abs_error_bound,
   return std::max(abs_error_bound / 2.0, abs_error_bound - slack);
 }
 
-/// Stage 2 (kPredict): mask-aware interpolation prediction + linear-scale
-/// quantization over the permuted/fused logical axes. Fills ctx.offsets,
-/// ctx.codes, ctx.outliers<T>() and (dynamic fitting) ctx.pass_fits; writes
-/// the pass-fit table, outlier side stream, and code count.
+/// Stage 2 (kPredict): mask-aware prediction + linear-scale quantization
+/// through the predictor backend named by options.predictor (interpolation
+/// over the permuted/fused logical axes by default). The backend fills
+/// ctx.offsets, ctx.codes, ctx.outliers<T>() and writes its side block
+/// (pass-fit table, regression coefficients, ...); the stage frames the
+/// shared tail: outlier side stream and code count.
 template <typename T>
 void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
                    const PipelineConfig& config, const ClizOptions& options,
@@ -166,31 +174,29 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
   st.input_bytes = work.size() * sizeof(T);
   const std::size_t base = out.size();
 
-  fused_axes_into(work.shape(), config.fusion, ctx.axes);
-  induced_axis_order_into(config.fusion, config.permutation, ctx.axis_order);
-  const auto& axes = ctx.axes;
-  const auto& order = ctx.axis_order;
   const LinearQuantizer<T> quantizer(quant_eb, options.radius);
   auto& offsets = ctx.offsets;
   auto& codes = ctx.codes;
   auto& outliers = ctx.outliers<T>();
-  auto& pass_fits = ctx.pass_fits;  // 1 = cubic, one entry per pass
   offsets.clear();
   offsets.reserve(work.size());
   codes.clear();
   codes.reserve(work.size());
   outliers.clear();
-  pass_fits.clear();
   const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
-  interp_encode_lines(work.data(), axes, order, config.dynamic_fitting,
-                      config.fitting, quantizer, validity, offsets, codes,
-                      outliers, pass_fits, ctx.interp);
-  out.put_varint(pass_fits.size());
-  out.put_bytes(pass_fits);
+  const PredictorBackendOps& ops = predictor_backend_ops(options.predictor);
+  if constexpr (std::is_same_v<T, float>) {
+    ops.encode_f32(work.data(), work.shape(), config, quantizer, validity,
+                   ctx, out);
+  } else {
+    ops.encode_f64(work.data(), work.shape(), config, quantizer, validity,
+                   ctx, out);
+  }
   out.put_varint(outliers.size());
   for (const T v : outliers) out.put(v);
   out.put_varint(codes.size());
 
+  ctx.stats.predictor_backend = static_cast<std::uint8_t>(options.predictor);
   ctx.stats.code_count = codes.size();
   ctx.stats.outlier_count = outliers.size();
   st.output_bytes =
@@ -420,12 +426,22 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   const PipelineConfig& config = ctx.header_config;
   CLIZ_REQUIRE(config.permutation.size() == ndims, "pipeline arity mismatch");
 
-  const bool has_mask = in.get_u8() != 0;
+  // Predictor byte: (backend id << 1) | has_mask. Dispatch is driven purely
+  // by the stored id; an id this build does not know (e.g. a stream from a
+  // future version) is a clean error, never UB.
+  const std::uint8_t predictor_byte = in.get_u8();
+  const bool has_mask = (predictor_byte & 1u) != 0;
+  const PredictorBackendOps* pred_ops =
+      find_predictor_backend(static_cast<std::uint8_t>(predictor_byte >> 1));
+  CLIZ_REQUIRE(pred_ops != nullptr, "unknown predictor backend id");
+  ctx.stats.predictor_backend =
+      static_cast<std::uint8_t>(predictor_byte >> 1);
   std::unique_ptr<MaskMap> mask;
   if (has_mask) {
     mask = std::make_unique<MaskMap>(MaskMap::deserialize(in));
     CLIZ_REQUIRE(mask->shape() == shape, "mask shape mismatch");
   }
+  const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
 
   const bool periodic =
       config.period >= 2 && config.time_dim < ndims &&
@@ -444,11 +460,9 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   const auto quant_eb = in.get<double>();
   CLIZ_REQUIRE(quant_eb > 0 && quant_eb <= eb, "corrupt residual bound");
 
-  const std::size_t n_passes = static_cast<std::size_t>(in.get_varint());
-  CLIZ_REQUIRE(n_passes <= 64 * kMaxAxes, "corrupt pass count");
-  const auto pass_fit_bytes = in.get_bytes(n_passes);
-  CLIZ_REQUIRE(config.dynamic_fitting || n_passes == 0,
-               "pass-fit table on a static-fitting stream");
+  // The predictor backend's side block (kPredict's encode-side framing):
+  // the interp pass-fit table, regression block side + coefficients, ...
+  pred_ops->parse(in, shape, config, validity, ctx);
 
   const std::size_t n_outliers = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_outliers <= shape.size(), "corrupt outlier count");
@@ -471,12 +485,7 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   ctx.stats.code_count = n_codes;
   ctx.stats.outlier_count = n_outliers;
 
-  fused_axes_into(shape, config.fusion, ctx.axes);
-  induced_axis_order_into(config.fusion, config.permutation, ctx.axis_order);
-  const auto& axes = ctx.axes;
-  const auto& order = ctx.axis_order;
   const LinearQuantizer<T> quantizer(quant_eb, radius);
-  const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
 
   // Everything the destination depends on is now validated; hand the shape
   // to the caller and decode straight into whatever buffer it supplies.
@@ -512,16 +521,28 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   // once; entropy decoding stays serial (the bitstream is inherently
   // sequential) but the backends batch internally (the unclassified Huffman
   // path runs through the multi-symbol fast-table decoder).
-  const auto fetch = [&](const std::uint64_t* offs, std::uint32_t* dst,
-                         std::size_t n) {
+  auto fetch_impl = [&](const std::uint64_t* offs, std::uint32_t* dst,
+                        std::size_t n) {
     decoded += n;
     entropy_ops->fetch(entropy_state, offs, dst, n);
   };
+  const PredictorFetch fetch{
+      &fetch_impl,
+      [](void* self, const std::uint64_t* offs, std::uint32_t* dst,
+         std::size_t n) {
+        (*static_cast<decltype(fetch_impl)*>(self))(offs, dst, n);
+      }};
 
   const auto t_decode = Clock::now();
-  interp_decode_lines(out, axes, order, config.dynamic_fitting, config.fitting,
-                      pass_fit_bytes, quantizer, std::span<const T>(outliers),
-                      cursor, validity, ctx.interp, fetch);
+  if constexpr (std::is_same_v<T, float>) {
+    pred_ops->decode_f32(out, shape, config, quantizer,
+                         std::span<const T>(outliers), cursor, validity, ctx,
+                         fetch);
+  } else {
+    pred_ops->decode_f64(out, shape, config, quantizer,
+                         std::span<const T>(outliers), cursor, validity, ctx,
+                         fetch);
+  }
   CLIZ_REQUIRE(decoded == n_codes, "code count mismatch after decode");
   {
     auto& st = ctx.stats.at(CodecStage::kPredict);

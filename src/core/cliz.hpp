@@ -11,6 +11,7 @@
 #include "src/entropy/backend.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/ndarray/ndarray.hpp"
+#include "src/predictor/backend.hpp"
 
 namespace cliz {
 
@@ -26,6 +27,12 @@ struct ClizOptions {
   /// Bin-classification shift radius / dispersion levels (paper: j = k = 1;
   /// see bench_ablation_jk for why larger values do not pay off).
   ClassifyParams classify;
+  /// Predictor-stage backend for the predict/quantize stage. Recorded in
+  /// the stream's predictor byte, so any reader decodes any choice; the
+  /// default (interpolation) reproduces the golden corpus byte-for-byte.
+  /// Whatever the backend predicts, the linear quantizer still guarantees
+  /// the error bound — a poor fit only costs ratio.
+  PredictorBackend predictor = PredictorBackend::kInterp;
   /// Entropy-stage backend for the quant-code stream. Recorded in the
   /// stream's entropy byte, so any reader decodes any choice; the defaults
   /// reproduce the golden corpus byte-for-byte. When the requested backend

@@ -13,6 +13,7 @@
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/predictor/interp_engine.hpp"
+#include "src/predictor/lorenzo_nd.hpp"
 
 namespace cliz {
 
@@ -53,6 +54,18 @@ class CodecContext {
   std::vector<std::uint32_t> codes;     ///< quantization bin codes
   std::vector<std::uint8_t> pass_fits;  ///< dynamic-fitting choice per pass
   InterpLineScratch interp;             ///< line-parallel engine scratch
+  /// Decode: view into `raw` of the interp backend's pass-fit table (set by
+  /// its parse hook; valid until the next decode through this context).
+  std::span<const std::uint8_t> pred_pass_fits;
+  std::vector<LorenzoTerm> lorenzo_terms;  ///< Lorenzo stencil scratch
+  /// Decode batch staging for the raster-scan predictor backends (Lorenzo,
+  /// regression): all target offsets, then the fetched code batch.
+  std::vector<std::uint64_t> pred_offs;
+  std::vector<std::uint32_t> pred_codes;
+  /// Regression backend: quantized plane coefficients parsed from the
+  /// stream ((ndims + 1) per occupied block) and the stream's block side.
+  std::vector<std::int64_t> reg_qcoeffs;
+  std::size_t reg_block_side = 0;
 
   // --- classification / entropy-coding stage ---
   std::vector<std::uint32_t> shifted;  ///< per-point shifted symbols

@@ -3,12 +3,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "src/common/bitio.hpp"
 #include "src/common/bytestream.hpp"
 #include "src/core/bin_classify.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/entropy/backend.hpp"
 #include "src/lossless/lossless.hpp"
+#include "src/ndarray/shape.hpp"
+#include "src/predictor/backend.hpp"
+#include "src/quantizer/linear_quantizer.hpp"
 
 namespace cliz {
 
@@ -69,5 +74,71 @@ struct EntropyBackendOps {
 /// Lookup by enum for encode-side callers; throws on an unregistered value.
 [[nodiscard]] const EntropyBackendOps& entropy_backend_ops(
     EntropyBackend backend);
+
+/// Type-erased symbol source handed to the predictor decode hooks (plain
+/// function pointer + state, matching the registry's no-virtuals shape).
+/// `fn` must fill `dst` with the next `n` quantization codes in stream
+/// order; `offs` identifies the target of each code for classified entropy
+/// sources.
+struct PredictorFetch {
+  void* self = nullptr;
+  void (*fn)(void* self, const std::uint64_t* offs, std::uint32_t* dst,
+             std::size_t n) = nullptr;
+  void operator()(const std::uint64_t* offs, std::uint32_t* dst,
+                  std::size_t n) const {
+    fn(self, offs, dst, n);
+  }
+};
+
+/// One entry of the predictor-stage backend registry, keyed by the wire id
+/// in the high bits of the stream's predictor byte. Same design as the
+/// entropy table: plain function pointers, scratch in the CodecContext.
+///
+/// The encode hook owns the stage's backend side block (written before the
+/// generic outlier stream): the interpolation backend's pass-fit table, the
+/// regression backend's block side + quantized plane coefficients, nothing
+/// for Lorenzo. It fills ctx.offsets / ctx.codes / ctx.outliers<T>() (the
+/// caller has cleared them) and mutates `work` to the reconstruction. The
+/// parse hook is the side block's reader (state into the context); the
+/// decode hook reconstructs every valid point, pulling codes through
+/// `fetch`. Hooks come in f32/f64 pairs because the op table itself cannot
+/// be a template.
+struct PredictorBackendOps {
+  PredictorBackend id;
+  const char* name;
+  void (*encode_f32)(float* work, const Shape& shape,
+                     const PipelineConfig& config,
+                     const LinearQuantizer<float>& quantizer,
+                     const std::uint8_t* validity, CodecContext& ctx,
+                     ByteWriter& out);
+  void (*encode_f64)(double* work, const Shape& shape,
+                     const PipelineConfig& config,
+                     const LinearQuantizer<double>& quantizer,
+                     const std::uint8_t* validity, CodecContext& ctx,
+                     ByteWriter& out);
+  void (*parse)(ByteReader& in, const Shape& shape,
+                const PipelineConfig& config, const std::uint8_t* validity,
+                CodecContext& ctx);
+  void (*decode_f32)(float* out, const Shape& shape,
+                     const PipelineConfig& config,
+                     const LinearQuantizer<float>& quantizer,
+                     std::span<const float> outliers, std::size_t& cursor,
+                     const std::uint8_t* validity, CodecContext& ctx,
+                     const PredictorFetch& fetch);
+  void (*decode_f64)(double* out, const Shape& shape,
+                     const PipelineConfig& config,
+                     const LinearQuantizer<double>& quantizer,
+                     std::span<const double> outliers, std::size_t& cursor,
+                     const std::uint8_t* validity, CodecContext& ctx,
+                     const PredictorFetch& fetch);
+};
+
+/// Registry lookup by the stream's stored id; nullptr for unknown ids.
+[[nodiscard]] const PredictorBackendOps* find_predictor_backend(
+    std::uint8_t id);
+
+/// Lookup by enum for encode-side callers; throws on an unregistered value.
+[[nodiscard]] const PredictorBackendOps& predictor_backend_ops(
+    PredictorBackend backend);
 
 }  // namespace cliz

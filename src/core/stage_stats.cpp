@@ -43,6 +43,20 @@ void StageStats::accumulate(const StageStats& other) {
 
 namespace {
 
+const char* predictor_backend_label(std::uint8_t id) {
+  switch (id) {
+    case 0:
+      return "interp";
+    case 1:
+      return "lorenzo1";
+    case 2:
+      return "lorenzo2";
+    case 3:
+      return "regression";
+  }
+  return "unknown";
+}
+
 const char* entropy_backend_label(std::uint8_t id) {
   switch (id) {
     case 0:
@@ -85,7 +99,9 @@ std::string StageStats::to_text() const {
                 code_count, outlier_count, code_entropy_bits,
                 total_seconds * 1e3, threads_used);
   out += buf;
-  std::snprintf(buf, sizeof(buf), "backends: entropy=%s%s lossless=%s\n",
+  std::snprintf(buf, sizeof(buf),
+                "backends: predictor=%s entropy=%s%s lossless=%s\n",
+                predictor_backend_label(predictor_backend),
                 entropy_backend_label(entropy_backend),
                 entropy_downgraded ? " (downgraded)" : "",
                 lossless_backend_label(lossless_backend));
@@ -100,7 +116,7 @@ std::string StageStats::to_text() const {
 }
 
 std::string StageStats::to_json() const {
-  char buf[256];
+  char buf[512];
   std::string out = "{\"stages\":{";
   for (std::size_t i = 0; i < kNumCodecStages; ++i) {
     const Stage& s = stages[i];
@@ -117,11 +133,13 @@ std::string StageStats::to_json() const {
                 "\"outlier_count\":%zu,\"total_seconds\":%.6f,"
                 "\"verified\":%s,\"verify_downgrades\":%zu,"
                 "\"verify_seconds\":%.6f,\"threads_used\":%d,"
+                "\"predictor_backend\":\"%s\","
                 "\"entropy_backend\":\"%s\",\"lossless_backend\":\"%s\","
                 "\"entropy_downgraded\":%s}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
                 verify_seconds, threads_used,
+                predictor_backend_label(predictor_backend),
                 entropy_backend_label(entropy_backend),
                 lossless_backend_label(lossless_backend),
                 entropy_downgraded ? "true" : "false");

@@ -60,6 +60,10 @@ struct StageStats {
   /// Worker threads available to the parallel stages of this run
   /// (hardware_threads() at call time).
   int threads_used = 1;
+  /// Predictor-stage backend id for this stream (encode: the requested
+  /// backend; decode: the id read from the stream's predictor byte).
+  /// Matches PredictorBackend's wire values.
+  std::uint8_t predictor_backend = 0;
   /// Entropy-stage backend id actually used for this stream (encode: the
   /// backend that wrote it, after any infeasibility fallback; decode: the id
   /// read from the stream). Matches EntropyBackend's wire values.

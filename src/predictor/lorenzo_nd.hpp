@@ -1,0 +1,190 @@
+#pragma once
+
+// N-dimensional 1st/2nd-order Lorenzo predictor over the shared linear
+// quantizer: the SZ-family raster-scan stencil (Tao et al.), generalized
+// from the standalone first-order codec in src/sz3/lorenzo.cpp to any order
+// k via the (1 - S)^k expansion per dimension. Encode mutates the data to
+// the reconstruction (prediction parity with the decoder); masked points
+// are skipped entirely and masked/out-of-range stencil terms contribute
+// nothing, so fill-value garbage never leaks into a prediction.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/ndarray/shape.hpp"
+#include "src/predictor/interp_traversal.hpp"
+#include "src/quantizer/linear_quantizer.hpp"
+
+namespace cliz {
+
+/// One stencil term: the neighbour at x - back (per-dim backward offsets)
+/// contributes `weight * f(x - back)` to the prediction sum.
+struct LorenzoTerm {
+  std::array<std::uint8_t, kMaxAxes> back{};  ///< i_d per dim, each in [0, k]
+  std::size_t delta = 0;                      ///< sum_d back[d] * stride_d
+  double weight = 0.0;                        ///< -prod_d a_{back[d]}
+};
+
+/// Builds the order-`order` Lorenzo stencil for `shape` into `terms`
+/// (cleared first). Per-dim coefficients a_j = (-1)^j C(order, j) come from
+/// expanding (1 - S)^order; the predictor is pred(x) = -sum_{i != 0} w(i)
+/// f(x - i) with w(i) = prod_d a_{i_d}, stored here with the sign folded in.
+/// Order 1 reduces to the classic inclusion-exclusion corner stencil.
+inline void lorenzo_stencil(const Shape& shape, unsigned order,
+                            std::vector<LorenzoTerm>& terms) {
+  CLIZ_REQUIRE(order >= 1 && order <= 2, "unsupported Lorenzo order");
+  const std::size_t nd = shape.ndims();
+  CLIZ_REQUIRE(nd >= 1 && nd <= kMaxAxes, "unsupported dimensionality");
+  // a_j for j = 0..order: order 1 -> {1, -1}; order 2 -> {1, -2, 1}.
+  const std::array<double, 3> a =
+      order == 1 ? std::array<double, 3>{1.0, -1.0, 0.0}
+                 : std::array<double, 3>{1.0, -2.0, 1.0};
+  terms.clear();
+  std::array<std::uint8_t, kMaxAxes> i{};
+  for (;;) {
+    // Advance the odometer over {0..order}^nd; the all-zero tuple (the
+    // target itself) is skipped below.
+    std::size_t d = nd;
+    bool done = true;
+    while (d-- > 0) {
+      if (++i[d] <= order) {
+        done = false;
+        break;
+      }
+      i[d] = 0;
+    }
+    if (done) break;
+    LorenzoTerm t;
+    t.back = i;
+    double w = 1.0;
+    for (std::size_t j = 0; j < nd; ++j) {
+      t.delta += static_cast<std::size_t>(i[j]) * shape.stride(j);
+      w *= a[i[j]];
+    }
+    t.weight = -w;
+    terms.push_back(t);
+  }
+}
+
+namespace detail {
+
+/// Prediction at the point with coordinates `c` (linear offset `off`) from
+/// already-reconstructed values. A term is dropped when its neighbour lies
+/// outside the array or is masked; `interior` short-circuits the range
+/// checks for points at least `order` away from every low border.
+template <typename T>
+T lorenzo_predict_at(const T* data, std::span<const LorenzoTerm> terms,
+                     const std::size_t* c, std::size_t nd, std::size_t off,
+                     bool interior, const std::uint8_t* validity) {
+  double p = 0.0;
+  if (interior && validity == nullptr) {
+    for (const LorenzoTerm& t : terms) {
+      p += t.weight * static_cast<double>(data[off - t.delta]);
+    }
+    return static_cast<T>(p);
+  }
+  for (const LorenzoTerm& t : terms) {
+    if (!interior) {
+      bool in_range = true;
+      for (std::size_t d = 0; d < nd; ++d) {
+        if (c[d] < t.back[d]) {
+          in_range = false;
+          break;
+        }
+      }
+      if (!in_range) continue;
+    }
+    const std::size_t src = off - t.delta;
+    if (validity != nullptr && validity[src] == 0) continue;
+    p += t.weight * static_cast<double>(data[src]);
+  }
+  return static_cast<T>(p);
+}
+
+}  // namespace detail
+
+/// Serial raster-scan encode: quantizes every valid point against its
+/// Lorenzo prediction, appending (offset, code) pairs and outliers in visit
+/// order. Serial by construction, so streams are identical for every thread
+/// count. `data` is mutated to the reconstruction.
+template <typename T>
+void lorenzo_encode(T* data, const Shape& shape, unsigned order,
+                    const LinearQuantizer<T>& quantizer,
+                    const std::uint8_t* validity,
+                    std::vector<std::uint64_t>& offsets,
+                    std::vector<std::uint32_t>& codes,
+                    std::vector<T>& outliers,
+                    std::vector<LorenzoTerm>& stencil) {
+  lorenzo_stencil(shape, order, stencil);
+  const std::size_t nd = shape.ndims();
+  std::array<std::size_t, kMaxAxes> c{};
+  for (std::size_t off = 0; off < shape.size(); ++off) {
+    if (validity == nullptr || validity[off] != 0) {
+      bool interior = true;
+      for (std::size_t d = 0; d < nd; ++d) {
+        if (c[d] < order) {
+          interior = false;
+          break;
+        }
+      }
+      const T pred = detail::lorenzo_predict_at(
+          data, stencil, c.data(), nd, off, interior, validity);
+      offsets.push_back(off);
+      codes.push_back(quantizer.quantize(data[off], pred, outliers));
+    }
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++c[d] < shape.dim(d)) break;
+      c[d] = 0;
+    }
+  }
+}
+
+/// Decode counterpart: the target offsets are known up front (every valid
+/// point in raster order), so the whole code stream is fetched in one batch
+/// before the inherently serial reconstruction scan.
+template <typename T, typename Fetch>
+void lorenzo_decode(T* out, const Shape& shape, unsigned order,
+                    const LinearQuantizer<T>& quantizer,
+                    std::span<const T> outliers, std::size_t& cursor,
+                    const std::uint8_t* validity,
+                    std::vector<std::uint64_t>& off_scratch,
+                    std::vector<std::uint32_t>& code_scratch,
+                    std::vector<LorenzoTerm>& stencil, const Fetch& fetch) {
+  lorenzo_stencil(shape, order, stencil);
+  const std::size_t nd = shape.ndims();
+  off_scratch.clear();
+  off_scratch.reserve(shape.size());
+  for (std::size_t off = 0; off < shape.size(); ++off) {
+    if (validity == nullptr || validity[off] != 0) off_scratch.push_back(off);
+  }
+  code_scratch.resize(off_scratch.size());
+  fetch(off_scratch.data(), code_scratch.data(), off_scratch.size());
+
+  std::array<std::size_t, kMaxAxes> c{};
+  std::size_t k = 0;
+  for (std::size_t off = 0; off < shape.size(); ++off) {
+    if (validity == nullptr || validity[off] != 0) {
+      bool interior = true;
+      for (std::size_t d = 0; d < nd; ++d) {
+        if (c[d] < order) {
+          interior = false;
+          break;
+        }
+      }
+      const T pred = detail::lorenzo_predict_at(
+          out, stencil, c.data(), nd, off, interior, validity);
+      out[off] = quantizer.recover(code_scratch[k++], pred, outliers, cursor);
+    }
+    std::size_t d = nd;
+    while (d-- > 0) {
+      if (++c[d] < shape.dim(d)) break;
+      c[d] = 0;
+    }
+  }
+}
+
+}  // namespace cliz

@@ -1,0 +1,301 @@
+#pragma once
+
+// Block-regression predictor: per-block least-squares plane fit
+// v ~ c0 + sum_d c_d * x_d (x_d the in-block coordinate), SZ3-style. The
+// fit runs on the block's original values; coefficients are quantized and
+// serialized into the stream (zigzag varints), and BOTH sides predict with
+// the reconstructed coefficients, so encoder/decoder parity is exact. A bad
+// fit only costs ratio, never correctness — the linear quantizer still
+// bounds every point.
+//
+// The per-axis slopes are fitted independently (centred covariance over
+// centred variance). On full unmasked blocks the axes are orthogonal, so
+// this IS the joint least-squares solution; on partially masked blocks it
+// is a deterministic approximation that both sides compute identically.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bytestream.hpp"
+#include "src/ndarray/shape.hpp"
+#include "src/predictor/interp_traversal.hpp"
+#include "src/quantizer/linear_quantizer.hpp"
+
+namespace cliz {
+
+/// Block side of the regression predictor (serialized, so the format stays
+/// self-describing if it ever changes).
+inline constexpr std::size_t kRegressionBlockSide = 8;
+
+/// Coefficient quantization steps: the intercept moves every prediction in
+/// the block 1:1, the slope along axis d moves the far corner by up to
+/// `side`, so its step is proportionally finer. Half-step rounding error
+/// then shifts any prediction by at most (nd + 1)/2 quantizer bins — a
+/// ratio cost, bounded and deterministic.
+inline double regression_coeff_step(double quant_eb, std::size_t block_side,
+                                    std::size_t axis_or_intercept) {
+  if (axis_or_intercept == 0) return quant_eb;  // intercept
+  return quant_eb / static_cast<double>(block_side);
+}
+
+namespace detail {
+
+/// Clamp + round one raw coefficient to its quantized integer. Non-finite
+/// fits (fill-value garbage on unmasked data) collapse to 0 instead of
+/// tripping UB in llround.
+inline std::int64_t quantize_coeff(double c, double step) {
+  constexpr double kLimit = static_cast<double>(std::int64_t{1} << 40);
+  const double scaled = c / step;
+  if (!std::isfinite(scaled)) return 0;
+  return std::llround(std::clamp(scaled, -kLimit, kLimit));
+}
+
+/// Calls fn(start, ext) for every block of `shape` at side `side`, in
+/// raster order over the block grid. `ext` holds the clipped extents of the
+/// border blocks.
+template <typename Fn>
+void reg_for_each_block(const Shape& shape, std::size_t side, Fn&& fn) {
+  const std::size_t nd = shape.ndims();
+  std::array<std::size_t, kMaxAxes> start{};
+  std::array<std::size_t, kMaxAxes> ext{};
+  for (;;) {
+    for (std::size_t d = 0; d < nd; ++d) {
+      ext[d] = std::min(side, shape.dim(d) - start[d]);
+    }
+    fn(start.data(), ext.data());
+    std::size_t d = nd;
+    bool done = true;
+    while (d-- > 0) {
+      start[d] += side;
+      if (start[d] < shape.dim(d)) {
+        done = false;
+        break;
+      }
+      start[d] = 0;
+    }
+    if (done) break;
+  }
+}
+
+/// Calls fn(off, local) for every point of one block in raster order;
+/// `local` is the in-block coordinate vector.
+template <typename Fn>
+void reg_for_each_point(const Shape& shape, const std::size_t* start,
+                        const std::size_t* ext, Fn&& fn) {
+  const std::size_t nd = shape.ndims();
+  std::array<std::size_t, kMaxAxes> local{};
+  std::size_t off = 0;
+  for (std::size_t d = 0; d < nd; ++d) off += start[d] * shape.stride(d);
+  for (;;) {
+    fn(off, local.data());
+    std::size_t d = nd;
+    bool done = true;
+    while (d-- > 0) {
+      ++local[d];
+      off += shape.stride(d);
+      if (local[d] < ext[d]) {
+        done = false;
+        break;
+      }
+      off -= ext[d] * shape.stride(d);
+      local[d] = 0;
+    }
+    if (done) break;
+  }
+}
+
+/// Reconstructed plane prediction for one point.
+template <typename T>
+T reg_predict(const double* coeffs, const std::size_t* local,
+              std::size_t nd) {
+  double p = coeffs[0];
+  for (std::size_t d = 0; d < nd; ++d) {
+    p += coeffs[1 + d] * static_cast<double>(local[d]);
+  }
+  return static_cast<T>(p);
+}
+
+}  // namespace detail
+
+/// Encode: per block, fit the plane on the block's (still original) values,
+/// quantize + serialize the coefficients, then quantize every valid point
+/// against the reconstructed plane. Blocks with no valid point serialize
+/// nothing and emit no codes (the decoder recomputes block occupancy from
+/// the mask). Serial by construction — identical streams for every thread
+/// count. Emits the side block (block side + coefficients) to `out`.
+template <typename T>
+void regression_encode(T* data, const Shape& shape,
+                       const LinearQuantizer<T>& quantizer,
+                       const std::uint8_t* validity,
+                       std::vector<std::uint64_t>& offsets,
+                       std::vector<std::uint32_t>& codes,
+                       std::vector<T>& outliers, ByteWriter& out) {
+  const std::size_t nd = shape.ndims();
+  CLIZ_REQUIRE(nd >= 1 && nd <= kMaxAxes, "unsupported dimensionality");
+  const std::size_t side = kRegressionBlockSide;
+  const double eb = quantizer.error_bound();
+  out.put_varint(side);
+
+  detail::reg_for_each_block(shape, side, [&](const std::size_t* start,
+                                              const std::size_t* ext) {
+    // Pass 1: means over the valid points.
+    double sum_v = 0.0;
+    std::array<double, kMaxAxes> sum_x{};
+    std::size_t n = 0;
+    detail::reg_for_each_point(
+        shape, start, ext, [&](std::size_t off, const std::size_t* local) {
+          if (validity != nullptr && validity[off] == 0) return;
+          ++n;
+          sum_v += static_cast<double>(data[off]);
+          for (std::size_t d = 0; d < nd; ++d) {
+            sum_x[d] += static_cast<double>(local[d]);
+          }
+        });
+    if (n == 0) return;
+    const double mean_v = sum_v / static_cast<double>(n);
+    std::array<double, kMaxAxes> mean_x{};
+    for (std::size_t d = 0; d < nd; ++d) {
+      mean_x[d] = sum_x[d] / static_cast<double>(n);
+    }
+
+    // Pass 2: per-axis centred covariance / variance.
+    std::array<double, kMaxAxes> cov{};
+    std::array<double, kMaxAxes> var{};
+    detail::reg_for_each_point(
+        shape, start, ext, [&](std::size_t off, const std::size_t* local) {
+          if (validity != nullptr && validity[off] == 0) return;
+          const double dv = static_cast<double>(data[off]) - mean_v;
+          for (std::size_t d = 0; d < nd; ++d) {
+            const double dx = static_cast<double>(local[d]) - mean_x[d];
+            cov[d] += dx * dv;
+            var[d] += dx * dx;
+          }
+        });
+
+    std::array<double, kMaxAxes + 1> recon{};
+    double c0 = mean_v;
+    for (std::size_t d = 0; d < nd; ++d) {
+      const double slope = var[d] > 0.0 ? cov[d] / var[d] : 0.0;
+      const double step = regression_coeff_step(eb, side, 1 + d);
+      recon[1 + d] =
+          static_cast<double>(detail::quantize_coeff(slope, step)) * step;
+      c0 -= recon[1 + d] * mean_x[d];
+    }
+    const double step0 = regression_coeff_step(eb, side, 0);
+    recon[0] = static_cast<double>(detail::quantize_coeff(c0, step0)) * step0;
+    out.put_svarint(detail::quantize_coeff(c0, step0));
+    for (std::size_t d = 0; d < nd; ++d) {
+      const double step = regression_coeff_step(eb, side, 1 + d);
+      out.put_svarint(
+          static_cast<std::int64_t>(std::llround(recon[1 + d] / step)));
+    }
+
+    // Pass 3: quantize against the reconstructed plane.
+    detail::reg_for_each_point(
+        shape, start, ext, [&](std::size_t off, const std::size_t* local) {
+          if (validity != nullptr && validity[off] == 0) return;
+          const T pred = detail::reg_predict<T>(recon.data(), local, nd);
+          offsets.push_back(off);
+          codes.push_back(quantizer.quantize(data[off], pred, outliers));
+        });
+  });
+}
+
+/// Parse side of the regression stream: the block side plus one quantized
+/// coefficient tuple per occupied block, appended to `qcoeffs` in block
+/// raster order. The decoder recomputes occupancy from the mask, so the
+/// two sides agree on exactly which blocks carry coefficients.
+inline void regression_parse(ByteReader& in, const Shape& shape,
+                             const std::uint8_t* validity,
+                             std::size_t& block_side,
+                             std::vector<std::int64_t>& qcoeffs) {
+  const std::size_t nd = shape.ndims();
+  CLIZ_REQUIRE(nd >= 1 && nd <= kMaxAxes, "unsupported dimensionality");
+  const std::uint64_t side64 = in.get_varint();
+  CLIZ_REQUIRE(side64 >= 1 && side64 <= Shape::kMaxElements,
+               "corrupt regression block side");
+  block_side = static_cast<std::size_t>(side64);
+  qcoeffs.clear();
+  detail::reg_for_each_block(
+      shape, block_side,
+      [&](const std::size_t* start, const std::size_t* ext) {
+        bool occupied = validity == nullptr;
+        if (!occupied) {
+          detail::reg_for_each_point(shape, start, ext,
+                                     [&](std::size_t off, const std::size_t*) {
+                                       occupied |= validity[off] != 0;
+                                     });
+        }
+        if (!occupied) return;
+        for (std::size_t k = 0; k < nd + 1; ++k) {
+          qcoeffs.push_back(in.get_svarint());
+        }
+      });
+}
+
+/// Decode: regression predictions depend only on the serialized
+/// coefficients (never on neighbouring reconstructions), so every target
+/// offset is known up front and the whole code stream is fetched in one
+/// batch before the reconstruction scan.
+template <typename T, typename Fetch>
+void regression_decode(T* out, const Shape& shape,
+                       const LinearQuantizer<T>& quantizer,
+                       std::size_t block_side,
+                       std::span<const std::int64_t> qcoeffs,
+                       std::span<const T> outliers, std::size_t& cursor,
+                       const std::uint8_t* validity,
+                       std::vector<std::uint64_t>& off_scratch,
+                       std::vector<std::uint32_t>& code_scratch,
+                       const Fetch& fetch) {
+  const std::size_t nd = shape.ndims();
+  const double eb = quantizer.error_bound();
+  off_scratch.clear();
+  detail::reg_for_each_block(
+      shape, block_side, [&](const std::size_t* start, const std::size_t* ext) {
+        detail::reg_for_each_point(shape, start, ext,
+                                   [&](std::size_t off, const std::size_t*) {
+                                     if (validity != nullptr &&
+                                         validity[off] == 0) {
+                                       return;
+                                     }
+                                     off_scratch.push_back(off);
+                                   });
+      });
+  code_scratch.resize(off_scratch.size());
+  fetch(off_scratch.data(), code_scratch.data(), off_scratch.size());
+
+  std::size_t coeff_idx = 0;
+  std::size_t k = 0;
+  detail::reg_for_each_block(shape, block_side, [&](const std::size_t* start,
+                                                    const std::size_t* ext) {
+    // Reconstruct the block's plane exactly as the encoder did.
+    std::array<double, kMaxAxes + 1> recon{};
+    bool have_coeffs = false;
+    detail::reg_for_each_point(
+        shape, start, ext, [&](std::size_t off, const std::size_t* local) {
+          if (validity != nullptr && validity[off] == 0) return;
+          if (!have_coeffs) {
+            CLIZ_REQUIRE(coeff_idx + nd + 1 <= qcoeffs.size(),
+                         "regression coefficients truncated");
+            for (std::size_t j = 0; j < nd + 1; ++j) {
+              recon[j] =
+                  static_cast<double>(qcoeffs[coeff_idx + j]) *
+                  regression_coeff_step(eb, block_side, j);
+            }
+            coeff_idx += nd + 1;
+            have_coeffs = true;
+          }
+          const T pred = detail::reg_predict<T>(recon.data(), local, nd);
+          out[off] = quantizer.recover(code_scratch[k++], pred, outliers,
+                                       cursor);
+        });
+  });
+  CLIZ_REQUIRE(coeff_idx == qcoeffs.size(),
+               "regression coefficients not fully consumed");
+}
+
+}  // namespace cliz

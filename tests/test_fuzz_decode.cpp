@@ -20,6 +20,7 @@
 #include "src/io/archive.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/metrics/metrics.hpp"
+#include "tests/fault_injection.hpp"
 
 namespace cliz {
 namespace {
@@ -180,6 +181,43 @@ TEST(FuzzClizHeader, RejectsUnknownEntropyBackendId) {
     const auto stream = lossless_compress(mutated);
     EXPECT_THROW((void)ClizCompressor::decompress(stream), Error)
         << "backend id " << static_cast<int>(id);
+  }
+}
+
+TEST(FuzzClizHeader, RejectsUnknownPredictorBackendId) {
+  // The predictor byte carries (backend_id << 1) | has_mask. Locate it as
+  // the first byte where interp and lorenzo1 compressions of the same input
+  // diverge, then drive every reserved id through byte_override_cases: each
+  // must be rejected with a clean Error before any prediction state is
+  // touched.
+  const auto data = sample_data();
+  ClizOptions lorenzo_opts;
+  lorenzo_opts.predictor = PredictorBackend::kLorenzo1;
+  const auto interp_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(3)).compress(data, 1e-3));
+  const auto lorenzo_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(3), lorenzo_opts)
+          .compress(data, 1e-3));
+  std::size_t pos = 0;
+  while (pos < interp_raw.size() && interp_raw[pos] == lorenzo_raw[pos]) {
+    ++pos;
+  }
+  ASSERT_LT(pos, interp_raw.size());
+  ASSERT_EQ(interp_raw[pos], 0u);   // (interp id << 1) | no mask
+  ASSERT_EQ(lorenzo_raw[pos], 2u);  // (lorenzo1 id << 1) | no mask
+
+  // Hostile ids 4.. shifted into wire position, with and without the mask
+  // bit set (the mask bit must not rescue an unknown id).
+  std::vector<std::uint8_t> hostile;
+  for (const std::uint8_t id : {4, 5, 7, 63, 127}) {
+    hostile.push_back(static_cast<std::uint8_t>(id << 1));
+    hostile.push_back(static_cast<std::uint8_t>((id << 1) | 1));
+  }
+  for (const auto& fault : fault::byte_override_cases(interp_raw, pos,
+                                                      hostile)) {
+    const auto stream = lossless_compress(fault.bytes);
+    EXPECT_THROW((void)ClizCompressor::decompress(stream), Error)
+        << fault.label;
   }
 }
 

@@ -45,11 +45,16 @@ def load_benchmarks(path):
             # Skip aggregate rows (mean/median/stddev of repetitions).
             if b.get("run_type") == "aggregate":
                 continue
-            out[b["name"]] = {
+            entry = {
                 "bytes_per_second": b.get("bytes_per_second"),
                 "real_time": b.get("real_time"),
                 "time_unit": b.get("time_unit", "ns"),
             }
+            # The backend A/B benches report compressed ratio as a counter;
+            # keep it so the committed baseline documents the size trade.
+            if b.get("ratio") is not None:
+                entry["ratio"] = b["ratio"]
+            out[b["name"]] = entry
         return out
     if isinstance(doc, dict):
         return doc
@@ -60,13 +65,18 @@ def load_benchmarks(path):
 def backend_summary(run):
     """Per-backend throughput diffs within one run.
 
-    Groups benchmarks named ``entropy_backend/<name>[/op]`` and
-    ``lossless_backend/<name>`` and prints each backend's throughput
-    relative to the stage's default (huffman / lz), so the backend trade
-    is visible without cross-referencing absolute numbers. Informational
-    only — never fails the run.
+    Groups benchmarks named ``predictor_backend/<name>[/op]``,
+    ``entropy_backend/<name>[/op]``, and ``lossless_backend/<name>`` and
+    prints each backend's throughput relative to the stage's default
+    (interp / huffman / lz), so the backend trade is visible without
+    cross-referencing absolute numbers. Informational only — never fails
+    the run.
     """
-    defaults = {"entropy_backend": "huffman", "lossless_backend": "lz"}
+    defaults = {
+        "predictor_backend": "interp",
+        "entropy_backend": "huffman",
+        "lossless_backend": "lz",
+    }
     groups = {}
     for name, metrics in run.items():
         parts = name.split("/")
@@ -75,19 +85,24 @@ def backend_summary(run):
         if not metrics.get("bytes_per_second"):
             continue
         op = "/".join(parts[2:])  # "" for single-op groups like lossless
-        groups.setdefault((parts[0], op), {})[parts[1]] = metrics[
-            "bytes_per_second"
-        ]
+        groups.setdefault((parts[0], op), {})[parts[1]] = (
+            metrics["bytes_per_second"],
+            metrics.get("ratio"),
+        )
 
     if not groups:
         return
     print("\nper-backend throughput (relative to the stage default):")
     for (stage, op), backends in sorted(groups.items()):
-        base = backends.get(defaults[stage])
+        base = backends.get(defaults[stage], (None, None))[0]
         label = f"{stage}{'/' + op if op else ''}"
-        for backend, bps in sorted(backends.items()):
+        for backend, (bps, ratio) in sorted(backends.items()):
             rel = f"{bps / base:5.2f}x" if base else "    -"
-            print(f"  {label:<34} {backend:<10} {bps / 1e6:10.1f}MB/s  {rel}")
+            cr = f"  CR {ratio:6.2f}" if ratio else ""
+            print(
+                f"  {label:<34} {backend:<10} {bps / 1e6:10.1f}MB/s  "
+                f"{rel}{cr}"
+            )
 
 
 def main():

@@ -39,9 +39,10 @@ using namespace cliz;
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
                    [--tune RATE] [--time-dim N] [--chunks N] [--stats]
+                   [--predictor interp|lorenzo1|lorenzo2|regression]
                    [--entropy huffman|tans] [--lossless lz|store]
                    (cliz only: force a stage backend; without these flags
-                    the tuner picks the best backend pair per stream)
+                    the tuner picks the best backends per stream)
                    [--verify]   (cliz only: decode-and-check the bound
                                  before writing; retries conservatively)
   clizc decompress <in>      -o <out.f32> [--stats]
@@ -161,6 +162,7 @@ int cmd_compress(Args& args) {
   std::size_t time_dim = 0;
   std::size_t chunks = 0;
   bool chunked = false;
+  std::optional<PredictorBackend> predictor;
   std::optional<EntropyBackend> entropy;
   std::optional<LosslessBackend> lossless;
 
@@ -193,6 +195,13 @@ int cmd_compress(Args& args) {
       show_stats = true;
     } else if (opt == "--verify") {
       verify = true;
+    } else if (opt == "--predictor" || opt.rfind("--predictor=", 0) == 0) {
+      const std::string v = opt == "--predictor" ? args.next("predictor backend")
+                                                 : opt.substr(12);
+      predictor = parse_predictor_backend(v);
+      if (!predictor.has_value()) {
+        usage("--predictor expects interp, lorenzo1, lorenzo2 or regression");
+      }
     } else if (opt == "--entropy" || opt.rfind("--entropy=", 0) == 0) {
       const std::string v =
           opt == "--entropy" ? args.next("entropy backend") : opt.substr(10);
@@ -215,15 +224,18 @@ int cmd_compress(Args& args) {
   if (verify && codec != "cliz") {
     usage("--verify is only supported with -c cliz");
   }
-  if ((entropy.has_value() || lossless.has_value()) && codec != "cliz") {
-    usage("--entropy/--lossless are only supported with -c cliz");
+  if ((predictor.has_value() || entropy.has_value() || lossless.has_value()) &&
+      codec != "cliz") {
+    usage("--predictor/--entropy/--lossless are only supported with -c cliz");
   }
   ClizOptions cliz_opts;
   cliz_opts.verify_encode = verify;
+  if (predictor.has_value()) cliz_opts.predictor = *predictor;
   if (entropy.has_value()) cliz_opts.entropy = *entropy;
   if (lossless.has_value()) cliz_opts.lossless = *lossless;
-  // A user-forced backend is final; otherwise the tuner trials the grid and
-  // its choice is adopted below.
+  // A user-forced backend is final; otherwise the tuner trials that axis of
+  // the grid and its choice is adopted below.
+  const bool tune_predictor = !predictor.has_value();
   const bool tune_backends = !entropy.has_value() && !lossless.has_value();
 
   if (f64) {
@@ -244,7 +256,8 @@ int cmd_compress(Args& args) {
     }
     std::vector<std::uint8_t> stream;
     if (chunked ||
-        ((show_stats || verify || !tune_backends) && codec == "cliz")) {
+        ((show_stats || verify || !tune_backends || !tune_predictor) &&
+         codec == "cliz")) {
       // Tune on a float32 downcast (ranking only), then compress the
       // float64 samples through a context so --stats has telemetry.
       NdArray<float> downcast(data.shape());
@@ -256,10 +269,15 @@ int cmd_compress(Args& args) {
       opts.time_dim = time_dim;
       opts.codec = cliz_opts;
       opts.consider_backends = tune_backends;
+      opts.consider_predictors = tune_predictor;
       const auto tuned = autotune(downcast, eb, mask_ptr, opts);
+      if (tune_predictor) cliz_opts.predictor = tuned.best_predictor;
       if (tune_backends) {
         cliz_opts.entropy = tuned.best_entropy;
         cliz_opts.lossless = tuned.best_lossless;
+      }
+      if (show_stats) {
+        std::fprintf(stderr, "autotune: %s\n", tuned.to_json().c_str());
       }
       if (chunked) {
         ChunkedScratch scratch;
@@ -309,18 +327,24 @@ int cmd_compress(Args& args) {
     opts.time_dim = time_dim;
     opts.codec = cliz_opts;
     opts.consider_backends = tune_backends;
+    opts.consider_predictors = tune_predictor;
     const auto tuned = autotune(data, eb, mask_ptr, opts);
+    if (tune_predictor) cliz_opts.predictor = tuned.best_predictor;
     if (tune_backends) {
       cliz_opts.entropy = tuned.best_entropy;
       cliz_opts.lossless = tuned.best_lossless;
     }
     std::fprintf(stderr,
-                 "tuned pipeline: %s [entropy=%s lossless=%s] "
+                 "tuned pipeline: %s [predictor=%s entropy=%s lossless=%s] "
                  "(%zu candidates, %.2f s)\n",
                  tuned.best.label().c_str(),
+                 predictor_backend_name(cliz_opts.predictor),
                  entropy_backend_name(cliz_opts.entropy),
                  lossless_backend_name(cliz_opts.lossless),
                  tuned.candidates.size(), tuned.tuning_seconds);
+    if (show_stats) {
+      std::fprintf(stderr, "autotune: %s\n", tuned.to_json().c_str());
+    }
     if (chunked) {
       ChunkedScratch scratch;
       ChunkedOptions copts;
@@ -582,6 +606,7 @@ int cmd_archive_create(Args& args) {
       opts.sampling_rate = tune_rate;
       const auto tuned = autotune(data, eb, mask_ptr, opts);
       ClizOptions var_opts;
+      var_opts.predictor = tuned.best_predictor;
       var_opts.entropy = tuned.best_entropy;
       var_opts.lossless = tuned.best_lossless;
       writer.add_variable(name, data, eb, tuned.best, mask_ptr,
