@@ -200,6 +200,34 @@ void BM_ClizDecompressThreads(benchmark::State& state) {
   state.counters["threads"] = threads == 0 ? saved : threads;
 }
 
+/// Framed-decode thread-scaling sweep: the same stream content as the
+/// serial sweep above, but compressed with per-pass entropy framing so the
+/// decode-side entropy stage runs whole segments on parallel workers
+/// instead of draining one serial bitstream. Compared against
+/// cliz_decompress_threads in the committed baseline, this is the framing
+/// speedup the PR claims.
+void BM_ClizDecompressFramedThreads(benchmark::State& state) {
+  auto& c = ctx();
+  const int saved = hardware_threads();
+  const int threads = static_cast<int>(state.range(0));
+  set_thread_count(threads == 0 ? saved : threads);
+  ClizOptions opts;
+  opts.frame_passes = true;
+  const ClizCompressor comp(c.tuned, opts);
+  const auto stream = comp.compress(c.field.data, c.eb, c.field.mask_ptr());
+  CodecContext cctx;
+  NdArray<float> out(c.field.data.shape());
+  for (auto _ : state) {
+    ClizCompressor::decompress_into(stream, cctx, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_thread_count(saved);
+  report_bytes(state, c.field.data.size() * sizeof(float));
+  state.counters["threads"] = threads == 0 ? saved : threads;
+  state.counters["segments"] =
+      static_cast<double>(cctx.stats.frame_segments);
+}
+
 void BM_HuffmanEncode(benchmark::State& state) {
   Rng rng(1);
   std::vector<std::uint32_t> syms(1 << 20);
@@ -486,6 +514,14 @@ int main(int argc, char** argv) {
       ->Arg(1)
       ->Arg(2)
       ->Arg(4)
+      ->Arg(0)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("cliz_decompress_framed_threads",
+                               cliz::BM_ClizDecompressFramedThreads)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
       ->Arg(0)
       ->Unit(benchmark::kMillisecond);
   for (const cliz::EntropyBackend backend :

@@ -183,6 +183,7 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
   codes.clear();
   codes.reserve(work.size());
   outliers.clear();
+  ctx.fetch_marks.clear();
   const std::uint8_t* validity = mask != nullptr ? mask->data() : nullptr;
   const PredictorBackendOps& ops = predictor_backend_ops(options.predictor);
   if constexpr (std::is_same_v<T, float>) {
@@ -210,11 +211,13 @@ void stage_predict(NdArray<T>& work, double quant_eb, const MaskMap* mask,
 /// census of the raw codes lands in ctx.freq[0]. Either way the census
 /// yields the symbol-stream entropy recorded in ctx.stats.
 ///
-/// The stage opens with the entropy byte — (backend id << 1) | classified —
-/// which doubles as the registry key for decode dispatch. The Huffman id is
-/// 0, so default streams keep the historical 0/1 values byte-for-byte.
-/// Returns the byte's stream offset so stage_encode can patch the id if the
-/// requested backend turns out to be infeasible for this census.
+/// The stage opens with the entropy byte — (backend id << 1) | classified,
+/// with bit 7 flagging the per-pass framed container — which doubles as the
+/// registry key for decode dispatch. The Huffman id is 0 and framing is off
+/// by default, so default streams keep the historical 0/1 values
+/// byte-for-byte. Returns the byte's stream offset so stage_encode can
+/// patch the id if the requested backend turns out to be infeasible for
+/// this census.
 std::size_t stage_classify(const Shape& shape, const PipelineConfig& config,
                            const ClizOptions& options, CodecContext& ctx,
                            ByteWriter& out,
@@ -228,7 +231,7 @@ std::size_t stage_classify(const Shape& shape, const PipelineConfig& config,
   const bool classify = config.classify_bins && plane > 0;
   out.put_u8(static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(options.entropy) << 1) |
-      (classify ? 1u : 0u)));
+      (classify ? 1u : 0u) | (options.frame_passes ? 0x80u : 0u)));
   std::size_t n_groups = 1;
 
   if (classify) {
@@ -313,10 +316,16 @@ void stage_encode(const ClizOptions& options,
     out.overwrite_u8(entropy_byte_pos,
                      static_cast<std::uint8_t>(
                          (static_cast<std::uint8_t>(ops->id) << 1) |
-                         (classified ? 1u : 0u)));
+                         (classified ? 1u : 0u) |
+                         (options.frame_passes ? 0x80u : 0u)));
     ctx.stats.entropy_downgraded = true;
   }
-  ops->encode(classified, n_groups, ctx, out);
+  if (options.frame_passes) {
+    framed_entropy_encode(*ops, classified, n_groups, ctx, out);
+  } else {
+    ops->encode(classified, n_groups, ctx, out);
+  }
+  ctx.stats.frame_passes = options.frame_passes;
   ctx.stats.entropy_backend = static_cast<std::uint8_t>(ops->id);
 
   st.output_bytes = out.size() - base;
@@ -471,15 +480,19 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   for (auto& v : outliers) v = in.get<T>();
   const std::size_t n_codes = static_cast<std::size_t>(in.get_varint());
   CLIZ_REQUIRE(n_codes <= shape.size(), "corrupt code count");
-  // Entropy byte: (backend id << 1) | classified. Dispatch is driven purely
-  // by the stored id; an id this build does not know (e.g. a stream from a
-  // future version) is a clean error, never UB.
+  // Entropy byte: (backend id << 1) | classified, bit 7 = per-pass framed
+  // container. Dispatch is driven purely by the stored id; an id this build
+  // does not know (e.g. a stream from a future version) is a clean error,
+  // never UB.
   const std::uint8_t entropy_byte = in.get_u8();
   const bool classify = (entropy_byte & 1u) != 0;
-  const EntropyBackendOps* entropy_ops =
-      find_entropy_backend(static_cast<std::uint8_t>(entropy_byte >> 1));
+  const bool framed = (entropy_byte & 0x80u) != 0;
+  const EntropyBackendOps* entropy_ops = find_entropy_backend(
+      static_cast<std::uint8_t>((entropy_byte >> 1) & 0x3Fu));
   CLIZ_REQUIRE(entropy_ops != nullptr, "unknown entropy backend id");
-  ctx.stats.entropy_backend = static_cast<std::uint8_t>(entropy_byte >> 1);
+  ctx.stats.entropy_backend =
+      static_cast<std::uint8_t>((entropy_byte >> 1) & 0x3Fu);
+  ctx.stats.frame_passes = framed;
   ctx.stats.lossless_backend =
       static_cast<std::uint8_t>(lossless_frame_backend(stream));
   ctx.stats.code_count = n_codes;
@@ -514,17 +527,54 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
     entropy_state.escape =
         entropy_escape_symbol(radius, classification->params().j);
   }
-  entropy_ops->parse(in, n_trees, entropy_state);
+  if (framed) {
+    framed_entropy_parse(*entropy_ops, in, n_trees, n_codes, entropy_state);
+    ctx.stats.frame_segments = entropy_state.segments.size();
+  } else {
+    entropy_ops->parse(in, n_trees, entropy_state);
+  }
   ctx.stats.at(CodecStage::kEncode).seconds = seconds_since(t_tables);
   // Batched symbol source for the quantization codes, classified or plain.
   // The line-parallel decoder hands over a whole pass of target offsets at
-  // once; entropy decoding stays serial (the bitstream is inherently
-  // sequential) but the backends batch internally (the unclassified Huffman
-  // path runs through the multi-symbol fast-table decoder).
+  // once. Serial streams drain one bitstream in order (the backends batch
+  // internally — the unclassified Huffman path runs through the
+  // multi-symbol fast-table decoder); framed streams split each fetch into
+  // the encoder-recorded segments and decode them on parallel workers, each
+  // with a private bit reader over its own payload slice and a disjoint
+  // offs/dst range.
+  std::size_t fetch_pos = 0;   // symbols consumed by earlier fetches
+  std::size_t seg_cursor = 0;  // segments consumed by earlier fetches
   auto fetch_impl = [&](const std::uint64_t* offs, std::uint32_t* dst,
                         std::size_t n) {
     decoded += n;
-    entropy_ops->fetch(entropy_state, offs, dst, n);
+    if (!framed) {
+      entropy_ops->fetch(entropy_state, offs, dst, n);
+      return;
+    }
+    const auto segs = entropy_state.segments;
+    const std::size_t first = seg_cursor;
+    std::size_t covered = 0;
+    while (covered < n) {
+      CLIZ_REQUIRE(seg_cursor < segs.size() &&
+                       segs[seg_cursor].sym_base == fetch_pos + covered,
+                   "entropy framing misaligned with fetch");
+      covered += segs[seg_cursor].n_syms;
+      ++seg_cursor;
+    }
+    CLIZ_REQUIRE(covered == n, "entropy framing misaligned with fetch");
+    ErrorLatch latch;
+    parallel_for(first, seg_cursor, [&](std::size_t si) {
+      latch.run([&] {
+        const FramedSegment& seg = segs[si];
+        const std::size_t rel = seg.sym_base - fetch_pos;
+        entropy_ops->decode_segment(
+            entropy_state,
+            entropy_state.payload.subspan(seg.byte_off, seg.n_bytes),
+            offs + rel, dst + rel, seg.n_syms);
+      });
+    });
+    latch.rethrow_if_failed();
+    fetch_pos += n;
   };
   const PredictorFetch fetch{
       &fetch_impl,

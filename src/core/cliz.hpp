@@ -42,6 +42,14 @@ struct ClizOptions {
   /// Lossless-stage backend wrapping the assembled stream (recorded by the
   /// lossless frame's mode byte).
   LosslessBackend lossless = LosslessBackend::kLz;
+  /// Per-pass entropy framing (recorded in bit 7 of the stream's entropy
+  /// byte): the entropy payload is split into independently decodable
+  /// segments aligned with the decoder's fetch batches, so decompression
+  /// entropy-decodes whole passes on parallel workers instead of draining
+  /// one serial bitstream. Costs a small offset table (the auto-tuner can
+  /// weigh that; see AutotuneOptions::consider_framing). Default off —
+  /// unframed streams stay byte-identical to the golden corpus.
+  bool frame_passes = false;
   /// Encode-side verification: after compressing, decode the stream and
   /// confirm every valid point honours the error bound. On a violation (or
   /// a stage failure) the encode retries once with the conservative

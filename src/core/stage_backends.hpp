@@ -27,6 +27,19 @@ inline std::uint32_t entropy_escape_symbol(std::uint32_t radius, unsigned j) {
   return 2 * radius + 2 * j + 2;
 }
 
+/// One independently decodable slice of a framed entropy payload
+/// (ClizOptions::frame_passes): `n_syms` symbols starting at stream
+/// position `sym_base`, byte-aligned at `byte_off` in the concatenated
+/// payload block. Segment boundaries are sub-splits of the encoder's
+/// recorded decode-fetch intervals, so a segment never straddles a fetch
+/// call and whole segments can decode on parallel_for workers.
+struct FramedSegment {
+  std::size_t sym_base = 0;  ///< cumulative symbol index of the first symbol
+  std::size_t n_syms = 0;    ///< symbols in this segment (>= 1)
+  std::size_t byte_off = 0;  ///< byte offset into the payload block
+  std::size_t n_bytes = 0;   ///< payload bytes of this segment
+};
+
 /// Decode-side state of one entropy stream, shared across fetch calls. The
 /// classification fields are filled by the caller (the classification block
 /// itself is backend-independent); `bits` and any backend-private state are
@@ -39,6 +52,13 @@ struct EntropyDecodeState {
   std::size_t plane = 0;       ///< classification column period
   std::uint32_t escape = 0;    ///< outlier escape symbol
   std::uint32_t tans_state = 0;  ///< tANS walking state in [L, 2L)
+  // --- framed container only (entropy byte bit 7) ---
+  /// Parsed segment table (backed by ctx.frame_segments).
+  std::span<const FramedSegment> segments;
+  /// The concatenated per-segment payload block.
+  std::span<const std::uint8_t> payload;
+  /// tANS table log, needed to restart the walking state per segment.
+  unsigned table_log = 0;
 };
 
 /// One entry of the entropy-stage backend registry. Backends are plain
@@ -65,11 +85,54 @@ struct EntropyBackendOps {
   /// point's column for group/shift resolution.
   void (*fetch)(EntropyDecodeState& state, const std::uint64_t* offs,
                 std::uint32_t* dst, std::size_t n);
+  // --- framed container hooks (ClizOptions::frame_passes) ---
+  /// Builds the per-group codecs from the stage-3 censuses and serializes
+  /// the coding tables — the exact byte sequence the serial encode hook
+  /// writes ahead of its payload.
+  void (*encode_tables)(std::size_t n_groups, CodecContext& ctx,
+                        ByteWriter& out);
+  /// Encodes symbols [lo, hi) of the stream into ctx.bits as one
+  /// self-contained segment (tANS restarts its state). The caller resets
+  /// ctx.bits first and byte-aligns/appends the result.
+  void (*encode_segment)(bool classified, std::size_t lo, std::size_t hi,
+                         CodecContext& ctx);
+  /// Parses the table prefix written by encode_tables (no payload framing).
+  void (*parse_tables)(ByteReader& in, std::size_t n_tables,
+                       EntropyDecodeState& state);
+  /// Decodes one whole segment from its payload slice. Thread-safe: reads
+  /// `state` and the context's codecs const-only, with a private bit reader
+  /// (and tANS walking state) per call — segments decode concurrently.
+  void (*decode_segment)(const EntropyDecodeState& state,
+                         std::span<const std::uint8_t> payload,
+                         const std::uint64_t* offs, std::uint32_t* dst,
+                         std::size_t n);
 };
 
 /// Registry lookup by the stream's stored id; nullptr for unknown ids (the
 /// decoder turns that into a clean cliz::Error, never UB).
 [[nodiscard]] const EntropyBackendOps* find_entropy_backend(std::uint8_t id);
+
+/// Framed entropy container (selected by bit 7 of the entropy byte),
+/// written in place of the backend's serial tables + payload:
+///   u8 layout id (currently 1)
+///   varint n_segments
+///   n_segments x (varint n_syms, varint n_bytes)
+///   coding tables (encode_tables — byte-identical to serial mode's prefix)
+///   block: concatenated byte-aligned per-segment payloads
+/// Segments are sub-splits of ctx.fetch_marks (the decode-fetch intervals
+/// the predictor encode recorded), so the decoder can hand whole segments
+/// to parallel workers inside each fetch. Sets ctx.stats.frame_segments.
+void framed_entropy_encode(const EntropyBackendOps& ops, bool classified,
+                           std::size_t n_groups, CodecContext& ctx,
+                           ByteWriter& out);
+
+/// Parses and validates the framed container written by
+/// framed_entropy_encode: unknown layout ids, segment counts/bounds that do
+/// not tile [0, n_codes), and payload-size mismatches are all clean
+/// cliz::Errors. Fills state.segments/payload (and the tANS table log).
+void framed_entropy_parse(const EntropyBackendOps& ops, ByteReader& in,
+                          std::size_t n_tables, std::size_t n_codes,
+                          EntropyDecodeState& state);
 
 /// Lookup by enum for encode-side callers; throws on an unregistered value.
 [[nodiscard]] const EntropyBackendOps& entropy_backend_ops(

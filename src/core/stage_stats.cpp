@@ -39,6 +39,8 @@ void StageStats::accumulate(const StageStats& other) {
   // Backend ids describe the outermost stream and are not merged; a
   // fallback anywhere in the recursion is still worth surfacing.
   entropy_downgraded = entropy_downgraded || other.entropy_downgraded;
+  frame_passes = frame_passes || other.frame_passes;
+  frame_segments += other.frame_segments;
 }
 
 namespace {
@@ -106,6 +108,11 @@ std::string StageStats::to_text() const {
                 entropy_downgraded ? " (downgraded)" : "",
                 lossless_backend_label(lossless_backend));
   out += buf;
+  if (frame_passes) {
+    std::snprintf(buf, sizeof(buf), "framing: per-pass (%zu segments)\n",
+                  frame_segments);
+    out += buf;
+  }
   if (verified) {
     std::snprintf(buf, sizeof(buf),
                   "verified=yes downgrades=%zu verify=%.3f ms\n",
@@ -135,14 +142,16 @@ std::string StageStats::to_json() const {
                 "\"verify_seconds\":%.6f,\"threads_used\":%d,"
                 "\"predictor_backend\":\"%s\","
                 "\"entropy_backend\":\"%s\",\"lossless_backend\":\"%s\","
-                "\"entropy_downgraded\":%s}",
+                "\"entropy_downgraded\":%s,\"frame_passes\":%s,"
+                "\"frame_segments\":%zu}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
                 verify_seconds, threads_used,
                 predictor_backend_label(predictor_backend),
                 entropy_backend_label(entropy_backend),
                 lossless_backend_label(lossless_backend),
-                entropy_downgraded ? "true" : "false");
+                entropy_downgraded ? "true" : "false",
+                frame_passes ? "true" : "false", frame_segments);
   out += buf;
   return out;
 }

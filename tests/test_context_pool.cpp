@@ -111,12 +111,42 @@ TEST(ContextPool, ExclusiveHandoutUnderContention) {
       }
     });
   }
+
+  // A concurrent stats() reader alongside the hammer: telemetry reads must
+  // be race-free (TSan checks that) and the counters monotone, but their
+  // exact values are NOT comparable to `grants` while leases are still
+  // outstanding — checkouts increments inside acquire(), before the worker
+  // bumps its own counter. The exact-value assertions therefore stay below,
+  // after every worker has joined.
+  std::atomic<bool> stop_poller{false};
+  std::atomic<std::uint64_t> poller_reads{0};
+  std::thread poller([&] {
+    std::uint64_t last_checkouts = 0;
+    std::uint64_t last_warm = 0;
+    while (!stop_poller.load(std::memory_order_acquire)) {
+      const auto s = pool.stats();
+      EXPECT_EQ(s.contexts, kSlots);
+      EXPECT_GE(s.checkouts, last_checkouts) << "checkouts went backwards";
+      EXPECT_GE(s.warm_hits, last_warm) << "warm hits went backwards";
+      EXPECT_LE(s.warm_hits, s.checkouts);
+      last_checkouts = s.checkouts;
+      last_warm = s.warm_hits;
+      poller_reads.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
   for (auto& w : workers) w.join();
+  stop_poller.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(poller_reads.load(), 0u);
 
   EXPECT_EQ(violations.load(), 0);
   EXPECT_EQ(corruptions.load(), 0);
   EXPECT_EQ(grants.load(), kThreads * kItersPerThread);
 
+  // Exact telemetry only after the joins above: every lease returned, so
+  // checkouts and grants have converged.
   const auto stats = pool.stats();
   EXPECT_EQ(stats.contexts, kSlots);
   // Every grant is exactly one successful checkout (failed probes do not

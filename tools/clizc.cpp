@@ -45,6 +45,10 @@ using namespace cliz;
                     the tuner picks the best backends per stream)
                    [--verify]   (cliz only: decode-and-check the bound
                                  before writing; retries conservatively)
+                   [--frame-passes]
+                                (cliz only: per-pass entropy framing for
+                                 parallel decode; the tuner drops it when
+                                 the offset table costs too much ratio)
   clizc decompress <in>      -o <out.f32> [--stats]
                    (f64 and chunked streams auto-detected)
   clizc info       <in>
@@ -158,6 +162,7 @@ int cmd_compress(Args& args) {
   bool f64 = false;
   bool show_stats = false;
   bool verify = false;
+  bool frame_passes = false;
   double tune_rate = 0.01;
   std::size_t time_dim = 0;
   std::size_t chunks = 0;
@@ -195,6 +200,8 @@ int cmd_compress(Args& args) {
       show_stats = true;
     } else if (opt == "--verify") {
       verify = true;
+    } else if (opt == "--frame-passes") {
+      frame_passes = true;
     } else if (opt == "--predictor" || opt.rfind("--predictor=", 0) == 0) {
       const std::string v = opt == "--predictor" ? args.next("predictor backend")
                                                  : opt.substr(12);
@@ -224,12 +231,16 @@ int cmd_compress(Args& args) {
   if (verify && codec != "cliz") {
     usage("--verify is only supported with -c cliz");
   }
+  if (frame_passes && codec != "cliz") {
+    usage("--frame-passes is only supported with -c cliz");
+  }
   if ((predictor.has_value() || entropy.has_value() || lossless.has_value()) &&
       codec != "cliz") {
     usage("--predictor/--entropy/--lossless are only supported with -c cliz");
   }
   ClizOptions cliz_opts;
   cliz_opts.verify_encode = verify;
+  cliz_opts.frame_passes = frame_passes;
   if (predictor.has_value()) cliz_opts.predictor = *predictor;
   if (entropy.has_value()) cliz_opts.entropy = *entropy;
   if (lossless.has_value()) cliz_opts.lossless = *lossless;
@@ -256,7 +267,8 @@ int cmd_compress(Args& args) {
     }
     std::vector<std::uint8_t> stream;
     if (chunked ||
-        ((show_stats || verify || !tune_backends || !tune_predictor) &&
+        ((show_stats || verify || frame_passes || !tune_backends ||
+          !tune_predictor) &&
          codec == "cliz")) {
       // Tune on a float32 downcast (ranking only), then compress the
       // float64 samples through a context so --stats has telemetry.
@@ -276,6 +288,7 @@ int cmd_compress(Args& args) {
         cliz_opts.entropy = tuned.best_entropy;
         cliz_opts.lossless = tuned.best_lossless;
       }
+      cliz_opts.frame_passes = tuned.best_frame_passes;
       if (show_stats) {
         std::fprintf(stderr, "autotune: %s\n", tuned.to_json().c_str());
       }
@@ -334,6 +347,9 @@ int cmd_compress(Args& args) {
       cliz_opts.entropy = tuned.best_entropy;
       cliz_opts.lossless = tuned.best_lossless;
     }
+    // The tuner keeps framing only when the sampled offset-table overhead
+    // stays within the budget (never turns it *on* unrequested).
+    cliz_opts.frame_passes = tuned.best_frame_passes;
     std::fprintf(stderr,
                  "tuned pipeline: %s [predictor=%s entropy=%s lossless=%s] "
                  "(%zu candidates, %.2f s)\n",
