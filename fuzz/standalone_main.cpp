@@ -1,0 +1,34 @@
+// Minimal replacement for libFuzzer's driver, used when the toolchain has
+// no -fsanitize=fuzzer (GCC): runs each file named on the command line
+// through the target once. Keeps the harnesses compiling (and usable as
+// regression runners over a corpus) on every supported compiler; under
+// clang the real libFuzzer driver is linked instead and this file is not
+// built.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <input files...>\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

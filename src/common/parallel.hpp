@@ -11,6 +11,8 @@
 #include <omp.h>
 #endif
 
+#include "src/common/governor.hpp"
+
 namespace cliz {
 
 #if !defined(_OPENMP)
@@ -141,6 +143,13 @@ class ErrorLatch {
     }
   }
 
+  /// True once any run() captured an exception. Workers poll this to skip
+  /// remaining iterations after a sibling failed (bounded-latency drain on
+  /// cancellation: no worker starts new work once one has thrown).
+  [[nodiscard]] bool failed() const noexcept {
+    return claimed_.load(std::memory_order_acquire);
+  }
+
   /// Call after the parallel join (single-threaded again).
   void rethrow_if_failed() {
     if (error_) std::rethrow_exception(error_);
@@ -150,5 +159,26 @@ class ErrorLatch {
   std::atomic<bool> claimed_{false};
   std::exception_ptr error_;
 };
+
+/// Cancellable data-parallel loop: like parallel_for(begin, end, body) but
+/// each iteration first consults `cancel` (may be nullptr) and an internal
+/// ErrorLatch. The body MAY throw — the first exception (including the
+/// token's kCancelled / kDeadlineExceeded) is captured, every worker
+/// drains its remaining iterations without running them, and the exception
+/// is rethrown after the join. Abort latency is therefore bounded by one
+/// iteration per worker.
+template <typename Body>
+void parallel_for_cancellable(std::size_t begin, std::size_t end,
+                              const CancelToken* cancel, const Body& body) {
+  ErrorLatch latch;
+  parallel_for(begin, end, [&](std::size_t i) {
+    if (latch.failed()) return;
+    latch.run([&] {
+      if (cancel != nullptr) cancel->check();
+      body(i);
+    });
+  });
+  latch.rethrow_if_failed();
+}
 
 }  // namespace cliz

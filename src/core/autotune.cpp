@@ -261,9 +261,14 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
     result.candidates[i] = {t.config, ratio, ctx.stats};
   };
   if (opts.parallel_trials) {
-    parallel_for(0, trials.size(), run_trial);
+    // Cancellable: a deadline or cancel() abandons the search within one
+    // trial compression per worker instead of finishing the whole grid.
+    parallel_for_cancellable(0, trials.size(), opts.codec.cancel, run_trial);
   } else {
-    for (std::size_t i = 0; i < trials.size(); ++i) run_trial(i);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (opts.codec.cancel != nullptr) opts.codec.cancel->check();
+      run_trial(i);
+    }
   }
 
   std::stable_sort(result.candidates.begin(), result.candidates.end(),
@@ -276,6 +281,7 @@ AutotuneResult autotune(const NdArray<float>& data, double abs_error_bound,
   // close calls (classification on/off, near-tied permutations) resolve
   // more reliably.
   if (opts.refine_top_k > 0 && result.candidates.size() > 1) {
+    if (opts.codec.cancel != nullptr) opts.codec.cancel->check();
     const double refine_rate = std::min(1.0, opts.sampling_rate * 10.0);
     const SampledData refine =
         sample_blocks(data, mask, refine_rate);

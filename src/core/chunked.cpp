@@ -49,7 +49,8 @@ struct ChunkRef {
 /// chunk-range structure are verified here; per-chunk payload CRCs are
 /// stashed in the refs and checked by the (parallel) decode workers.
 Shape parse_chunked_header(std::span<const std::uint8_t> stream,
-                           std::vector<ChunkRef>& refs) {
+                           std::vector<ChunkRef>& refs,
+                           const ResourceLimits& limits) {
   ByteReader in(stream);
   const std::uint32_t magic = in.get<std::uint32_t>();
   CLIZ_REQUIRE(magic == kMagic || magic == kMagicV2, "not a chunked stream");
@@ -58,8 +59,30 @@ Shape parse_chunked_header(std::span<const std::uint8_t> stream,
   CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt dimensionality");
   DimVec dims(ndims);
   for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
+  // Governor: declared extents size the output array; reject a hostile
+  // header before Shape validates (and before anything allocates on it).
+  {
+    std::uint64_t declared = 1;
+    bool within = true;
+    for (const std::size_t d : dims) {
+      within =
+          within && detail::checked_mul_within(declared, d, limits.max_extents);
+      if (!within) break;
+    }
+    CLIZ_REQUIRE_CODE(within, kLimitExceeded,
+                      "declared chunked extents exceed "
+                      "ResourceLimits::max_extents (header offset " +
+                          std::to_string(in.pos()) + ")");
+  }
   const Shape shape(std::move(dims));
   const std::size_t n_chunks = static_cast<std::size_t>(in.get_varint());
+  // Governor first: the chunk count sizes the ref table (and one decode
+  // task per entry) — an inflated declaration is a limit refusal even when
+  // it would also fail the structural cross-check below.
+  CLIZ_REQUIRE_CODE(n_chunks <= limits.max_chunks, kLimitExceeded,
+                    "declared chunk count exceeds ResourceLimits::max_chunks "
+                    "(header offset " +
+                        std::to_string(in.pos()) + ")");
   CLIZ_REQUIRE(n_chunks >= 1 && n_chunks <= shape.dim(0),
                "corrupt chunk count");
 
@@ -133,43 +156,41 @@ void chunked_compress_impl(const NdArray<T>& data, double abs_error_bound,
     }
   }
 
-  ErrorLatch latch;
-  parallel_for(0, ranges.size(), [&](std::size_t c) {
-    latch.run([&] {
-      const auto [lo, hi] = ranges[c];
-      DimVec dims = shape.dims();
-      dims[0] = hi - lo;
-      Shape cshape(std::move(dims));
+  scratch.pool.set_governor(options.codec.limits, options.codec.cancel);
+  parallel_for_cancellable(0, ranges.size(), options.codec.cancel,
+                           [&](std::size_t c) {
+    const auto [lo, hi] = ranges[c];
+    DimVec dims = shape.dims();
+    dims[0] = hi - lo;
+    Shape cshape(std::move(dims));
 
-      const ContextPool::Lease lease = scratch.pool.acquire();
-      CodecContext& ctx = *lease;
+    const ContextPool::Lease lease = scratch.pool.acquire();
+    CodecContext& ctx = *lease;
 
-      // Slabs along dim 0 are contiguous in row-major storage; stage the
-      // copy in the context's slab scratch (reused across calls).
-      auto& sbuf = ctx.slab<T>();
-      sbuf.resize(cshape.size());
-      std::memcpy(sbuf.data(), data.data() + lo * row,
-                  cshape.size() * sizeof(T));
-      NdArray<T> chunk(std::move(cshape), std::move(sbuf));
+    // Slabs along dim 0 are contiguous in row-major storage; stage the
+    // copy in the context's slab scratch (reused across calls).
+    auto& sbuf = ctx.slab<T>();
+    sbuf.resize(cshape.size());
+    std::memcpy(sbuf.data(), data.data() + lo * row,
+                cshape.size() * sizeof(T));
+    NdArray<T> chunk(std::move(cshape), std::move(sbuf));
 
-      std::optional<MaskMap> cmask;
-      if (mask != nullptr) {
-        DimVec start(shape.ndims(), 0);
-        start[0] = lo;
-        cmask = mask->crop(start, chunk.shape());
-      }
+    std::optional<MaskMap> cmask;
+    if (mask != nullptr) {
+      DimVec start(shape.ndims(), 0);
+      start[0] = lo;
+      cmask = mask->crop(start, chunk.shape());
+    }
 
-      const ClizCompressor& use =
-          chunk_degrades(hi - lo) ? *degraded : codec;
-      use.compress_into(chunk, abs_error_bound,
-                        cmask.has_value() ? &*cmask : nullptr, ctx,
-                        streams[c]);
+    const ClizCompressor& use =
+        chunk_degrades(hi - lo) ? *degraded : codec;
+    use.compress_into(chunk, abs_error_bound,
+                      cmask.has_value() ? &*cmask : nullptr, ctx,
+                      streams[c]);
 
-      // Return the staging storage to the context for the next chunk.
-      ctx.slab<T>() = std::move(chunk).take_flat();
-    });
+    // Return the staging storage to the context for the next chunk.
+    ctx.slab<T>() = std::move(chunk).take_flat();
   });
-  latch.rethrow_if_failed();
 
   // Assemble the v2 frame into the caller's buffer, reusing its capacity:
   // CRC-covered header (dims, ranges, per-chunk payload digests) first,
@@ -193,8 +214,18 @@ template <typename T>
 void chunked_decompress_core(std::span<const std::uint8_t> stream,
                              ChunkedScratch* scratch_opt, NdArray<T>& out,
                              bool require_shape_match) {
+  std::optional<ChunkedScratch> local;
+  ChunkedScratch& scratch =
+      scratch_opt != nullptr ? *scratch_opt : local.emplace();
+  // The pool is the governor's carrier on the decode side: callers tighten
+  // a request by set_governor on their scratch pool before decoding, and
+  // every leased per-chunk context inherits the same budgets and token.
+  const ResourceLimits& limits = scratch.pool.limits();
+  const CancelToken* cancel = scratch.pool.cancel();
+  if (cancel != nullptr) cancel->check();
+
   std::vector<ChunkRef> refs;
-  const Shape shape = parse_chunked_header(stream, refs);
+  const Shape shape = parse_chunked_header(stream, refs, limits);
   if (require_shape_match) {
     CLIZ_REQUIRE(out.shape() == shape,
                  "output buffer shape does not match stream");
@@ -202,30 +233,22 @@ void chunked_decompress_core(std::span<const std::uint8_t> stream,
     out.reshape(shape);
   }
 
-  std::optional<ChunkedScratch> local;
-  ChunkedScratch& scratch =
-      scratch_opt != nullptr ? *scratch_opt : local.emplace();
-
   const std::size_t row = shape.size() / shape.dim(0);
-  ErrorLatch latch;
-  parallel_for(0, refs.size(), [&](std::size_t c) {
-    latch.run([&] {
-      const ContextPool::Lease lease = scratch.pool.acquire();
-      // Decode straight into this chunk's slab of the output — the span
-      // binder enforces the element count, the dim-0 check below the
-      // actual slab geometry.
-      const std::size_t extent = refs[c].hi - refs[c].lo;
-      CLIZ_REQUIRE(!refs[c].has_crc || crc32c(refs[c].bytes) == refs[c].crc,
-                   "chunk payload CRC mismatch");
-      const std::span<T> slab(out.data() + refs[c].lo * row, extent * row);
-      const Shape cshape =
-          ClizCompressor::decompress_into(refs[c].bytes, *lease, slab);
-      CLIZ_REQUIRE(cshape.ndims() == shape.ndims() &&
-                       cshape.dim(0) == extent,
-                   "chunk shape mismatch");
-    });
+  parallel_for_cancellable(0, refs.size(), cancel, [&](std::size_t c) {
+    const ContextPool::Lease lease = scratch.pool.acquire();
+    // Decode straight into this chunk's slab of the output — the span
+    // binder enforces the element count, the dim-0 check below the
+    // actual slab geometry.
+    const std::size_t extent = refs[c].hi - refs[c].lo;
+    CLIZ_REQUIRE(!refs[c].has_crc || crc32c(refs[c].bytes) == refs[c].crc,
+                 "chunk payload CRC mismatch");
+    const std::span<T> slab(out.data() + refs[c].lo * row, extent * row);
+    const Shape cshape =
+        ClizCompressor::decompress_into(refs[c].bytes, *lease, slab);
+    CLIZ_REQUIRE(cshape.ndims() == shape.ndims() &&
+                     cshape.dim(0) == extent,
+                 "chunk shape mismatch");
   });
-  latch.rethrow_if_failed();
 }
 
 }  // namespace
@@ -297,7 +320,7 @@ bool is_chunked_stream(std::span<const std::uint8_t> stream) {
 
 unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream) {
   std::vector<ChunkRef> refs;
-  parse_chunked_header(stream, refs);
+  parse_chunked_header(stream, refs, ResourceLimits{});
   // The frame header is width-agnostic; the per-chunk CliZ streams record
   // the sample type right after their (lossless-wrapped) magic.
   return detect_sample_bytes(refs.front().bytes);

@@ -353,12 +353,20 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
   const auto t_all = Clock::now();
   ctx.stats.reset();
   ctx.stats.threads_used = hardware_threads();
-  CLIZ_REQUIRE(abs_error_bound > 0, "error bound must be positive");
+  // The options are the governor's source of truth on the encode side; the
+  // decode side reads the same fields straight off the context (its entry
+  // points have no options), so both paths converge on ctx.
+  ctx.limits = options.limits;
+  ctx.cancel = options.cancel;
+  if (ctx.cancel != nullptr) ctx.cancel->check();
+  CLIZ_REQUIRE_CODE(abs_error_bound > 0, kBadArgument,
+                    "error bound must be positive");
   const Shape& shape = data.shape();
-  CLIZ_REQUIRE(config.permutation.size() == shape.ndims(),
-               "pipeline arity does not match data");
+  CLIZ_REQUIRE_CODE(config.permutation.size() == shape.ndims(), kBadArgument,
+                    "pipeline arity does not match data");
   if (mask != nullptr) {
-    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+    CLIZ_REQUIRE_CODE(mask->shape() == shape, kBadArgument,
+                      "mask shape does not match data");
   }
 
   ByteWriter& raw = ctx.raw_stream;
@@ -382,10 +390,12 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
   raw.put(quant_eb);
 
   stage_predict(work, quant_eb, mask, config, options, ctx, raw);
+  if (ctx.cancel != nullptr) ctx.cancel->check();
   std::optional<BinClassification> classification;
   const std::size_t entropy_byte_pos =
       stage_classify(shape, config, options, ctx, raw, classification);
   stage_encode(options, classification, entropy_byte_pos, ctx, raw);
+  if (ctx.cancel != nullptr) ctx.cancel->check();
   stage_lossless(options, ctx, out);
 
   // Return the work buffer to the context for the next run.
@@ -405,6 +415,7 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   const auto t_all = Clock::now();
   ctx.stats.reset();
   ctx.stats.threads_used = hardware_threads();
+  if (ctx.cancel != nullptr) ctx.cancel->check();
   {
     const auto t0 = Clock::now();
     auto& st = ctx.stats.at(CodecStage::kLossless);
@@ -421,6 +432,27 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   CLIZ_REQUIRE(ndims >= 1 && ndims <= kMaxAxes, "corrupt dimensionality");
   DimVec dims(ndims);
   for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
+  // Governor: the declared extents bound every allocation downstream (the
+  // output buffer, the work copy, the mask), so reject a hostile header
+  // here — before Shape's own validation and before any of them are sized.
+  {
+    std::uint64_t declared = 1;
+    bool within = true;
+    for (const std::size_t d : dims) {
+      within = within &&
+               detail::checked_mul_within(declared, d, ctx.limits.max_extents);
+      if (!within) break;
+    }
+    CLIZ_REQUIRE_CODE(within, kLimitExceeded,
+                      "declared extents exceed ResourceLimits::max_extents "
+                      "(header offset " +
+                          std::to_string(in.pos()) + ")");
+    CLIZ_REQUIRE_CODE(
+        declared <= ctx.limits.max_output_bytes / sizeof(T), kLimitExceeded,
+        "declared output size exceeds ResourceLimits::max_output_bytes "
+        "(header offset " +
+            std::to_string(in.pos()) + ")");
+  }
   const Shape shape(std::move(dims));
   const auto eb = in.get<double>();
   CLIZ_REQUIRE(eb > 0, "corrupt error bound");
@@ -546,6 +578,9 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   std::size_t seg_cursor = 0;  // segments consumed by earlier fetches
   auto fetch_impl = [&](const std::uint64_t* offs, std::uint32_t* dst,
                         std::size_t n) {
+    // Cancellation checkpoint at fetch (= pass/line-batch) granularity, so
+    // even the serial entropy path aborts within one decode batch.
+    if (ctx.cancel != nullptr) ctx.cancel->check();
     decoded += n;
     if (!framed) {
       entropy_ops->fetch(entropy_state, offs, dst, n);
@@ -562,18 +597,14 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
       ++seg_cursor;
     }
     CLIZ_REQUIRE(covered == n, "entropy framing misaligned with fetch");
-    ErrorLatch latch;
-    parallel_for(first, seg_cursor, [&](std::size_t si) {
-      latch.run([&] {
-        const FramedSegment& seg = segs[si];
-        const std::size_t rel = seg.sym_base - fetch_pos;
-        entropy_ops->decode_segment(
-            entropy_state,
-            entropy_state.payload.subspan(seg.byte_off, seg.n_bytes),
-            offs + rel, dst + rel, seg.n_syms);
-      });
+    parallel_for_cancellable(first, seg_cursor, ctx.cancel, [&](std::size_t si) {
+      const FramedSegment& seg = segs[si];
+      const std::size_t rel = seg.sym_base - fetch_pos;
+      entropy_ops->decode_segment(
+          entropy_state,
+          entropy_state.payload.subspan(seg.byte_off, seg.n_bytes),
+          offs + rel, dst + rel, seg.n_syms);
     });
-    latch.rethrow_if_failed();
     fetch_pos += n;
   };
   const PredictorFetch fetch{

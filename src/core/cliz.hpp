@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/governor.hpp"
 #include "src/core/bin_classify.hpp"
 #include "src/core/mask.hpp"
 #include "src/core/pipeline.hpp"
@@ -57,6 +58,15 @@ struct ClizOptions {
   /// the downgrade in StageStats; if even that fails, throws Error rather
   /// than emit a stream that breaks the bound. Roughly doubles encode time.
   bool verify_encode = false;
+  /// Resource governor: caps checked against declared header values before
+  /// any payload-proportional allocation, so hostile streams are rejected
+  /// with ErrorCode::kLimitExceeded instead of exhausting memory. Defaults
+  /// are generous — trusted CLI use never hits them.
+  ResourceLimits limits;
+  /// Cooperative cancellation/deadline token, checked at chunk/line/segment
+  /// granularity; nullptr = never cancelled. The pointee must outlive the
+  /// calls it governs.
+  const CancelToken* cancel = nullptr;
 };
 
 /// CliZ: the paper's error-bounded lossy compressor for climate datasets.

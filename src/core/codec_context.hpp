@@ -7,6 +7,7 @@
 
 #include "src/common/bitio.hpp"
 #include "src/common/bytestream.hpp"
+#include "src/common/governor.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/stage_backends.hpp"
 #include "src/core/stage_stats.hpp"
@@ -49,6 +50,17 @@ class CodecContext {
 
   /// Per-stage telemetry of the most recent (de)compression run.
   StageStats stats;
+
+  // --- resource governor ---
+  /// Budgets checked against declared header values before the decoder
+  /// allocates on their behalf. Defaults are generous; a caller tightens
+  /// them (directly, or via ClizOptions::limits / ArchiveReader) to serve
+  /// untrusted streams. Plain value members: stamping them is a POD copy,
+  /// so the steady-state allocation budget is untouched.
+  ResourceLimits limits;
+  /// Cooperative cancellation for the call running on this context;
+  /// nullptr = never cancelled. Checked at chunk/line/segment granularity.
+  const CancelToken* cancel = nullptr;
 
   // --- prediction / quantization stage ---
   std::vector<std::uint64_t> offsets;   ///< linear offset per emitted code
@@ -137,6 +149,9 @@ class CodecContext {
   /// (created on first use, then reused).
   [[nodiscard]] CodecContext& child() {
     if (!child_) child_ = std::make_unique<CodecContext>();
+    // The nested call must honour the same budgets and token.
+    child_->limits = limits;
+    child_->cancel = cancel;
     return *child_;
   }
 

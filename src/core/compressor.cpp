@@ -38,6 +38,12 @@ class ClizAdapter final : public Compressor {
     time_dim_ = dim;
     tuned_.reset();
   }
+  void set_cancel(const CancelToken* cancel) override {
+    cancel_ = cancel;
+    // Decode entry points read the token off the context directly; the
+    // encode path re-stamps it from the options built in compress().
+    ctx_.cancel = cancel;
+  }
 
   std::vector<std::uint8_t> compress(const NdArray<float>& data,
                                      double abs_error_bound) override {
@@ -46,10 +52,13 @@ class ClizAdapter final : public Compressor {
     if (!tuned_.has_value() || !(tuned_shape_ == data.shape())) {
       AutotuneOptions opts;
       opts.time_dim = time_dim_;
+      opts.codec.cancel = cancel_;
       tuned_ = autotune(data, abs_error_bound, mask_, opts).best;
       tuned_shape_ = data.shape();
     }
-    const ClizCompressor comp(*tuned_);
+    ClizOptions copts;
+    copts.cancel = cancel_;
+    const ClizCompressor comp(*tuned_, copts);
     // The adapter owns a context, so the compress-many phase after the
     // one-time tune runs with steady-state buffer reuse.
     return comp.compress(data, abs_error_bound, mask_, ctx_);
@@ -71,6 +80,7 @@ class ClizAdapter final : public Compressor {
  private:
   const MaskMap* mask_ = nullptr;
   std::size_t time_dim_ = 0;
+  const CancelToken* cancel_ = nullptr;
   std::optional<PipelineConfig> tuned_;
   Shape tuned_shape_;
   CodecContext ctx_;
@@ -145,7 +155,8 @@ std::unique_ptr<Compressor> make_compressor(std::string_view name) {
   if (name == "sz2") return std::make_unique<LorenzoAdapter>();
   if (name == "zfp") return std::make_unique<ZfpAdapter>();
   if (name == "sperr") return std::make_unique<SperrAdapter>();
-  throw Error("cliz: unknown compressor '" + std::string(name) + "'");
+  throw Error(ErrorCode::kBadArgument,
+              "cliz: unknown compressor '" + std::string(name) + "'");
 }
 
 std::vector<std::string> compressor_names() {
@@ -170,7 +181,8 @@ std::string detect_codec(std::span<const std::uint8_t> stream) {
     case 0x53505252u:  // "SPRR"
       return "sperr";
     default:
-      throw Error("cliz: unrecognized compressed stream magic");
+      throw Error(ErrorCode::kCorruptStream,
+                  "cliz: unrecognized compressed stream magic");
   }
 }
 
@@ -214,7 +226,8 @@ std::vector<std::uint8_t> compress_f64(std::string_view codec,
   if (codec == "sperr") {
     return SperrLikeCompressor().compress(data, abs_error_bound);
   }
-  throw Error("cliz: unknown compressor '" + std::string(codec) + "'");
+  throw Error(ErrorCode::kBadArgument,
+              "cliz: unknown compressor '" + std::string(codec) + "'");
 }
 
 NdArray<double> decompress_any_f64(std::span<const std::uint8_t> stream) {

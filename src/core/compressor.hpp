@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/governor.hpp"
 #include "src/core/mask.hpp"
 #include "src/core/stage_stats.hpp"
 #include "src/ndarray/ndarray.hpp"
@@ -40,6 +41,11 @@ class Compressor {
 
   /// Hints which dimension is time (periodicity probing). Default: ignored.
   virtual void set_time_dim(std::size_t dim) { (void)dim; }
+
+  /// Installs a cooperative cancellation token honoured by subsequent
+  /// compress()/decompress() calls (CliZ; other codecs ignore it). The
+  /// token must outlive the compressor or be cleared with nullptr.
+  virtual void set_cancel(const CancelToken* cancel) { (void)cancel; }
 
   /// Per-stage telemetry of the most recent compress() call, for codecs
   /// with a staged pipeline (CliZ). nullptr: the codec does not report

@@ -97,6 +97,21 @@ class ContextPool {
     std::size_t slot_ = 0;
   };
 
+  /// Installs the resource governor every subsequent checkout stamps onto
+  /// its context (POD copy — the steady-state allocation profile is
+  /// untouched). One call governs all leases of a request: the chunked
+  /// codec and the archive reader route their per-chunk decodes through
+  /// here, so tightening a pool tightens every worker drawing from it.
+  void set_governor(const ResourceLimits& limits,
+                    const CancelToken* cancel) noexcept {
+    limits_ = limits;
+    cancel_ = cancel;
+  }
+  [[nodiscard]] const ResourceLimits& limits() const noexcept {
+    return limits_;
+  }
+  [[nodiscard]] const CancelToken* cancel() const noexcept { return cancel_; }
+
   /// Checks out a context, preferring the calling thread's slot. Spins
   /// (yielding) while every slot is busy.
   [[nodiscard]] Lease acquire() {
@@ -124,6 +139,8 @@ class ContextPool {
           warm_hits_.fetch_add(1, std::memory_order_relaxed);
         }
         slots_[s]->warmed = true;
+        slots_[s]->ctx.limits = limits_;
+        slots_[s]->ctx.cancel = cancel_;
         return Lease(this, s);
       }
     }
@@ -164,6 +181,10 @@ class ContextPool {
   std::vector<std::unique_ptr<Slot>> slots_;
   std::atomic<std::uint64_t> checkouts_{0};
   std::atomic<std::uint64_t> warm_hits_{0};
+  /// Stamped onto every checked-out context; set_governor and try_acquire
+  /// must not race (configure the pool before fanning work out on it).
+  ResourceLimits limits_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace cliz

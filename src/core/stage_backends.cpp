@@ -417,7 +417,8 @@ void regression_predict_parse(ByteReader& in, const Shape& shape,
                               const PipelineConfig& /*config*/,
                               const std::uint8_t* validity,
                               CodecContext& ctx) {
-  regression_parse(in, shape, validity, ctx.reg_block_side, ctx.reg_qcoeffs);
+  regression_parse(in, shape, validity, ctx.reg_block_side, ctx.reg_qcoeffs,
+                   ctx.limits.max_side_block_bytes);
 }
 
 template <typename T>
@@ -527,6 +528,14 @@ void framed_entropy_parse(const EntropyBackendOps& ops, ByteReader& in,
   CLIZ_REQUIRE(in.get_u8() == kFramingLayoutId,
                "unknown entropy framing layout");
   const std::uint64_t n_segments = in.get_varint();
+  // Governor first: the declared count sizes the segment table (and one
+  // decode task per entry) — an inflated declaration is a limit refusal
+  // even when it would also fail the structural cross-check below.
+  CLIZ_REQUIRE_CODE(n_segments <= ctx.limits.max_frame_segments,
+                    kLimitExceeded,
+                    "declared framing segment count exceeds "
+                    "ResourceLimits::max_frame_segments (stream offset " +
+                        std::to_string(in.pos()) + ")");
   // Every segment holds >= 1 symbol, so the count is bounded by the code
   // count the predict stage recorded (validated against the shape already).
   CLIZ_REQUIRE(n_segments <= n_codes, "corrupt framing segment count");

@@ -247,6 +247,10 @@ void HuffmanCodec::parse(ByteReader& in) {
   // The quantizer alphabet tops out around 2*radius + escapes; anything
   // beyond a few million symbols is a corrupt stream, not a real table.
   CLIZ_REQUIRE(n <= (std::uint64_t{1} << 24), "huffman table too large");
+  // Every entry costs >= 2 stream bytes (delta + length varints), so a
+  // declared count past half the remaining bytes cannot be satisfied —
+  // reject before sizing the symbol arrays to a bogus count.
+  CLIZ_REQUIRE(n <= in.remaining() / 2, "huffman table truncated");
   symbols_.resize(static_cast<std::size_t>(n));
   lengths_.resize(static_cast<std::size_t>(n));
   std::uint32_t prev = 0;

@@ -252,9 +252,13 @@ void ArchiveWriter::finish() {
   out_.close();
 }
 
-ArchiveReader::ArchiveReader(const std::string& path, ArchiveOpenMode mode)
-    : path_(path), in_(path, std::ios::binary) {
-  CLIZ_REQUIRE(in_.good(), "cannot open archive: " + path);
+ArchiveReader::ArchiveReader(const std::string& path, ArchiveOpenMode mode,
+                             const ResourceLimits& limits,
+                             const CancelToken* cancel)
+    : path_(path), in_(path, std::ios::binary), limits_(limits),
+      cancel_(cancel) {
+  CLIZ_REQUIRE_CODE(in_.good(), kIo, "cannot open archive: " + path);
+  if (cancel_ != nullptr) cancel_->check();
   if (mode == ArchiveOpenMode::kStrict) {
     open_strict();
     report_.index_intact = true;
@@ -264,7 +268,11 @@ ArchiveReader::ArchiveReader(const std::string& path, ArchiveOpenMode mode)
   try {
     open_strict();
     report_.index_intact = true;
-  } catch (const Error&) {
+  } catch (const Error& e) {
+    // Tolerance is for *damage*. A governor refusal (over-limit header),
+    // cancellation, or an I/O failure is not something a record scan can
+    // salvage around — honouring it matters more than recovering data.
+    if (e.code() != ErrorCode::kCorruptStream) throw;
     variables_.clear();
     offsets_.clear();
     payload_crcs_.clear();
@@ -330,6 +338,11 @@ void ArchiveReader::open_strict() {
   // Every entry consumes at least one index byte, so a count beyond the
   // index size is hostile: reject before reserving anything.
   CLIZ_REQUIRE(count <= index_size, "implausible variable count");
+  // Governor: the declared count sizes three parallel tables — cap it
+  // before the reserves below.
+  CLIZ_REQUIRE_CODE(count <= limits_.max_archive_variables, kLimitExceeded,
+                    "declared variable count exceeds "
+                    "ResourceLimits::max_archive_variables");
   variables_.reserve(count);
   offsets_.reserve(count);
   if (version == kVersion) payload_crcs_.reserve(count);
@@ -342,6 +355,14 @@ void ArchiveReader::open_strict() {
     } else {
       variables_.push_back(deserialize_info_v1(ir, offset));
     }
+    // Governor: the declared record size is what read_raw/verify_payloads
+    // will allocate — cap it here so an over-limit record is refused at
+    // open, long before any read touches it.
+    CLIZ_REQUIRE_CODE(
+        variables_.back().compressed_bytes <= limits_.max_record_bytes,
+        kLimitExceeded,
+        "declared record size exceeds ResourceLimits::max_record_bytes for '" +
+            variables_.back().name + "'");
     // Overflow-safe containment: offset and length are both untrusted.
     CLIZ_REQUIRE(offset >= 8 && offset <= index_offset &&
                      variables_.back().compressed_bytes <=
@@ -374,6 +395,12 @@ void ArchiveReader::scan_records() {
 
   std::size_t pos = 0;
   while (pos + sizeof(kRecordMagic) <= file.size()) {
+    if (cancel_ != nullptr) cancel_->check();
+    // Governor: a hostile file stuffed with valid-looking records must not
+    // grow the recovered set without bound.
+    CLIZ_REQUIRE_CODE(variables_.size() < limits_.max_salvage_records,
+                      kLimitExceeded,
+                      "salvage exceeds ResourceLimits::max_salvage_records");
     const auto it = std::search(file.begin() + pos, file.end(),
                                 std::begin(magic_bytes),
                                 std::end(magic_bytes));
@@ -391,6 +418,9 @@ void ArchiveReader::scan_records() {
       ByteReader info_reader(info_block);
       VariableInfo info = deserialize_info(info_reader);
       name = info.name;
+      CLIZ_REQUIRE_CODE(
+          info.compressed_bytes <= limits_.max_record_bytes, kLimitExceeded,
+          "declared record size exceeds ResourceLimits::max_record_bytes");
       const std::size_t payload_at = site + sizeof(kRecordMagic) + r.pos();
       CLIZ_REQUIRE(info.compressed_bytes <= file.size() - payload_at,
                    "record payload truncated");
@@ -419,6 +449,12 @@ void ArchiveReader::verify_payloads() {
   // every name in it reads back bit-exact framing. v1 archives carry no
   // CRCs and are kept as-is.
   for (std::size_t i = payload_crcs_.size(); i-- > 0;) {
+    if (cancel_ != nullptr) cancel_->check();
+    CLIZ_REQUIRE_CODE(
+        variables_[i].compressed_bytes <= limits_.max_record_bytes,
+        kLimitExceeded,
+        "declared record size exceeds ResourceLimits::max_record_bytes for '" +
+            variables_[i].name + "'");
     std::vector<std::uint8_t> payload(
         static_cast<std::size_t>(variables_[i].compressed_bytes));
     in_.clear();
@@ -446,7 +482,8 @@ std::size_t ArchiveReader::index_of(const std::string& name) const {
   for (std::size_t i = 0; i < variables_.size(); ++i) {
     if (variables_[i].name == name) return i;
   }
-  throw Error("cliz: archive has no variable '" + name + "'");
+  throw Error(ErrorCode::kBadArgument,
+              "cliz: archive has no variable '" + name + "'");
 }
 
 const VariableInfo& ArchiveReader::info(const std::string& name) const {
@@ -456,6 +493,12 @@ const VariableInfo& ArchiveReader::info(const std::string& name) const {
 std::vector<std::uint8_t> ArchiveReader::read_raw(
     const std::string& name) const {
   const std::size_t i = index_of(name);
+  if (cancel_ != nullptr) cancel_->check();
+  CLIZ_REQUIRE_CODE(
+      variables_[i].compressed_bytes <= limits_.max_record_bytes,
+      kLimitExceeded,
+      "declared record size exceeds ResourceLimits::max_record_bytes for '" +
+          name + "'");
   std::vector<std::uint8_t> stream(variables_[i].compressed_bytes);
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offsets_[i]));
@@ -473,11 +516,20 @@ NdArray<float> ArchiveReader::read(const std::string& name) const {
   CLIZ_REQUIRE(v.sample_bytes == 4,
                "variable '" + name + "' is float64: use read_f64()");
   const auto stream = read_raw(name);
-  NdArray<float> data =
-      v.codec == "cliz"
-          ? (is_chunked_stream(stream) ? chunked_decompress(stream)
-                                       : ClizCompressor::decompress(stream))
-          : make_compressor(v.codec)->decompress(stream);
+  NdArray<float> data = [&] {
+    if (v.codec != "cliz") return make_compressor(v.codec)->decompress(stream);
+    // Decode under this reader's governor: the chunked path carries it on
+    // the pool, the single-stream path on the context itself.
+    if (is_chunked_stream(stream)) {
+      ChunkedScratch scratch;
+      scratch.pool.set_governor(limits_, cancel_);
+      return chunked_decompress(stream, &scratch);
+    }
+    CodecContext ctx;
+    ctx.limits = limits_;
+    ctx.cancel = cancel_;
+    return ClizCompressor::decompress(stream, ctx);
+  }();
   CLIZ_REQUIRE(data.shape().dims() == v.dims,
                "decoded shape disagrees with archive index");
   return data;
@@ -489,9 +541,17 @@ NdArray<double> ArchiveReader::read_f64(const std::string& name) const {
                "variable '" + name + "' is float32: use read()");
   CLIZ_REQUIRE(v.codec == "cliz", "float64 archive variables use CliZ");
   const auto stream = read_raw(name);
-  NdArray<double> data = is_chunked_stream(stream)
-                             ? chunked_decompress_f64(stream)
-                             : ClizCompressor::decompress_f64(stream);
+  NdArray<double> data = [&] {
+    if (is_chunked_stream(stream)) {
+      ChunkedScratch scratch;
+      scratch.pool.set_governor(limits_, cancel_);
+      return chunked_decompress_f64(stream, &scratch);
+    }
+    CodecContext ctx;
+    ctx.limits = limits_;
+    ctx.cancel = cancel_;
+    return ClizCompressor::decompress_f64(stream, ctx);
+  }();
   CLIZ_REQUIRE(data.shape().dims() == v.dims,
                "decoded shape disagrees with archive index");
   return data;

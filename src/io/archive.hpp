@@ -158,8 +158,16 @@ class ArchiveWriter {
 /// details in salvage().
 class ArchiveReader {
  public:
+  /// `limits` caps what declared index/record sizes the reader will honour
+  /// (ErrorCode::kLimitExceeded past them, checked before the matching
+  /// allocation) and `cancel` aborts long opens/reads cooperatively —
+  /// together the per-request governor for serving untrusted archives. The
+  /// defaults are generous and the token optional, so trusted use reads
+  /// exactly as before. `cancel` must outlive the reader.
   explicit ArchiveReader(const std::string& path,
-                         ArchiveOpenMode mode = ArchiveOpenMode::kStrict);
+                         ArchiveOpenMode mode = ArchiveOpenMode::kStrict,
+                         const ResourceLimits& limits = {},
+                         const CancelToken* cancel = nullptr);
 
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
@@ -195,6 +203,8 @@ class ArchiveReader {
 
   std::string path_;
   mutable std::ifstream in_;
+  ResourceLimits limits_;
+  const CancelToken* cancel_ = nullptr;
   std::vector<VariableInfo> variables_;
   std::vector<std::uint64_t> offsets_;
   std::vector<std::uint32_t> payload_crcs_;  ///< empty for v1 archives

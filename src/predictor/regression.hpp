@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/bytestream.hpp"
+#include "src/common/governor.hpp"
 #include "src/ndarray/shape.hpp"
 #include "src/predictor/interp_traversal.hpp"
 #include "src/quantizer/linear_quantizer.hpp"
@@ -212,13 +213,36 @@ void regression_encode(T* data, const Shape& shape,
 inline void regression_parse(ByteReader& in, const Shape& shape,
                              const std::uint8_t* validity,
                              std::size_t& block_side,
-                             std::vector<std::int64_t>& qcoeffs) {
+                             std::vector<std::int64_t>& qcoeffs,
+                             std::uint64_t max_side_block_bytes =
+                                 ResourceLimits{}.max_side_block_bytes) {
   const std::size_t nd = shape.ndims();
   CLIZ_REQUIRE(nd >= 1 && nd <= kMaxAxes, "unsupported dimensionality");
   const std::uint64_t side64 = in.get_varint();
   CLIZ_REQUIRE(side64 >= 1 && side64 <= Shape::kMaxElements,
                "corrupt regression block side");
   block_side = static_cast<std::size_t>(side64);
+  // Governor: a hostile block side (e.g. 1 over a big shape) implies one
+  // coefficient tuple per point. Project the in-memory table the declared
+  // side would require and reject before accumulating a single tuple.
+  {
+    std::uint64_t blocks = 1;
+    bool within = true;
+    for (std::size_t d = 0; d < nd && within; ++d) {
+      const std::uint64_t per_axis =
+          (static_cast<std::uint64_t>(shape.dim(d)) + side64 - 1) / side64;
+      within = detail::checked_mul_within(blocks, per_axis,
+                                          max_side_block_bytes);
+    }
+    const std::uint64_t tuple_bytes =
+        static_cast<std::uint64_t>(nd + 1) * sizeof(std::int64_t);
+    within = within && detail::checked_mul_within(blocks, tuple_bytes,
+                                                  max_side_block_bytes);
+    CLIZ_REQUIRE_CODE(within, kLimitExceeded,
+                      "declared regression side block exceeds "
+                      "ResourceLimits::max_side_block_bytes (stream offset " +
+                          std::to_string(in.pos()) + ")");
+  }
   qcoeffs.clear();
   detail::reg_for_each_block(
       shape, block_side,

@@ -19,6 +19,9 @@ TransferOutcome simulate_transfer(const TransferPlan& plan,
   CLIZ_REQUIRE(link.per_file_failure_prob >= 0.0 &&
                    link.per_file_failure_prob <= 1.0,
                "failure probability must be in [0, 1]");
+  CLIZ_REQUIRE(link.fatal_failure_frac >= 0.0 &&
+                   link.fatal_failure_frac <= 1.0,
+               "fatal failure fraction must be in [0, 1]");
 
   TransferOutcome out;
 
@@ -54,6 +57,22 @@ TransferOutcome simulate_transfer(const TransferPlan& plan,
     if (link.per_file_failure_prob > 0.0) {
       std::size_t attempt = 0;
       while (rng.uniform() < link.per_file_failure_prob) {
+        // Classify the failure the way the destination reports it: a
+        // governor refusal or corrupt payload is permanent, a link fault
+        // transient. Only taxonomy-retryable categories re-enter the loop —
+        // resending a stream the decoder rejected can never succeed. The
+        // classification draw is gated so frac == 0 consumes no randomness
+        // and older seeded schedules replay unchanged.
+        ErrorCode code = ErrorCode::kIo;
+        if (link.fatal_failure_frac > 0.0 &&
+            rng.uniform() < link.fatal_failure_frac) {
+          code = ErrorCode::kCorruptStream;
+        }
+        if (!error_is_retryable(code)) {
+          ++out.failed_files;
+          ++out.fatal_failures;
+          break;
+        }
         if (attempt == link.max_retries) {
           ++out.failed_files;
           break;

@@ -19,6 +19,13 @@ struct WanLink {
   std::size_t max_parallel_streams = 64;
   /// Probability one send attempt of one file fails (0 = perfect link).
   double per_file_failure_prob = 0.0;
+  /// Fraction of failures the destination reports as permanent — a
+  /// CorruptStream / LimitExceeded rejection of the payload rather than a
+  /// transient link fault. Permanent failures are classified through the
+  /// error taxonomy (error_is_retryable) and abandoned without retry;
+  /// retrying a stream the governor refused can never succeed. 0 keeps
+  /// every failure transient (and the retry schedule of older seeds).
+  double fatal_failure_frac = 0.0;
   /// Attempts per file beyond the first before the file is abandoned.
   std::size_t max_retries = 5;
   /// Backoff before retry r (1-based): initial_backoff_s * 2^(r-1), capped.
@@ -46,6 +53,9 @@ struct TransferOutcome {
   std::size_t retries = 0;
   /// Files that exhausted max_retries and never arrived.
   std::size_t failed_files = 0;
+  /// Subset of failed_files abandoned on a non-retryable classification
+  /// (CorruptStream / LimitExceeded) without burning any retry budget.
+  std::size_t fatal_failures = 0;
   /// Total backoff wall time charged to the slowest stream's schedule.
   double retry_wait_seconds = 0.0;
 

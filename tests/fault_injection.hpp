@@ -70,6 +70,20 @@ inline std::vector<Fault> truncation_cases(
   return out;
 }
 
+/// Index of the first byte where two streams differ; min(a.size(),
+/// b.size()) when one is a prefix of the other (or they are identical).
+/// The fuzz matrices use this to locate a header field (entropy byte,
+/// predictor byte, framing layout) as the first divergence between two
+/// encodings of the same data that differ only in that knob.
+inline std::size_t first_divergence(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
 /// Targeted single-byte overrides: one fault per value in `values`, each a
 /// copy of `stream` with the byte at `pos` replaced. Used to probe fields
 /// with a known offset (e.g. the entropy-backend id byte) for every

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "src/common/status.hpp"
@@ -42,6 +43,13 @@ class CliTest : public ::testing::Test {
     const std::string cmd =
         std::string(CLIZC_PATH) + " " + args + " 2>/dev/null >/dev/null";
     return std::system(cmd.c_str());
+  }
+
+  /// run() unpacked to the child's actual exit code, for the taxonomy
+  /// exit-code contract (2 bad args, 3 corrupt, 4 limit, ...).
+  static int run_exit(const std::string& args) {
+    const int status = run(args);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   }
 
   static std::vector<float> read_floats(const std::string& p) {
@@ -255,6 +263,45 @@ TEST_F(CliTest, SalvageFlagRecoversFromCorruptTrailer) {
   EXPECT_EQ(std::memcmp(good.data(), salvaged.data(),
                         good.size() * sizeof(float)),
             0);
+}
+
+TEST_F(CliTest, GovernorFlagsMapToExitCodes) {
+  ASSERT_EQ(run("gen SSH --scale 0.1 -o " + path("s.f32")), 0);
+  ASSERT_EQ(run("compress " + path("s.f32") + " -d 48,38,32 -o " +
+                path("s.cliz") + " -r 1e-3"),
+            0);
+
+  // A declared-output budget below the stream's true size is a limit
+  // refusal: exit 4, nothing written.
+  EXPECT_EQ(run_exit("decompress " + path("s.cliz") + " -o " +
+                     path("s2.f32") + " --max-output-bytes 64"),
+            4);
+  EXPECT_FALSE(fs::exists(path("s2.f32")));
+
+  // A generous budget decodes identically to the unlimited run.
+  ASSERT_EQ(run("decompress " + path("s.cliz") + " -o " + path("s3.f32") +
+                " --max-output-bytes 1000000000"),
+            0);
+  ASSERT_EQ(run("decompress " + path("s.cliz") + " -o " + path("s4.f32")), 0);
+  const auto capped = read_floats(path("s3.f32"));
+  const auto plain = read_floats(path("s4.f32"));
+  ASSERT_EQ(capped.size(), plain.size());
+  EXPECT_EQ(std::memcmp(capped.data(), plain.data(),
+                        capped.size() * sizeof(float)),
+            0);
+
+  // A truncated stream is corruption: exit 3.
+  {
+    std::ifstream in(path("s.cliz"), std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path("cut.cliz"), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(run_exit("decompress " + path("cut.cliz") + " -o " +
+                     path("cut.f32")),
+            3);
 }
 
 TEST_F(CliTest, BadInvocationsFailCleanly) {

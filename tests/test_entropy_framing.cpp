@@ -246,12 +246,12 @@ TEST(EntropyFraming, FramedStreamsAreThreadCountInvariant) {
 /// layout byte follows immediately in unclassified streams.
 std::size_t entropy_byte_offset(const std::vector<std::uint8_t>& serial,
                                 const std::vector<std::uint8_t>& framed) {
-  const std::size_t n = std::min(serial.size(), framed.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (serial[i] != framed[i]) return i;
+  const std::size_t pos = fault::first_divergence(serial, framed);
+  if (pos >= std::min(serial.size(), framed.size())) {
+    ADD_FAILURE() << "streams do not diverge";
+    return 0;
   }
-  ADD_FAILURE() << "streams do not diverge";
-  return 0;
+  return pos;
 }
 
 TEST(EntropyFraming, CorruptOffsetTableIsCleanError) {

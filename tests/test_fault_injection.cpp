@@ -12,8 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -27,8 +29,55 @@
 #include "src/common/status.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
+#include "src/core/codec_context.hpp"
 #include "src/io/archive.hpp"
+#include "src/lossless/lossless.hpp"
 #include "tests/fault_injection.hpp"
+
+// --- global allocation counters (this test binary only) -------------------
+// Same guard as test_decompress_into.cpp: the limits matrix asserts that a
+// header declaring a bomb is rejected BEFORE payload-proportional bytes are
+// requested from the allocator, not merely that the decode throws.
+
+// The replaced operators below are the textbook malloc/free pair, but once
+// both ends inline into the same frame GCC's heuristic flags the free() as
+// mismatched with the replaced new.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::size_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+}  // namespace
+
+// Every form is replaced (including nothrow, which libstdc++'s temporary
+// buffers use) so no allocation pairs a library-provided new with our
+// free — ASan's alloc-dealloc matching requires the full set.
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace cliz {
 namespace {
@@ -292,6 +341,226 @@ TEST_F(FaultArchive, TolerantOpenOfPristineBytesRecoversEverything) {
   EXPECT_TRUE(tolerant.salvage().index_intact);
   EXPECT_EQ(tolerant.salvage().recovered.size(), names_.size());
   EXPECT_TRUE(tolerant.salvage().quarantined.empty());
+}
+
+// --- resource-limit matrix: bombs are refused before they allocate --------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t varint_end(std::span<const std::uint8_t> bytes, std::size_t pos) {
+  while (pos < bytes.size() && (bytes[pos] & 0x80u) != 0) ++pos;
+  return pos + 1;
+}
+
+/// Rebuilds a raw (lossless-unwrapped) CliZ header with `dims` in place of
+/// the stream's own dimension list; everything after the dims is kept.
+std::vector<std::uint8_t> with_spliced_dims(
+    std::span<const std::uint8_t> raw,
+    const std::vector<std::uint64_t>& dims) {
+  // [magic u32][width u8][ndims varint][dim varints...]
+  std::size_t cursor = varint_end(raw, 5);  // past ndims
+  const std::size_t ndims = raw[5];         // corpus streams: 1-byte varint
+  for (std::size_t d = 0; d < ndims; ++d) cursor = varint_end(raw, cursor);
+  std::vector<std::uint8_t> out(raw.begin(), raw.begin() + 5);
+  put_varint(out, dims.size());
+  for (const std::uint64_t d : dims) put_varint(out, d);
+  out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(cursor),
+             raw.end());
+  return out;
+}
+
+/// Runs `decode`, requiring Error{kLimitExceeded} and an allocation total
+/// far below `declared_bytes` — the bomb must fizzle at the header.
+template <typename Fn>
+void expect_limit_refusal(const Fn& decode, std::size_t input_bytes,
+                          std::uint64_t declared_bytes) {
+  const std::size_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+  try {
+    decode();
+    ADD_FAILURE() << "hostile declaration decoded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kLimitExceeded) << e.what();
+  }
+  const std::size_t delta =
+      g_alloc_bytes.load(std::memory_order_relaxed) - before;
+  // Budget: the lossless unwrap plus parser scratch, never the payload.
+  const std::size_t budget = input_bytes * 8 + (std::size_t{1} << 20);
+  EXPECT_LT(delta, budget) << "allocated " << delta
+                           << " bytes for a declaration of "
+                           << declared_bytes;
+  EXPECT_LT(static_cast<std::uint64_t>(delta), declared_bytes / 2)
+      << "allocation tracked the hostile declaration";
+}
+
+TEST(FaultLimits, InflatedDimsRejectedBeforeAllocation) {
+  for (const char* name :
+       {"golden_plain.cliz", "golden_masked.cliz", "golden_periodic.cliz"}) {
+    SCOPED_TRACE(name);
+    const auto stream = read_file(golden_path(name));
+    ASSERT_FALSE(stream.empty());
+    const auto raw = lossless_decompress(stream);
+    // 2^90 declared elements: over max_extents (2^33) by a huge margin and
+    // far past anything the allocator could survive.
+    const auto bomb = lossless_compress(
+        with_spliced_dims(raw, {1ull << 30, 1ull << 30, 1ull << 30}));
+    expect_limit_refusal(
+        [&] { (void)ClizCompressor::decompress(bomb); }, bomb.size(),
+        std::uint64_t{1} << 35);
+    // The pristine stream still decodes under default limits.
+    EXPECT_NO_THROW((void)ClizCompressor::decompress(stream));
+  }
+}
+
+TEST(FaultLimits, TightenedOutputBudgetRejectsPristineStream) {
+  // A served request can cap the output below the stream's true size; the
+  // refusal must carry kLimitExceeded and happen before the output exists.
+  const auto stream = read_file(golden_path("golden_plain.cliz"));
+  ASSERT_FALSE(stream.empty());
+  CodecContext ctx;
+  ctx.limits.max_output_bytes = 16;
+  expect_limit_refusal(
+      [&] { (void)ClizCompressor::decompress(stream, ctx); }, stream.size(),
+      std::uint64_t{1} << 35);
+}
+
+TEST(FaultLimits, ChunkedInflatedDimsAndChunkCount) {
+  const auto stream = read_file(golden_path("golden_chunked.clks"));
+  ASSERT_FALSE(stream.empty());
+  // CLK2 header is unwrapped: [magic u32][ndims varint][dims...][n_chunks].
+  std::size_t cursor = varint_end(stream, 4);  // past ndims
+  const std::size_t ndims = stream[4];
+  const std::size_t dims_at = cursor;
+  for (std::size_t d = 0; d < ndims; ++d) cursor = varint_end(stream, cursor);
+  const std::size_t chunks_at = cursor;
+
+  {  // dims bomb: product far over max_extents
+    std::vector<std::uint8_t> bomb(stream.begin(),
+                                   stream.begin() + static_cast<std::ptrdiff_t>(dims_at));
+    for (std::size_t d = 0; d < ndims; ++d) put_varint(bomb, 1ull << 40);
+    bomb.insert(bomb.end(), stream.begin() + static_cast<std::ptrdiff_t>(cursor),
+                stream.end());
+    expect_limit_refusal([&] { (void)chunked_decompress(bomb); }, bomb.size(),
+                         std::uint64_t{1} << 35);
+  }
+  {  // chunk-count bomb: 2^30 refs declared (> max_chunks 2^20), caught
+     // before the ref table resizes — upstream of the header CRC check.
+    std::vector<std::uint8_t> bomb(
+        stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(chunks_at));
+    put_varint(bomb, 1ull << 30);
+    bomb.insert(bomb.end(),
+                stream.begin() +
+                    static_cast<std::ptrdiff_t>(varint_end(stream, chunks_at)),
+                stream.end());
+    expect_limit_refusal([&] { (void)chunked_decompress(bomb); }, bomb.size(),
+                         (std::uint64_t{1} << 30) * sizeof(void*));
+  }
+  EXPECT_NO_THROW((void)chunked_decompress(stream));
+}
+
+TEST(FaultLimits, FramedSegmentCountSplice) {
+  // Build a framed stream, then inflate its declared segment count: the
+  // governor must refuse before the segment table reserves.
+  NdArray<float> data(Shape({64, 48}));
+  Rng rng(4242);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(0.02 * static_cast<double>(i % 97) +
+                                 0.01 * rng.normal());
+  }
+  ClizOptions framed_opts;
+  framed_opts.frame_passes = true;
+  const auto serial_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(2)).compress(data, 1e-3));
+  const auto framed_raw = lossless_decompress(
+      ClizCompressor(PipelineConfig::defaults(2), framed_opts)
+          .compress(data, 1e-3));
+  const std::size_t pos = fault::first_divergence(serial_raw, framed_raw);
+  ASSERT_LT(pos + 1, framed_raw.size());
+  ASSERT_EQ(framed_raw[pos] & 0x80u, 0x80u);  // framed bit
+  ASSERT_EQ(framed_raw[pos + 1], 1u);         // layout id
+  const std::size_t segs_at = pos + 2;
+
+  std::vector<std::uint8_t> bomb(
+      framed_raw.begin(), framed_raw.begin() + static_cast<std::ptrdiff_t>(segs_at));
+  put_varint(bomb, 1ull << 40);  // > max_frame_segments (2^22)
+  bomb.insert(bomb.end(),
+              framed_raw.begin() +
+                  static_cast<std::ptrdiff_t>(varint_end(framed_raw, segs_at)),
+              framed_raw.end());
+  const auto wrapped = lossless_compress(bomb);
+  expect_limit_refusal([&] { (void)ClizCompressor::decompress(wrapped); },
+                       wrapped.size(), (std::uint64_t{1} << 40));
+
+  // Tightened per-request budget refuses even the honest stream.
+  const auto honest = lossless_compress(framed_raw);
+  CodecContext ctx;
+  ctx.limits.max_frame_segments = 0;
+  expect_limit_refusal([&] { (void)ClizCompressor::decompress(honest, ctx); },
+                       honest.size(), std::uint64_t{1} << 22);
+  EXPECT_NO_THROW((void)ClizCompressor::decompress(honest));
+}
+
+TEST(FaultLimits, RegressionSideBlockBudget) {
+  // The regression predictor's coefficient block is sized by header fields;
+  // a tightened side-block budget must refuse it before any tuple parses.
+  NdArray<float> data(Shape({32, 32}));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i % 31) * 0.125f;
+  }
+  ClizOptions reg_opts;
+  reg_opts.predictor = PredictorBackend::kRegression;
+  const auto stream = ClizCompressor(PipelineConfig::defaults(2), reg_opts)
+                          .compress(data, 1e-3);
+  CodecContext ctx;
+  ctx.limits.max_side_block_bytes = 8;
+  expect_limit_refusal([&] { (void)ClizCompressor::decompress(stream, ctx); },
+                       stream.size(), std::uint64_t{1} << 31);
+  EXPECT_NO_THROW((void)ClizCompressor::decompress(stream));
+}
+
+TEST_F(FaultArchive, ReaderLimitsRefuseBeforeAllocation) {
+  // The CLZA index CRC covers the declared sizes, so hostile declarations
+  // are exercised by tightening the reader's budgets over a clean archive —
+  // the same code path a spliced index would hit, without fighting the CRC.
+  {
+    ResourceLimits limits;
+    limits.max_archive_variables = 1;  // archive holds 3
+    expect_limit_refusal(
+        [&] { ArchiveReader r(path_, ArchiveOpenMode::kStrict, limits); },
+        bytes_.size(), std::uint64_t{1} << 20);
+  }
+  {
+    ResourceLimits limits;
+    limits.max_record_bytes = 4;
+    expect_limit_refusal(
+        [&] { ArchiveReader r(path_, ArchiveOpenMode::kStrict, limits); },
+        bytes_.size(), std::uint64_t{1} << 20);
+  }
+  {
+    // Tolerant scan over a damaged trailer: the salvage cap bounds how many
+    // records a hostile file can make the scanner accumulate.
+    auto damaged = bytes_;
+    ASSERT_GT(damaged.size(), 8u);
+    damaged.resize(damaged.size() - 8);  // kill the trailer
+    write_faulted(damaged);
+    ResourceLimits limits;
+    limits.max_salvage_records = 1;  // second record trips the cap
+    expect_limit_refusal(
+        [&] { ArchiveReader r(path_, ArchiveOpenMode::kTolerant, limits); },
+        damaged.size(), std::uint64_t{1} << 20);
+  }
+}
+
+TEST_F(FaultArchive, DefaultLimitsReadEverything) {
+  ArchiveReader reader(path_, ArchiveOpenMode::kStrict, ResourceLimits{});
+  for (std::size_t v = 0; v < names_.size(); ++v) {
+    EXPECT_TRUE(bit_identical(reader.read(names_[v]), pristine_[v]));
+  }
 }
 
 }  // namespace

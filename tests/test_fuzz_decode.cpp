@@ -168,10 +168,7 @@ TEST(FuzzClizHeader, RejectsUnknownEntropyBackendId) {
   const auto tans_raw = lossless_decompress(
       ClizCompressor(PipelineConfig::defaults(3), tans_opts)
           .compress(data, 1e-3));
-  std::size_t pos = 0;
-  while (pos < huffman_raw.size() && huffman_raw[pos] == tans_raw[pos]) {
-    ++pos;
-  }
+  const std::size_t pos = fault::first_divergence(huffman_raw, tans_raw);
   ASSERT_LT(pos, huffman_raw.size());
   ASSERT_EQ(huffman_raw[pos], 0u);  // (huffman id << 1) | unclassified
 
@@ -198,10 +195,7 @@ TEST(FuzzClizHeader, RejectsUnknownPredictorBackendId) {
   const auto lorenzo_raw = lossless_decompress(
       ClizCompressor(PipelineConfig::defaults(3), lorenzo_opts)
           .compress(data, 1e-3));
-  std::size_t pos = 0;
-  while (pos < interp_raw.size() && interp_raw[pos] == lorenzo_raw[pos]) {
-    ++pos;
-  }
+  const std::size_t pos = fault::first_divergence(interp_raw, lorenzo_raw);
   ASSERT_LT(pos, interp_raw.size());
   ASSERT_EQ(interp_raw[pos], 0u);   // (interp id << 1) | no mask
   ASSERT_EQ(lorenzo_raw[pos], 2u);  // (lorenzo1 id << 1) | no mask
@@ -236,10 +230,7 @@ TEST(FuzzClizHeader, RejectsUnknownFramingLayoutId) {
   const auto framed_raw = lossless_decompress(
       ClizCompressor(PipelineConfig::defaults(3), framed_opts)
           .compress(data, 1e-3));
-  std::size_t pos = 0;
-  while (pos < serial_raw.size() && serial_raw[pos] == framed_raw[pos]) {
-    ++pos;
-  }
+  const std::size_t pos = fault::first_divergence(serial_raw, framed_raw);
   ASSERT_LT(pos, serial_raw.size());
   ASSERT_EQ(serial_raw[pos], 0u);     // (huffman id << 1) | unclassified
   ASSERT_EQ(framed_raw[pos], 0x80u);  // framed bit set
@@ -269,10 +260,7 @@ TEST(FuzzClizHeader, RejectsHostileFramingOffsetTable) {
   const auto framed_raw = lossless_decompress(
       ClizCompressor(PipelineConfig::defaults(3), framed_opts)
           .compress(data, 1e-3));
-  std::size_t pos = 0;
-  while (pos < serial_raw.size() && serial_raw[pos] == framed_raw[pos]) {
-    ++pos;
-  }
+  const std::size_t pos = fault::first_divergence(serial_raw, framed_raw);
   ASSERT_LT(pos + 1, framed_raw.size());
   ASSERT_EQ(framed_raw[pos + 1], 1u);  // layout id
 

@@ -150,6 +150,64 @@ TEST(Transfer, DeadLinkAbandonsEveryFile) {
   EXPECT_GT(out.retry_wait_seconds, 0.0);
 }
 
+TEST(Transfer, FatalFailuresAbandonWithoutRetry) {
+  // Failures classified as non-retryable through the error taxonomy
+  // (CorruptStream / LimitExceeded at the destination) must be abandoned
+  // immediately — no retry budget burned, no backoff charged.
+  auto p = base_plan();
+  p.n_files = 32;
+  WanLink poisoned;
+  poisoned.per_file_failure_prob = 1.0;
+  poisoned.fatal_failure_frac = 1.0;  // every failure is permanent
+  poisoned.max_retries = 3;
+  const auto out = simulate_transfer(p, poisoned);
+  EXPECT_EQ(out.failed_files, 32u);
+  EXPECT_EQ(out.fatal_failures, 32u);
+  EXPECT_EQ(out.retries, 0u);  // permanent rejections never retry
+  EXPECT_DOUBLE_EQ(out.retry_wait_seconds, 0.0);
+}
+
+TEST(Transfer, MixedFatalFractionSplitsFailures) {
+  auto p = base_plan();
+  WanLink flaky;
+  flaky.per_file_failure_prob = 0.3;
+  flaky.fatal_failure_frac = 0.5;
+  const auto out = simulate_transfer(p, flaky);
+  // Both classes appear, fatal failures are a subset of failed files, and
+  // the schedule stays deterministic per seed.
+  EXPECT_GT(out.fatal_failures, 0u);
+  EXPECT_GT(out.retries, 0u);
+  EXPECT_LE(out.fatal_failures, out.failed_files);
+  const auto again = simulate_transfer(p, flaky);
+  EXPECT_EQ(out.fatal_failures, again.fatal_failures);
+  EXPECT_EQ(out.retries, again.retries);
+  EXPECT_DOUBLE_EQ(out.transfer_seconds, again.transfer_seconds);
+}
+
+TEST(Transfer, ZeroFatalFractionPreservesLegacySchedule) {
+  // fatal_failure_frac = 0 must consume no extra randomness: the retry
+  // schedule of an existing (plan, link, seed) triple replays unchanged.
+  auto p = base_plan();
+  WanLink flaky;
+  flaky.per_file_failure_prob = 0.2;
+  const auto legacy = simulate_transfer(p, flaky);
+  WanLink same = flaky;
+  same.fatal_failure_frac = 0.0;
+  const auto out = simulate_transfer(p, same);
+  EXPECT_EQ(out.retries, legacy.retries);
+  EXPECT_EQ(out.fatal_failures, 0u);
+  EXPECT_DOUBLE_EQ(out.transfer_seconds, legacy.transfer_seconds);
+}
+
+TEST(Transfer, InvalidFatalFractionThrows) {
+  WanLink bad;
+  bad.per_file_failure_prob = 0.5;
+  bad.fatal_failure_frac = 1.5;
+  EXPECT_THROW((void)simulate_transfer(base_plan(), bad), Error);
+  bad.fatal_failure_frac = -0.1;
+  EXPECT_THROW((void)simulate_transfer(base_plan(), bad), Error);
+}
+
 TEST(Transfer, BackoffIsCappedExponential) {
   TransferPlan p;
   p.cores = 1;

@@ -10,6 +10,7 @@
 //   clizc archive-extract <in.clza> <var> -o <out.f32>
 //
 // Raw data files are flat little-endian float32 in row-major order.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,7 @@
 
 #include "src/climate/datasets.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/status.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
@@ -32,6 +34,14 @@
 namespace {
 
 using namespace cliz;
+
+/// Process-wide decode governor, set by the global --max-output-bytes /
+/// --deadline-ms flags and threaded into every decode/archive path.
+ResourceLimits g_limits;
+CancelToken g_cancel;
+bool g_governed = false;  ///< either flag given: pass the token along
+
+const CancelToken* governor_cancel() { return g_governed ? &g_cancel : nullptr; }
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "clizc: %s\n\n", msg);
@@ -67,7 +77,14 @@ verify are recovered even when the trailer or index is damaged, and the
 salvage report is printed to stderr.
 --threads N (any command) caps the worker threads used by the parallel
 codec paths; streams are byte-identical for every setting.
+--max-output-bytes N (any command) rejects streams whose headers declare a
+decoded size above N bytes (exit 4) before anything is allocated.
+--deadline-ms N (any command) aborts decode/tune work cooperatively after
+N milliseconds (exit 6).
 raw files are flat little-endian float32, row-major.
+
+exit codes: 0 ok, 2 bad arguments, 3 corrupt stream, 4 resource limit,
+5 cancelled, 6 deadline, 7 I/O, 8 unsupported, 1 other error.
 )");
   std::exit(2);
 }
@@ -75,8 +92,7 @@ raw files are flat little-endian float32, row-major.
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
-    std::fprintf(stderr, "clizc: cannot open %s\n", path.c_str());
-    std::exit(1);
+    throw cliz::Error(cliz::ErrorCode::kIo, "cannot open " + path);
   }
   return {std::istreambuf_iterator<char>(in),
           std::istreambuf_iterator<char>()};
@@ -87,8 +103,7 @@ void write_file(const std::string& path, const void* data, std::size_t size) {
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(size));
   if (!out.good()) {
-    std::fprintf(stderr, "clizc: cannot write %s\n", path.c_str());
-    std::exit(1);
+    throw cliz::Error(cliz::ErrorCode::kIo, "cannot write " + path);
   }
 }
 
@@ -136,11 +151,11 @@ NdArray<T> load_raw_t(const std::string& path, const DimVec& dims) {
   const Shape shape(dims);
   const auto bytes = read_file(path);
   if (bytes.size() != shape.size() * sizeof(T)) {
-    std::fprintf(stderr,
-                 "clizc: %s is %zu bytes but dims %s need %zu bytes\n",
-                 path.c_str(), bytes.size(), shape.to_string().c_str(),
-                 shape.size() * sizeof(T));
-    std::exit(1);
+    throw cliz::Error(cliz::ErrorCode::kBadArgument,
+                      path + " is " + std::to_string(bytes.size()) +
+                          " bytes but dims " + shape.to_string() + " need " +
+                          std::to_string(shape.size() * sizeof(T)) +
+                          " bytes");
   }
   std::vector<T> values(shape.size());
   std::memcpy(values.data(), bytes.data(), bytes.size());
@@ -239,6 +254,9 @@ int cmd_compress(Args& args) {
     usage("--predictor/--entropy/--lossless are only supported with -c cliz");
   }
   ClizOptions cliz_opts;
+  // Flows into autotune trials, chunked workers and the direct codec, so
+  // --deadline-ms covers the whole encode.
+  cliz_opts.cancel = governor_cancel();
   cliz_opts.verify_encode = verify;
   cliz_opts.frame_passes = frame_passes;
   if (predictor.has_value()) cliz_opts.predictor = *predictor;
@@ -418,6 +436,7 @@ int cmd_decompress(Args& args) {
 
   if (is_chunked_stream(stream)) {
     ChunkedScratch scratch;
+    scratch.pool.set_governor(g_limits, governor_cancel());
     if (chunked_sample_bytes(stream) == 8) {
       const auto data = chunked_decompress_f64(stream, &scratch);
       write_file(output, data.data(), data.size() * sizeof(double));
@@ -435,12 +454,16 @@ int cmd_decompress(Args& args) {
     return 0;
   }
 
-  const bool is_cliz = show_stats && detect_codec(stream) == "cliz";
+  // CliZ streams decode through a governed context so the global limit /
+  // deadline flags apply; foreign codecs keep the generic path.
+  const bool is_cliz = detect_codec(stream) == "cliz";
   if (detect_sample_bytes(stream) == 8) {
     CodecContext ctx;
+    ctx.limits = g_limits;
+    ctx.cancel = governor_cancel();
     const auto data = is_cliz ? ClizCompressor::decompress_f64(stream, ctx)
                               : decompress_any_f64(stream);
-    if (is_cliz) std::fputs(ctx.stats.to_text().c_str(), stderr);
+    if (is_cliz && show_stats) std::fputs(ctx.stats.to_text().c_str(), stderr);
     write_file(output, data.data(), data.size() * sizeof(double));
     std::fprintf(stderr, "%s -> %s %s (%zu float64 values)\n", input.c_str(),
                  output.c_str(), data.shape().to_string().c_str(),
@@ -448,9 +471,11 @@ int cmd_decompress(Args& args) {
     return 0;
   }
   CodecContext ctx;
+  ctx.limits = g_limits;
+  ctx.cancel = governor_cancel();
   const auto data = is_cliz ? ClizCompressor::decompress(stream, ctx)
                             : decompress_any(stream);
-  if (is_cliz) std::fputs(ctx.stats.to_text().c_str(), stderr);
+  if (is_cliz && show_stats) std::fputs(ctx.stats.to_text().c_str(), stderr);
   if (show_stats && !is_cliz) {
     std::fprintf(stderr, "clizc: --stats is only reported for cliz streams\n");
   }
@@ -470,7 +495,8 @@ int cmd_info(Args& args) {
   const std::string input = args.next("input file");
   const auto bytes = read_file(input);
   if (looks_like_archive(bytes)) {
-    const ArchiveReader reader(input);
+    const ArchiveReader reader(input, ArchiveOpenMode::kStrict, g_limits,
+                               governor_cancel());
     std::printf("CLZA archive with %zu variable(s)\n",
                 reader.variables().size());
     for (const auto& v : reader.variables()) {
@@ -653,7 +679,8 @@ int cmd_archive_list(Args& args) {
     }
   }
   const ArchiveReader reader(
-      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict);
+      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict,
+      g_limits, governor_cancel());
   if (salvage) std::fputs(reader.salvage().to_text().c_str(), stderr);
   for (const auto& v : reader.variables()) {
     std::printf("%s\n", v.name.c_str());
@@ -678,7 +705,8 @@ int cmd_archive_extract(Args& args) {
   }
   if (output.empty()) usage("archive-extract needs -o OUTPUT");
   const ArchiveReader reader(
-      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict);
+      input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict,
+      g_limits, governor_cancel());
   if (salvage) std::fputs(reader.salvage().to_text().c_str(), stderr);
   const auto data = reader.read(var);
   write_file(output, data.data(), data.size() * sizeof(float));
@@ -690,18 +718,38 @@ int cmd_archive_extract(Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Global option, stripped before command dispatch: --threads N sets the
-  // worker-thread count for every parallel codec path. Output streams do
-  // not depend on it.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) usage("--threads needs a thread count");
-      const int n = std::atoi(argv[i + 1]);
-      if (n < 1) usage("--threads needs a positive thread count");
-      cliz::set_thread_count(n);
+  // Global options, stripped before command dispatch. --threads N sets the
+  // worker-thread count for every parallel codec path (output streams do
+  // not depend on it); --max-output-bytes / --deadline-ms arm the decode
+  // governor shared by every command.
+  for (int i = 1; i < argc;) {
+    const auto take_value = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage((std::string(what) + " needs a value").c_str());
+      return argv[i + 1];
+    };
+    const auto strip_pair = [&] {
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
-      break;
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(take_value("--threads"));
+      if (n < 1) usage("--threads needs a positive thread count");
+      cliz::set_thread_count(n);
+      strip_pair();
+    } else if (std::strcmp(argv[i], "--max-output-bytes") == 0) {
+      const long long n = std::atoll(take_value("--max-output-bytes"));
+      if (n < 1) usage("--max-output-bytes needs a positive byte count");
+      g_limits.max_output_bytes = static_cast<std::uint64_t>(n);
+      g_governed = true;
+      strip_pair();
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      const long long n = std::atoll(take_value("--deadline-ms"));
+      if (n < 1) usage("--deadline-ms needs a positive millisecond count");
+      g_cancel.set_deadline_after(std::chrono::milliseconds(n));
+      g_governed = true;
+      strip_pair();
+    } else {
+      ++i;
     }
   }
   if (argc < 2) usage();
@@ -717,6 +765,21 @@ int main(int argc, char** argv) {
     if (cmd == "archive-list") return cmd_archive_list(args);
     if (cmd == "archive-extract") return cmd_archive_extract(args);
     usage(("unknown command " + cmd).c_str());
+  } catch (const cliz::Error& e) {
+    // One process exit code per taxonomy category, so scripts driving
+    // clizc can branch on the failure class without parsing stderr.
+    std::fprintf(stderr, "clizc: [%s] %s\n",
+                 cliz::error_code_name(e.code()), e.what());
+    switch (e.code()) {
+      case cliz::ErrorCode::kBadArgument: return 2;
+      case cliz::ErrorCode::kCorruptStream: return 3;
+      case cliz::ErrorCode::kLimitExceeded: return 4;
+      case cliz::ErrorCode::kCancelled: return 5;
+      case cliz::ErrorCode::kDeadlineExceeded: return 6;
+      case cliz::ErrorCode::kIo: return 7;
+      case cliz::ErrorCode::kUnsupported: return 8;
+    }
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "clizc: %s\n", e.what());
     return 1;
