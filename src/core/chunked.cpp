@@ -226,6 +226,14 @@ void chunked_decompress_core(std::span<const std::uint8_t> stream,
 
   std::vector<ChunkRef> refs;
   const Shape shape = parse_chunked_header(stream, refs, limits);
+  // Governor: the frame-level shape sizes the whole output. The per-chunk
+  // CliZ streams are each governed on decode, but a frame sliced into many
+  // small chunks must not bypass the aggregate cap — check the declared
+  // total here, before the output array is (re)sized on its behalf.
+  CLIZ_REQUIRE_CODE(
+      shape.size() <= limits.max_output_bytes / sizeof(T), kLimitExceeded,
+      "declared chunked output size exceeds "
+      "ResourceLimits::max_output_bytes");
   if (require_shape_match) {
     CLIZ_REQUIRE(out.shape() == shape,
                  "output buffer shape does not match stream");
@@ -318,9 +326,10 @@ bool is_chunked_stream(std::span<const std::uint8_t> stream) {
   return magic == kMagic || magic == kMagicV2;
 }
 
-unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream) {
+unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream,
+                              const ResourceLimits& limits) {
   std::vector<ChunkRef> refs;
-  parse_chunked_header(stream, refs, ResourceLimits{});
+  parse_chunked_header(stream, refs, limits);
   // The frame header is width-agnostic; the per-chunk CliZ streams record
   // the sample type right after their (lossless-wrapped) magic.
   return detect_sample_bytes(refs.front().bytes);

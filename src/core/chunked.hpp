@@ -95,8 +95,10 @@ void chunked_decompress_into(std::span<const std::uint8_t> stream,
 [[nodiscard]] bool is_chunked_stream(std::span<const std::uint8_t> stream);
 
 /// Bytes per sample of a chunked frame (4 = float32, 8 = float64), read
-/// from the first chunk's embedded CliZ stream.
+/// from the first chunk's embedded CliZ stream. The probe parses the frame
+/// header, so governed callers should pass their tightened `limits` — the
+/// same budgets the subsequent decode will run under.
 [[nodiscard]] unsigned chunked_sample_bytes(
-    std::span<const std::uint8_t> stream);
+    std::span<const std::uint8_t> stream, const ResourceLimits& limits = {});
 
 }  // namespace cliz

@@ -104,6 +104,9 @@ std::string SalvageReport::to_text() const {
     os << "\n  - " << (q.name.empty() ? "<unnamed>" : q.name) << " @"
        << q.offset << ": " << q.reason;
   }
+  if (truncated) {
+    os << "\nscan truncated at ResourceLimits::max_salvage_records";
+  }
   os << "\n";
   return os.str();
 }
@@ -397,10 +400,14 @@ void ArchiveReader::scan_records() {
   while (pos + sizeof(kRecordMagic) <= file.size()) {
     if (cancel_ != nullptr) cancel_->check();
     // Governor: a hostile file stuffed with valid-looking records must not
-    // grow the recovered set without bound.
-    CLIZ_REQUIRE_CODE(variables_.size() < limits_.max_salvage_records,
-                      kLimitExceeded,
-                      "salvage exceeds ResourceLimits::max_salvage_records");
+    // grow the recovered set without bound. Salvage keeps the verified
+    // prefix rather than aborting the whole tolerant open — the cap is a
+    // bound on recovery, not a reason to recover nothing — and the report
+    // records that the scan stopped early.
+    if (variables_.size() >= limits_.max_salvage_records) {
+      report_.truncated = true;
+      break;
+    }
     const auto it = std::search(file.begin() + pos, file.end(),
                                 std::begin(magic_bytes),
                                 std::end(magic_bytes));

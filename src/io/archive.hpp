@@ -59,6 +59,10 @@ struct SalvageReport {
     std::string reason;
   };
   std::vector<Quarantined> quarantined;
+  /// True when a record scan stopped at ResourceLimits::max_salvage_records;
+  /// `recovered` then holds the verified prefix and later record sites were
+  /// never examined. Always false when the index was intact.
+  bool truncated = false;
   [[nodiscard]] std::string to_text() const;
 };
 

@@ -463,6 +463,28 @@ TEST(FaultLimits, ChunkedInflatedDimsAndChunkCount) {
   EXPECT_NO_THROW((void)chunked_decompress(stream));
 }
 
+TEST(FaultLimits, ChunkedAggregateOutputBudget) {
+  // A frame sliced into chunks each below the cap must not bypass the
+  // aggregate budget: the frame-level shape is checked against
+  // max_output_bytes before the output array is sized.
+  const auto stream = read_file(golden_path("golden_chunked.clks"));
+  ASSERT_FALSE(stream.empty());
+  ResourceLimits limits;
+  limits.max_output_bytes = 16;  // the frame decodes to far more
+  {
+    ChunkedScratch scratch;
+    scratch.pool.set_governor(limits, nullptr);
+    expect_limit_refusal([&] { (void)chunked_decompress(stream, &scratch); },
+                         stream.size(), std::uint64_t{1} << 35);
+  }
+  // The width probe parses the same header and honours the same budgets.
+  ResourceLimits probe;
+  probe.max_chunks = 0;
+  expect_limit_refusal([&] { (void)chunked_sample_bytes(stream, probe); },
+                       stream.size(), std::uint64_t{1} << 20);
+  EXPECT_NO_THROW((void)chunked_decompress(stream));
+}
+
 TEST(FaultLimits, FramedSegmentCountSplice) {
   // Build a framed stream, then inflate its declared segment count: the
   // governor must refuse before the segment table reserves.
@@ -543,16 +565,21 @@ TEST_F(FaultArchive, ReaderLimitsRefuseBeforeAllocation) {
   }
   {
     // Tolerant scan over a damaged trailer: the salvage cap bounds how many
-    // records a hostile file can make the scanner accumulate.
+    // records a hostile file can make the scanner accumulate, but keeps the
+    // verified prefix instead of aborting the whole open.
     auto damaged = bytes_;
     ASSERT_GT(damaged.size(), 8u);
     damaged.resize(damaged.size() - 8);  // kill the trailer
     write_faulted(damaged);
     ResourceLimits limits;
-    limits.max_salvage_records = 1;  // second record trips the cap
-    expect_limit_refusal(
-        [&] { ArchiveReader r(path_, ArchiveOpenMode::kTolerant, limits); },
-        damaged.size(), std::uint64_t{1} << 20);
+    limits.max_salvage_records = 1;  // archive holds 3
+    ArchiveReader r(path_, ArchiveOpenMode::kTolerant, limits);
+    EXPECT_FALSE(r.salvage().index_intact);
+    ASSERT_EQ(r.salvage().recovered.size(), 1u);
+    EXPECT_TRUE(r.salvage().truncated);
+    EXPECT_NE(r.salvage().to_text().find("truncated"), std::string::npos);
+    EXPECT_TRUE(bit_identical(r.read(r.salvage().recovered.front()),
+                              pristine_.front()));
   }
 }
 

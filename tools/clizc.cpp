@@ -437,7 +437,7 @@ int cmd_decompress(Args& args) {
   if (is_chunked_stream(stream)) {
     ChunkedScratch scratch;
     scratch.pool.set_governor(g_limits, governor_cancel());
-    if (chunked_sample_bytes(stream) == 8) {
+    if (chunked_sample_bytes(stream, g_limits) == 8) {
       const auto data = chunked_decompress_f64(stream, &scratch);
       write_file(output, data.data(), data.size() * sizeof(double));
       std::fprintf(stderr, "%s -> %s %s (%zu float64 values, chunked)\n",
@@ -512,7 +512,7 @@ int cmd_info(Args& args) {
     return 0;
   }
   if (is_chunked_stream(bytes)) {
-    const unsigned width = chunked_sample_bytes(bytes);
+    const unsigned width = chunked_sample_bytes(bytes, g_limits);
     const Shape shape = width == 8 ? chunked_decompress_f64(bytes).shape()
                                    : chunked_decompress(bytes).shape();
     std::printf(
