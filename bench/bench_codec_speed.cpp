@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/climate/datasets.hpp"
+#include "src/common/cpu_features.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/autotune.hpp"
@@ -18,6 +19,7 @@
 #include "src/huffman/huffman.hpp"
 #include "src/lossless/lossless.hpp"
 #include "src/metrics/metrics.hpp"
+#include "src/predictor/predict_kernels.hpp"
 #include "src/sperr/wavelet.hpp"
 
 namespace cliz {
@@ -446,6 +448,41 @@ void BM_LosslessBackend(benchmark::State& state, LosslessBackend backend) {
                             static_cast<double>(out.size());
 }
 
+/// Fused predict+quantize kernel substrate, one bench per (sample type,
+/// ISA tier): the interior encode kernel over a long smooth line with the
+/// standard h=1/s=2 interpolation-pass geometry. Tiers are addressed
+/// directly through interp_kernels_for, so the sweep isolates pure kernel
+/// throughput — the per-tier speedups bench_compare.py summarizes come
+/// from these numbers.
+template <typename T>
+void BM_PredictQuantizeKernel(benchmark::State& state, SimdTier tier) {
+  const std::size_t n = 1 << 20;
+  std::vector<T> base(n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<T>(std::sin(0.01 * static_cast<double>(i)) +
+                             0.05 * rng.normal());
+  }
+  std::vector<T> work(n);
+  const LinearQuantizer<T> q(1e-4);
+  std::vector<std::uint32_t> codes(n);
+  std::vector<T> outliers;
+  // Pass geometry: targets at offsets 1 + 2*i; the interior range keeps
+  // every +-3h reference in bounds.
+  const std::size_t lo = 1;
+  const std::size_t hi = (n - 4) / 2;
+  const auto& kt = interp_kernels_for<T>(tier);
+  for (auto _ : state) {
+    std::memcpy(work.data(), base.data(), n * sizeof(T));
+    outliers.clear();
+    kt.encode_interior(work.data(), 1, 1, 2, lo, hi, /*cubic=*/true, q,
+                       codes.data(), outliers);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  report_bytes(state, (hi - lo) * sizeof(T));
+  state.counters["tier"] = static_cast<double>(tier);
+}
+
 void BM_FftPow2(benchmark::State& state) {
   Rng rng(3);
   std::vector<std::complex<double>> signal(1 << 14);
@@ -587,6 +624,23 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("substrate/lossless_blocks",
                                cliz::BM_LosslessBlocks)
       ->Unit(benchmark::kMillisecond);
+  for (std::size_t t = 0;
+       t <= static_cast<std::size_t>(cliz::detected_simd_tier()); ++t) {
+    const auto tier = static_cast<cliz::SimdTier>(t);
+    const std::string tname = cliz::simd_tier_name(tier);
+    benchmark::RegisterBenchmark(
+        ("predict_quantize_kernel/f32/" + tname).c_str(),
+        [tier](benchmark::State& s) {
+          cliz::BM_PredictQuantizeKernel<float>(s, tier);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("predict_quantize_kernel/f64/" + tname).c_str(),
+        [tier](benchmark::State& s) {
+          cliz::BM_PredictQuantizeKernel<double>(s, tier);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RegisterBenchmark("substrate/fft_16k", cliz::BM_FftPow2)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("substrate/wavelet_256x256",

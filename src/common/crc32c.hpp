@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <span>
 
+#include "src/common/cpu_features.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <nmmintrin.h>
 #define CLIZ_CRC32C_HW_X86 1
@@ -97,9 +99,11 @@ __attribute__((target("sse4.2"))) inline std::uint32_t update_hw(
   return crc;
 }
 
+/// Hardware path gate: the shared cpu_features tier, so CLIZ_SIMD=scalar
+/// also exercises the software CRC (the forced-scalar CI job covers the
+/// non-x86 behavior end to end).
 inline bool hw_available() {
-  static const bool ok = __builtin_cpu_supports("sse4.2");
-  return ok;
+  return active_simd_tier() >= SimdTier::kSse42;
 }
 #endif  // CLIZ_CRC32C_HW_X86
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "src/common/bitio.hpp"
+#include "src/common/cpu_features.hpp"
 #include "src/core/bin_classify.hpp"
 #include "src/core/codec_context.hpp"
 #include "src/core/periodic.hpp"
@@ -353,6 +354,7 @@ void compress_impl(const NdArray<T>& data, double abs_error_bound,
   const auto t_all = Clock::now();
   ctx.stats.reset();
   ctx.stats.threads_used = hardware_threads();
+  ctx.stats.simd_tier = static_cast<std::uint8_t>(active_simd_tier());
   // The options are the governor's source of truth on the encode side; the
   // decode side reads the same fields straight off the context (its entry
   // points have no options), so both paths converge on ctx.
@@ -415,6 +417,7 @@ Shape decompress_core(std::span<const std::uint8_t> stream, CodecContext& ctx,
   const auto t_all = Clock::now();
   ctx.stats.reset();
   ctx.stats.threads_used = hardware_threads();
+  ctx.stats.simd_tier = static_cast<std::uint8_t>(active_simd_tier());
   if (ctx.cancel != nullptr) ctx.cancel->check();
   {
     const auto t0 = Clock::now();

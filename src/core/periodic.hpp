@@ -5,6 +5,7 @@
 
 #include "src/core/mask.hpp"
 #include "src/ndarray/ndarray.hpp"
+#include "src/predictor/predict_kernels.hpp"
 
 namespace cliz {
 
@@ -28,23 +29,41 @@ inline Shape template_shape(const Shape& full, std::size_t time_dim,
   return Shape(dims);
 }
 
-/// Calls fn(full_offset, template_offset) for every point of `full`.
+/// Slab decomposition of the time tiling: row-major offsets factor as
+/// off = (o * time + t) * inner + i with inner = stride(time_dim), so the
+/// full/template mapping collapses to three nested loops over contiguous
+/// inner runs — no per-point odometer or per-dim stride sum. The template's
+/// inner strides equal the full array's (only the time extent differs), so
+/// each run maps to the contiguous template run at
+/// (o * period + t % period) * inner.
+struct PeriodicSlabs {
+  std::size_t inner = 0;   ///< elements per contiguous run
+  std::size_t time = 0;    ///< full time extent
+  std::size_t n_outer = 0; ///< product of dims before time_dim
+
+  PeriodicSlabs(const Shape& full, std::size_t time_dim) {
+    inner = full.stride(time_dim);
+    time = full.dim(time_dim);
+    const std::size_t slab = time * inner;
+    n_outer = slab == 0 ? 0 : full.size() / slab;
+  }
+};
+
+/// Calls fn(full_offset, template_offset) for every point of `full`, in
+/// ascending full-offset order (so per-template-point accumulation order is
+/// unchanged from the old odometer walk — means stay bit-identical).
 template <typename Fn>
-void for_each_mapped(const Shape& full, const Shape& tmpl,
+void for_each_mapped(const Shape& full, const Shape& /*tmpl*/,
                      std::size_t time_dim, std::size_t period, Fn&& fn) {
-  const std::size_t nd = full.ndims();
-  DimVec c(nd, 0);
-  for (std::size_t off = 0; off < full.size(); ++off) {
-    std::size_t toff = 0;
-    for (std::size_t d = 0; d < nd; ++d) {
-      const std::size_t coord = d == time_dim ? c[d] % period : c[d];
-      toff += coord * tmpl.stride(d);
-    }
-    fn(off, toff);
-    std::size_t d = nd;
-    while (d-- > 0) {
-      if (++c[d] < full.dim(d)) break;
-      c[d] = 0;
+  const PeriodicSlabs sl(full, time_dim);
+  std::size_t off = 0;
+  for (std::size_t o = 0; o < sl.n_outer; ++o) {
+    const std::size_t tbase_o = o * period * sl.inner;
+    for (std::size_t t = 0; t < sl.time; ++t) {
+      const std::size_t tbase = tbase_o + (t % period) * sl.inner;
+      for (std::size_t i = 0; i < sl.inner; ++i, ++off) {
+        fn(off, tbase + i);
+      }
     }
   }
 }
@@ -61,12 +80,22 @@ NdArray<T> periodic_template(const NdArray<T>& data, std::size_t time_dim,
   NdArray<T> tmpl(tshape);
   std::vector<std::uint32_t> counts(tshape.size(), 0);
   std::vector<double> sums(tshape.size(), 0.0);
-  detail::for_each_mapped(data.shape(), tshape, time_dim, period,
-                          [&](std::size_t off, std::size_t toff) {
-                            if (mask != nullptr && !mask->valid(off)) return;
-                            sums[toff] += static_cast<double>(data[off]);
-                            ++counts[toff];
-                          });
+  // Slab loop over contiguous inner runs through the widening-sum kernel:
+  // each template slot accumulates its contributions in ascending data
+  // offset order, exactly like the old per-point walk.
+  const detail::PeriodicSlabs sl(data.shape(), time_dim);
+  const SumKernelTable<T>& kt = sum_kernels<T>();
+  const std::uint8_t* valid = mask != nullptr ? mask->data() : nullptr;
+  std::size_t off = 0;
+  for (std::size_t o = 0; o < sl.n_outer; ++o) {
+    const std::size_t tbase_o = o * period * sl.inner;
+    for (std::size_t t = 0; t < sl.time; ++t, off += sl.inner) {
+      const std::size_t tbase = tbase_o + (t % period) * sl.inner;
+      kt.accumulate(sums.data() + tbase, counts.data() + tbase,
+                    data.data() + off,
+                    valid != nullptr ? valid + off : nullptr, sl.inner);
+    }
+  }
   for (std::size_t i = 0; i < tshape.size(); ++i) {
     tmpl[i] = counts[i] > 0
                   ? static_cast<T>(sums[i] / static_cast<double>(counts[i]))
@@ -80,18 +109,42 @@ NdArray<T> periodic_template(const NdArray<T>& data, std::size_t time_dim,
 MaskMap periodic_template_mask(const MaskMap& mask, std::size_t time_dim,
                                std::size_t period);
 
+namespace detail {
+
+/// Shared slab driver for the tiled element-wise combine: each (outer, t)
+/// pair is one contiguous run of `inner` elements handed to a masked accum
+/// kernel at the active SIMD tier. Element-wise, so bit-identical at every
+/// tier; invalid points keep their exact bits.
+template <typename T>
+void combine_template(T* data, const Shape& shape, const T* tmpl,
+                      const Shape& tshape, std::size_t time_dim,
+                      const MaskMap* mask, bool add) {
+  const std::size_t period = tshape.dim(time_dim);
+  const PeriodicSlabs sl(shape, time_dim);
+  const AccumKernelTable<T>& kt = accum_kernels<T>();
+  auto op = add ? kt.add : kt.sub;
+  const std::uint8_t* valid = mask != nullptr ? mask->data() : nullptr;
+  std::size_t off = 0;
+  for (std::size_t o = 0; o < sl.n_outer; ++o) {
+    const std::size_t tbase_o = o * period * sl.inner;
+    for (std::size_t t = 0; t < sl.time; ++t, off += sl.inner) {
+      const std::size_t tbase = tbase_o + (t % period) * sl.inner;
+      op(data + off, tmpl + tbase, valid != nullptr ? valid + off : nullptr,
+         sl.inner);
+    }
+  }
+}
+
+}  // namespace detail
+
 /// data -= template tiled along time_dim (valid points only). Raw-pointer
 /// variant (see add_template below for why both exist).
 template <typename T>
 void subtract_template(T* data, const Shape& shape, const T* tmpl,
                        const Shape& tshape, std::size_t time_dim,
                        const MaskMap* mask) {
-  const std::size_t period = tshape.dim(time_dim);
-  detail::for_each_mapped(shape, tshape, time_dim, period,
-                          [&](std::size_t off, std::size_t toff) {
-                            if (mask != nullptr && !mask->valid(off)) return;
-                            data[off] -= tmpl[toff];
-                          });
+  detail::combine_template(data, shape, tmpl, tshape, time_dim, mask,
+                           /*add=*/false);
 }
 
 /// data -= template tiled along time_dim (valid points only).
@@ -109,12 +162,8 @@ template <typename T>
 void add_template(T* data, const Shape& shape, const T* tmpl,
                   const Shape& tshape, std::size_t time_dim,
                   const MaskMap* mask) {
-  const std::size_t period = tshape.dim(time_dim);
-  detail::for_each_mapped(shape, tshape, time_dim, period,
-                          [&](std::size_t off, std::size_t toff) {
-                            if (mask != nullptr && !mask->valid(off)) return;
-                            data[off] += tmpl[toff];
-                          });
+  detail::combine_template(data, shape, tmpl, tshape, time_dim, mask,
+                           /*add=*/true);
 }
 
 /// data += template tiled along time_dim (valid points only).

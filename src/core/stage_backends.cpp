@@ -376,7 +376,7 @@ void lorenzo_predict_encode(T* work, const Shape& shape,
                             const std::uint8_t* validity, CodecContext& ctx,
                             ByteWriter& /*out*/) {
   lorenzo_encode(work, shape, Order, quantizer, validity, ctx.offsets,
-                 ctx.codes, ctx.outliers<T>(), ctx.lorenzo_terms);
+                 ctx.codes, ctx.outliers<T>(), ctx.lorenzo_terms, ctx.cancel);
   // The decode side fetches the whole code stream in one batch.
   if (!ctx.codes.empty()) ctx.fetch_marks.push_back(ctx.codes.size());
 }
@@ -394,7 +394,8 @@ void lorenzo_predict_decode(T* out, const Shape& shape,
                             const std::uint8_t* validity, CodecContext& ctx,
                             const PredictorFetch& fetch) {
   lorenzo_decode(out, shape, Order, quantizer, outliers, cursor, validity,
-                 ctx.pred_offs, ctx.pred_codes, ctx.lorenzo_terms, fetch);
+                 ctx.pred_offs, ctx.pred_codes, ctx.lorenzo_terms, fetch,
+                 ctx.cancel);
 }
 
 // --- block regression (id 3) -----------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/common/cpu_features.hpp"
+
 namespace cliz {
 
 const char* codec_stage_name(CodecStage stage) {
@@ -34,6 +36,7 @@ void StageStats::accumulate(const StageStats& other) {
   verify_seconds += other.verify_seconds;
   threads_used = threads_used > other.threads_used ? threads_used
                                                    : other.threads_used;
+  simd_tier = simd_tier > other.simd_tier ? simd_tier : other.simd_tier;
   // Entropy does not sum; keep the outermost (residual) stream's value.
   if (code_entropy_bits == 0.0) code_entropy_bits = other.code_entropy_bits;
   // Backend ids describe the outermost stream and are not merged; a
@@ -102,11 +105,12 @@ std::string StageStats::to_text() const {
                 total_seconds * 1e3, threads_used);
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "backends: predictor=%s entropy=%s%s lossless=%s\n",
+                "backends: predictor=%s entropy=%s%s lossless=%s simd=%s\n",
                 predictor_backend_label(predictor_backend),
                 entropy_backend_label(entropy_backend),
                 entropy_downgraded ? " (downgraded)" : "",
-                lossless_backend_label(lossless_backend));
+                lossless_backend_label(lossless_backend),
+                simd_tier_name(static_cast<SimdTier>(simd_tier)));
   out += buf;
   if (frame_passes) {
     std::snprintf(buf, sizeof(buf), "framing: per-pass (%zu segments)\n",
@@ -143,7 +147,7 @@ std::string StageStats::to_json() const {
                 "\"predictor_backend\":\"%s\","
                 "\"entropy_backend\":\"%s\",\"lossless_backend\":\"%s\","
                 "\"entropy_downgraded\":%s,\"frame_passes\":%s,"
-                "\"frame_segments\":%zu}",
+                "\"frame_segments\":%zu,\"simd_tier\":\"%s\"}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
                 verify_seconds, threads_used,
@@ -151,7 +155,8 @@ std::string StageStats::to_json() const {
                 entropy_backend_label(entropy_backend),
                 lossless_backend_label(lossless_backend),
                 entropy_downgraded ? "true" : "false",
-                frame_passes ? "true" : "false", frame_segments);
+                frame_passes ? "true" : "false", frame_segments,
+                simd_tier_name(static_cast<SimdTier>(simd_tier)));
   out += buf;
   return out;
 }

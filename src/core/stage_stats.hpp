@@ -60,6 +60,9 @@ struct StageStats {
   /// Worker threads available to the parallel stages of this run
   /// (hardware_threads() at call time).
   int threads_used = 1;
+  /// SIMD tier the predict/quantize kernels dispatched to (SimdTier value:
+  /// 0=scalar, 1=sse42, 2=avx2) — active_simd_tier() at call time.
+  std::uint8_t simd_tier = 0;
   /// Predictor-stage backend id for this stream (encode: the requested
   /// backend; decode: the id read from the stream's predictor byte).
   /// Matches PredictorBackend's wire values.

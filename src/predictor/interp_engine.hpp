@@ -9,6 +9,7 @@
 #include "src/common/parallel.hpp"
 #include "src/predictor/fitting.hpp"
 #include "src/predictor/interp_traversal.hpp"
+#include "src/predictor/predict_kernels.hpp"
 #include "src/quantizer/linear_quantizer.hpp"
 
 namespace cliz {
@@ -198,8 +199,9 @@ void interp_decode_dynamic(T* data, std::span<const AxisSpec> axes,
 inline constexpr std::size_t kLineParallelGrain = 4096;
 
 /// Reusable scratch for the line-parallel engine (owned by CodecContext).
-/// The per-block staging vectors hold one predictions buffer and one
-/// outlier run per concurrent line block.
+/// The per-block staging holds one flat gather-buffer set and one outlier
+/// run per concurrent line block, reused across passes and chunks so the
+/// hot path never allocates.
 struct InterpLineScratch {
   std::vector<std::size_t> line_base;   ///< per-line base offsets of a pass
   std::vector<std::size_t> line_start;  ///< exclusive per-line code prefix
@@ -209,29 +211,16 @@ struct InterpLineScratch {
   std::vector<std::uint8_t> probe_valid;
   std::vector<std::uint64_t> dec_offsets;  ///< decode: pass target offsets
   std::vector<std::uint32_t> dec_codes;    ///< decode: pass code batch
+  std::vector<InterpFlatLine> flat_blocks;  ///< per-block gather staging
 
-  template <typename T>
-  [[nodiscard]] std::vector<std::vector<T>>& preds();
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>>& block_outliers();
 
  private:
-  std::vector<std::vector<float>> preds_f32_;
-  std::vector<std::vector<double>> preds_f64_;
   std::vector<std::vector<float>> outl_f32_;
   std::vector<std::vector<double>> outl_f64_;
 };
 
-template <>
-[[nodiscard]] inline std::vector<std::vector<float>>&
-InterpLineScratch::preds<float>() {
-  return preds_f32_;
-}
-template <>
-[[nodiscard]] inline std::vector<std::vector<double>>&
-InterpLineScratch::preds<double>() {
-  return preds_f64_;
-}
 template <>
 [[nodiscard]] inline std::vector<std::vector<float>>&
 InterpLineScratch::block_outliers<float>() {
@@ -281,117 +270,123 @@ inline std::pair<std::size_t, std::size_t> line_interior(std::size_t extent,
   return {0, std::min(n, (extent - 1) / s)};
 }
 
-/// Predictions for every target of one unmasked line into preds[0..n):
-/// interior targets through the fixed-coefficient kernel (bit-identical to
-/// interp_predict — the all-valid Theorem-1 rows have no zero coefficient,
-/// so the generic path performs exactly these accumulations), boundary
-/// targets through the generic path. Reads only non-target positions.
-template <typename T>
-void predict_line(const T* data, std::size_t base, const AxisSpec& ax,
-                  std::size_t h, std::size_t s, FittingKind fit,
-                  std::size_t n, T* preds) {
+/// Builds the flat gather buffers for one masked line: per valid target, the
+/// four neighbour offsets exactly as line_refs would set them (0 when out of
+/// range) and the validity id interp_predict would compute (in-range AND
+/// mask). `tgt_out`, when non-null, receives the target offsets — on encode
+/// it aliases the pass's offset segment so no copy is needed; decode already
+/// has the targets from its fetch staging and passes nullptr.
+inline void build_flat_line(std::size_t base, const AxisSpec& ax,
+                            std::size_t h, std::size_t s,
+                            const std::uint8_t* validity,
+                            std::uint64_t* tgt_out, InterpFlatLine& flat) {
   const std::size_t st = ax.stride;
-  const auto [lo, hi] = line_interior(ax.extent, h, s, n, fit);
-  const T* dp = data + base;
-  if (fit == FittingKind::kCubic) {
-    const CubicFit& f = cubic_fit(0xFu);
-    const double c0 = f.p[0];
-    const double c1 = f.p[1];
-    const double c2 = f.p[2];
-    const double c3 = f.p[3];
-    const std::size_t hs = h * st;
-    const std::size_t h3 = 3 * h * st;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t o = (h + i * s) * st;
-      double p = 0.0;
-      p += c0 * static_cast<double>(dp[o - h3]);
-      p += c1 * static_cast<double>(dp[o - hs]);
-      p += c2 * static_cast<double>(dp[o + hs]);
-      p += c3 * static_cast<double>(dp[o + h3]);
-      preds[i] = static_cast<T>(p);
-    }
-  } else {
-    const auto lf = linear_fit(1u, 1u);
-    const double l0 = lf[0];
-    const double l1 = lf[1];
-    const std::size_t hs = h * st;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t o = (h + i * s) * st;
-      double p = 0.0;
-      p += l0 * static_cast<double>(dp[o - hs]);
-      p += l1 * static_cast<double>(dp[o + hs]);
-      preds[i] = static_cast<T>(p);
-    }
-  }
-  for (std::size_t i = 0; i < lo; ++i) {
-    const std::size_t c = h + i * s;
-    preds[i] =
-        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
-  }
-  for (std::size_t i = hi; i < n; ++i) {
-    const std::size_t c = h + i * s;
-    preds[i] =
-        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
+  const std::size_t cap = ax.extent > h ? (ax.extent - h + s - 1) / s : 0;
+  flat.ensure(cap);
+  std::size_t k = 0;
+  for (std::size_t c = h; c < ax.extent; c += s) {
+    const std::size_t off = base + c * st;
+    if (validity[off] == 0) continue;
+    const bool i0 = c >= 3 * h;
+    const bool i2 = c + h < ax.extent;
+    const bool i3 = c + 3 * h < ax.extent;
+    const std::size_t o0 = i0 ? off - 3 * h * st : 0;
+    const std::size_t o1 = off - h * st;
+    const std::size_t o2 = i2 ? off + h * st : 0;
+    const std::size_t o3 = i3 ? off + 3 * h * st : 0;
+    unsigned vm = 0;
+    vm |= (i0 && validity[o0] != 0) ? 1u : 0u;
+    vm |= validity[o1] != 0 ? 2u : 0u;
+    vm |= (i2 && validity[o2] != 0) ? 4u : 0u;
+    vm |= (i3 && validity[o3] != 0) ? 8u : 0u;
+    if (tgt_out != nullptr) tgt_out[k] = off;
+    flat.nb[0][k] = o0;
+    flat.nb[1][k] = o1;
+    flat.nb[2][k] = o2;
+    flat.nb[3][k] = o3;
+    flat.fid[k] = static_cast<std::uint8_t>(vm);
+    ++k;
   }
 }
 
 /// Encodes one line of a pass: exactly `count` (offset, code) pairs into
-/// off_out/code_out, outliers appended in target order.
+/// off_out/code_out, outliers appended in target order. Masked lines run
+/// through the flat gather kernels; unmasked lines fuse predict+quantize in
+/// the interior kernel with generic-path boundaries. Both are dispatched at
+/// the active SIMD tier and bit-identical to the scalar reference.
 template <typename T>
 void encode_line(T* data, std::size_t base, const AxisSpec& ax, std::size_t h,
                  std::size_t s, FittingKind fit, const LinearQuantizer<T>& q,
                  const std::uint8_t* validity, std::uint64_t* off_out,
                  std::uint32_t* code_out, std::size_t count,
-                 std::vector<T>& outliers, std::vector<T>& preds) {
+                 std::vector<T>& outliers, InterpFlatLine& flat) {
   const std::size_t st = ax.stride;
+  const InterpKernelTable<T>& kt = interp_kernels<T>();
+  const bool cubic = fit == FittingKind::kCubic;
   if (validity != nullptr) {
-    std::size_t k = 0;
-    for (std::size_t c = h; c < ax.extent; c += s) {
-      const std::size_t off = base + c * st;
-      if (validity[off] == 0) continue;
-      const T pred =
-          interp_predict(data, line_refs(off, c, h, ax), validity, fit);
-      off_out[k] = off;
-      code_out[k] = q.quantize(data[off], pred, outliers);
-      ++k;
-    }
+    build_flat_line(base, ax, h, s, validity, off_out, flat);
+    const InterpFlatRefs refs{off_out,           flat.nb[0].data(),
+                              flat.nb[1].data(), flat.nb[2].data(),
+                              flat.nb[3].data(), flat.fid.data()};
+    kt.encode_flat(data, refs, count, cubic, q, code_out, outliers);
     return;
   }
-  preds.resize(count);
-  predict_line(data, base, ax, h, s, fit, count, preds.data());
   for (std::size_t i = 0; i < count; ++i) {
     off_out[i] = base + (h + i * s) * st;
   }
-  q.quantize_line(data + base + h * st, s * st, preds.data(), code_out, count,
-                  outliers);
+  const auto [lo, hi] = line_interior(ax.extent, h, s, count, fit);
+  for (std::size_t i = 0; i < lo; ++i) {
+    const std::size_t c = h + i * s;
+    const T pred =
+        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
+    code_out[i] = q.quantize(data[base + c * st], pred, outliers);
+  }
+  kt.encode_interior(data + base, st, h, s, lo, hi, cubic, q, code_out,
+                     outliers);
+  for (std::size_t i = hi; i < count; ++i) {
+    const std::size_t c = h + i * s;
+    const T pred =
+        interp_predict(data, line_refs(base + c * st, c, h, ax), nullptr, fit);
+    code_out[i] = q.quantize(data[base + c * st], pred, outliers);
+  }
 }
 
 /// Decodes one line: recover() runs in target order from a line-local
 /// outlier cursor (the caller prefix-summed the per-line escape counts, so
-/// the cursor is exact no matter which thread runs the line).
+/// the cursor is exact no matter which thread runs the line). `tgt` is the
+/// line's segment of the fetched target offsets (used by the masked path).
 template <typename T>
 void decode_line(T* out, std::size_t base, const AxisSpec& ax, std::size_t h,
                  std::size_t s, FittingKind fit, const LinearQuantizer<T>& q,
-                 const std::uint8_t* validity, const std::uint32_t* codes,
-                 std::size_t count, std::span<const T> outliers,
-                 std::size_t cursor, std::vector<T>& preds) {
+                 const std::uint8_t* validity, const std::uint64_t* tgt,
+                 const std::uint32_t* codes, std::size_t count,
+                 std::span<const T> outliers, std::size_t cursor,
+                 InterpFlatLine& flat) {
   const std::size_t st = ax.stride;
+  const InterpKernelTable<T>& kt = interp_kernels<T>();
+  const bool cubic = fit == FittingKind::kCubic;
   if (validity != nullptr) {
-    std::size_t k = 0;
-    for (std::size_t c = h; c < ax.extent; c += s) {
-      const std::size_t off = base + c * st;
-      if (validity[off] == 0) continue;
-      const T pred =
-          interp_predict(out, line_refs(off, c, h, ax), validity, fit);
-      out[off] = q.recover(codes[k++], pred, outliers, cursor);
-    }
+    build_flat_line(base, ax, h, s, validity, nullptr, flat);
+    const InterpFlatRefs refs{tgt,               flat.nb[0].data(),
+                              flat.nb[1].data(), flat.nb[2].data(),
+                              flat.nb[3].data(), flat.fid.data()};
+    kt.decode_flat(out, refs, count, cubic, q, codes, outliers, cursor);
     return;
   }
-  preds.resize(count);
-  predict_line(out, base, ax, h, s, fit, count, preds.data());
-  T* dp = out + base;
-  for (std::size_t i = 0; i < count; ++i) {
-    dp[(h + i * s) * st] = q.recover(codes[i], preds[i], outliers, cursor);
+  const auto [lo, hi] = line_interior(ax.extent, h, s, count, fit);
+  for (std::size_t i = 0; i < lo; ++i) {
+    const std::size_t c = h + i * s;
+    const T pred =
+        interp_predict(out, line_refs(base + c * st, c, h, ax), nullptr, fit);
+    out[base + c * st] = q.recover(codes[i], pred, outliers, cursor);
+  }
+  kt.decode_interior(out + base, st, h, s, lo, hi, cubic, q, codes, outliers,
+                     cursor);
+  for (std::size_t i = hi; i < count; ++i) {
+    const std::size_t c = h + i * s;
+    const T pred =
+        interp_predict(out, line_refs(base + c * st, c, h, ax), nullptr, fit);
+    out[base + c * st] = q.recover(codes[i], pred, outliers, cursor);
   }
 }
 
@@ -506,7 +501,7 @@ void interp_encode_lines(T* data, std::span<const AxisSpec> axes,
     codes.push_back(quantizer.quantize(data[0], T{0}, outliers));
     if (fetch_marks != nullptr) fetch_marks->push_back(codes.size());
   }
-  auto& preds_blocks = scratch.preds<T>();
+  auto& flat_blocks = scratch.flat_blocks;
   auto& outl_blocks = scratch.block_outliers<T>();
   interp_for_each_pass(axes, order, [&](const InterpPass& pass) {
     const AxisSpec ax = axes[pass.d];
@@ -537,13 +532,13 @@ void interp_encode_lines(T* data, std::span<const AxisSpec> axes,
     const std::size_t nblocks = tot >= kLineParallelGrain && n_lines > 1
                                     ? std::min(n_lines, workers)
                                     : 1;
-    if (preds_blocks.size() < nblocks) preds_blocks.resize(nblocks);
+    if (flat_blocks.size() < nblocks) flat_blocks.resize(nblocks);
     if (outl_blocks.size() < nblocks) outl_blocks.resize(nblocks);
 
     ErrorLatch latch;
     parallel_for(0, nblocks, 2, [&](std::size_t b) {
       latch.run([&] {
-        auto& preds = preds_blocks[b];
+        auto& flat = flat_blocks[b];
         auto& outl = outl_blocks[b];
         outl.clear();
         const std::size_t blo = n_lines * b / nblocks;
@@ -553,7 +548,7 @@ void interp_encode_lines(T* data, std::span<const AxisSpec> axes,
                               quantizer, validity,
                               offsets.data() + cbase + start[ln],
                               codes.data() + cbase + start[ln],
-                              start[ln + 1] - start[ln], outl, preds);
+                              start[ln + 1] - start[ln], outl, flat);
         }
       });
     });
@@ -590,7 +585,7 @@ void interp_decode_lines(T* out, std::span<const AxisSpec> axes,
     fetch(&off0, &code0, std::size_t{1});
     out[0] = quantizer.recover(code0, T{0}, outliers, outlier_cursor);
   }
-  auto& preds_blocks = scratch.preds<T>();
+  auto& flat_blocks = scratch.flat_blocks;
   std::size_t pass_idx = 0;
   interp_for_each_pass(axes, order, [&](const InterpPass& pass) {
     FittingKind fit = static_fit;
@@ -636,21 +631,19 @@ void interp_decode_lines(T* out, std::span<const AxisSpec> axes,
 
     // Per-line escape (code 0) prefix gives each line its outlier cursor;
     // validating codes and the outlier supply here keeps recover() from
-    // throwing inside the parallel region below.
+    // throwing inside the parallel region below. The vectorized scan's
+    // max-code check is equivalent to checking every non-zero code (zeros
+    // are below any legal limit).
     auto& zero = scratch.line_zero;
     zero.resize(n_lines + 1);
     zero[0] = 0;
     const std::uint32_t code_limit = 2 * quantizer.radius();
     for (std::size_t ln = 0; ln < n_lines; ++ln) {
-      std::size_t zc = 0;
-      for (std::size_t k = start[ln]; k < start[ln + 1]; ++k) {
-        if (cds[k] == 0) {
-          ++zc;
-        } else {
-          CLIZ_REQUIRE(cds[k] < code_limit, "quantization code out of range");
-        }
-      }
-      zero[ln + 1] = zero[ln] + zc;
+      const CodeScan scan =
+          scan_codes(cds.data() + start[ln], start[ln + 1] - start[ln]);
+      CLIZ_REQUIRE(scan.max_code < code_limit,
+                   "quantization code out of range");
+      zero[ln + 1] = zero[ln] + scan.zeros;
     }
     CLIZ_REQUIRE(outlier_cursor + zero[n_lines] <= outliers.size(),
                  "outlier stream truncated");
@@ -660,19 +653,20 @@ void interp_decode_lines(T* out, std::span<const AxisSpec> axes,
     const std::size_t nblocks = tot >= kLineParallelGrain && n_lines > 1
                                     ? std::min(n_lines, workers)
                                     : 1;
-    if (preds_blocks.size() < nblocks) preds_blocks.resize(nblocks);
+    if (flat_blocks.size() < nblocks) flat_blocks.resize(nblocks);
 
     ErrorLatch latch;
     parallel_for(0, nblocks, 2, [&](std::size_t b) {
       latch.run([&] {
-        auto& preds = preds_blocks[b];
+        auto& flat = flat_blocks[b];
         const std::size_t blo = n_lines * b / nblocks;
         const std::size_t bhi = n_lines * (b + 1) / nblocks;
         for (std::size_t ln = blo; ln < bhi; ++ln) {
           detail::decode_line(out, line_base[ln], ax, pass.h, pass.s, fit,
-                              quantizer, validity, cds.data() + start[ln],
+                              quantizer, validity, offs.data() + start[ln],
+                              cds.data() + start[ln],
                               start[ln + 1] - start[ln], outliers,
-                              outlier_cursor + zero[ln], preds);
+                              outlier_cursor + zero[ln], flat);
         }
       });
     });

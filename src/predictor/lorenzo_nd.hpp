@@ -14,8 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "src/common/governor.hpp"
 #include "src/ndarray/shape.hpp"
 #include "src/predictor/interp_traversal.hpp"
+#include "src/predictor/predict_kernels.hpp"
 #include "src/quantizer/linear_quantizer.hpp"
 
 namespace cliz {
@@ -104,12 +106,66 @@ T lorenzo_predict_at(const T* data, std::span<const LorenzoTerm> terms,
   return static_cast<T>(p);
 }
 
+/// Row-loop bookkeeping shared by the encode/decode scans: rows run along
+/// the innermost (stride-1) dimension, the outer-coordinate odometer
+/// advances once per ROW instead of once per point, and a row whose outer
+/// coordinates all clear the `order` border gets an analytic interior run
+/// [order, row_len) that the branch-free lorenzo_row_* kernels handle
+/// without any per-point range tests. Cooperative cancellation is polled at
+/// ~64Ki-point granularity (the raster scan previously had no poll at all,
+/// so a huge chunk could not be cancelled mid-predictor).
+struct LorenzoRowScan {
+  std::size_t nd = 0;
+  std::size_t row_len = 0;
+  std::size_t n_rows = 0;
+  std::size_t poll_rows = 1;  ///< cancellation poll cadence, in rows
+
+  explicit LorenzoRowScan(const Shape& shape) {
+    nd = shape.ndims();
+    row_len = shape.dim(nd - 1);
+    n_rows = row_len == 0 ? 0 : shape.size() / row_len;
+    poll_rows = std::max<std::size_t>(
+        1, std::size_t{65536} / std::max<std::size_t>(1, row_len));
+  }
+
+  /// True when every OUTER coordinate of the row is >= order, i.e. the row's
+  /// [order, row_len) span is interior.
+  [[nodiscard]] bool outer_interior(const std::size_t* c,
+                                    unsigned order) const {
+    for (std::size_t d = 0; d + 1 < nd; ++d) {
+      if (c[d] < order) return false;
+    }
+    return true;
+  }
+
+  /// Advances the outer-coordinate odometer to the next row.
+  void next_row(std::size_t* c, const Shape& shape) const {
+    std::size_t d = nd - 1;
+    while (d-- > 0) {
+      if (++c[d] < shape.dim(d)) break;
+      c[d] = 0;
+    }
+  }
+};
+
+/// Copies the stencil's hot fields into the flat row-kernel terms.
+inline void lorenzo_flat_terms(std::span<const LorenzoTerm> stencil,
+                               std::vector<LorenzoFlatTerm>& flat) {
+  flat.resize(stencil.size());
+  for (std::size_t i = 0; i < stencil.size(); ++i) {
+    flat[i] = LorenzoFlatTerm{stencil[i].delta, stencil[i].weight};
+  }
+}
+
 }  // namespace detail
 
 /// Serial raster-scan encode: quantizes every valid point against its
 /// Lorenzo prediction, appending (offset, code) pairs and outliers in visit
 /// order. Serial by construction, so streams are identical for every thread
-/// count. `data` is mutated to the reconstruction.
+/// count. `data` is mutated to the reconstruction. The scan is row-based:
+/// unmasked rows clear of the low border run through the branch-free flat
+/// row kernel; border/masked points take the generic range-checked path.
+/// `cancel` (nullable) is polled about every 64Ki points.
 template <typename T>
 void lorenzo_encode(T* data, const Shape& shape, unsigned order,
                     const LinearQuantizer<T>& quantizer,
@@ -117,35 +173,47 @@ void lorenzo_encode(T* data, const Shape& shape, unsigned order,
                     std::vector<std::uint64_t>& offsets,
                     std::vector<std::uint32_t>& codes,
                     std::vector<T>& outliers,
-                    std::vector<LorenzoTerm>& stencil) {
+                    std::vector<LorenzoTerm>& stencil,
+                    const CancelToken* cancel = nullptr) {
   lorenzo_stencil(shape, order, stencil);
-  const std::size_t nd = shape.ndims();
+  std::vector<LorenzoFlatTerm> flat;
+  detail::lorenzo_flat_terms(stencil, flat);
+  const detail::LorenzoRowScan scan(shape);
+  const std::size_t nd = scan.nd;
   std::array<std::size_t, kMaxAxes> c{};
-  for (std::size_t off = 0; off < shape.size(); ++off) {
-    if (validity == nullptr || validity[off] != 0) {
-      bool interior = true;
-      for (std::size_t d = 0; d < nd; ++d) {
-        if (c[d] < order) {
-          interior = false;
-          break;
-        }
+  for (std::size_t row = 0; row < scan.n_rows; ++row) {
+    if (cancel != nullptr && row % scan.poll_rows == 0) cancel->check();
+    const std::size_t base = row * scan.row_len;
+    const bool outer_ok = scan.outer_interior(c.data(), order);
+    const std::size_t run_lo =
+        outer_ok && validity == nullptr
+            ? std::min<std::size_t>(order, scan.row_len)
+            : scan.row_len;
+    for (std::size_t j = 0; j < run_lo; ++j) {
+      const std::size_t off = base + j;
+      if (validity != nullptr && validity[off] == 0) {
+        continue;
       }
-      const T pred = detail::lorenzo_predict_at(
-          data, stencil, c.data(), nd, off, interior, validity);
+      c[nd - 1] = j;
+      const bool interior = outer_ok && j >= order;
+      const T pred = detail::lorenzo_predict_at(data, stencil, c.data(), nd,
+                                                off, interior, validity);
       offsets.push_back(off);
       codes.push_back(quantizer.quantize(data[off], pred, outliers));
     }
-    std::size_t d = nd;
-    while (d-- > 0) {
-      if (++c[d] < shape.dim(d)) break;
-      c[d] = 0;
+    if (run_lo < scan.row_len) {
+      lorenzo_row_encode(data, base + run_lo, scan.row_len - run_lo, flat,
+                         quantizer, offsets, codes, outliers);
     }
+    c[nd - 1] = 0;
+    scan.next_row(c.data(), shape);
   }
 }
 
 /// Decode counterpart: the target offsets are known up front (every valid
 /// point in raster order), so the whole code stream is fetched in one batch
-/// before the inherently serial reconstruction scan.
+/// before the inherently serial reconstruction scan. Row structure and
+/// cancellation cadence mirror lorenzo_encode exactly.
 template <typename T, typename Fetch>
 void lorenzo_decode(T* out, const Shape& shape, unsigned order,
                     const LinearQuantizer<T>& quantizer,
@@ -153,9 +221,11 @@ void lorenzo_decode(T* out, const Shape& shape, unsigned order,
                     const std::uint8_t* validity,
                     std::vector<std::uint64_t>& off_scratch,
                     std::vector<std::uint32_t>& code_scratch,
-                    std::vector<LorenzoTerm>& stencil, const Fetch& fetch) {
+                    std::vector<LorenzoTerm>& stencil, const Fetch& fetch,
+                    const CancelToken* cancel = nullptr) {
   lorenzo_stencil(shape, order, stencil);
-  const std::size_t nd = shape.ndims();
+  std::vector<LorenzoFlatTerm> flat;
+  detail::lorenzo_flat_terms(stencil, flat);
   off_scratch.clear();
   off_scratch.reserve(shape.size());
   for (std::size_t off = 0; off < shape.size(); ++off) {
@@ -164,26 +234,36 @@ void lorenzo_decode(T* out, const Shape& shape, unsigned order,
   code_scratch.resize(off_scratch.size());
   fetch(off_scratch.data(), code_scratch.data(), off_scratch.size());
 
+  const detail::LorenzoRowScan scan(shape);
+  const std::size_t nd = scan.nd;
   std::array<std::size_t, kMaxAxes> c{};
   std::size_t k = 0;
-  for (std::size_t off = 0; off < shape.size(); ++off) {
-    if (validity == nullptr || validity[off] != 0) {
-      bool interior = true;
-      for (std::size_t d = 0; d < nd; ++d) {
-        if (c[d] < order) {
-          interior = false;
-          break;
-        }
+  for (std::size_t row = 0; row < scan.n_rows; ++row) {
+    if (cancel != nullptr && row % scan.poll_rows == 0) cancel->check();
+    const std::size_t base = row * scan.row_len;
+    const bool outer_ok = scan.outer_interior(c.data(), order);
+    const std::size_t run_lo =
+        outer_ok && validity == nullptr
+            ? std::min<std::size_t>(order, scan.row_len)
+            : scan.row_len;
+    for (std::size_t j = 0; j < run_lo; ++j) {
+      const std::size_t off = base + j;
+      if (validity != nullptr && validity[off] == 0) {
+        continue;
       }
-      const T pred = detail::lorenzo_predict_at(
-          out, stencil, c.data(), nd, off, interior, validity);
+      c[nd - 1] = j;
+      const bool interior = outer_ok && j >= order;
+      const T pred = detail::lorenzo_predict_at(out, stencil, c.data(), nd,
+                                                off, interior, validity);
       out[off] = quantizer.recover(code_scratch[k++], pred, outliers, cursor);
     }
-    std::size_t d = nd;
-    while (d-- > 0) {
-      if (++c[d] < shape.dim(d)) break;
-      c[d] = 0;
+    if (run_lo < scan.row_len) {
+      lorenzo_row_decode(out, base + run_lo, scan.row_len - run_lo, flat,
+                         quantizer, code_scratch.data() + k, outliers, cursor);
+      k += scan.row_len - run_lo;
     }
+    c[nd - 1] = 0;
+    scan.next_row(c.data(), shape);
   }
 }
 

@@ -123,7 +123,10 @@ TEST(ContextPool, ExclusiveHandoutUnderContention) {
   std::thread poller([&] {
     std::uint64_t last_checkouts = 0;
     std::uint64_t last_warm = 0;
-    while (!stop_poller.load(std::memory_order_acquire)) {
+    // do-while: at least one read happens even when the hammer drains
+    // before this thread is first scheduled (a loaded machine can finish
+    // the workers in single-digit milliseconds).
+    do {
       const auto s = pool.stats();
       EXPECT_EQ(s.contexts, kSlots);
       EXPECT_GE(s.checkouts, last_checkouts) << "checkouts went backwards";
@@ -133,7 +136,7 @@ TEST(ContextPool, ExclusiveHandoutUnderContention) {
       last_warm = s.warm_hits;
       poller_reads.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
-    }
+    } while (!stop_poller.load(std::memory_order_acquire));
   });
 
   for (auto& w : workers) w.join();

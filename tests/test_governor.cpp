@@ -170,7 +170,13 @@ TEST(CancelGovernor, HammerRacingCancelAgainstChunkedDecode) {
     // Stagger the cancel across the decode's lifetime, round-robin from
     // "immediately" to "well after it finished".
     const auto delay = std::chrono::microseconds(50 * (round % 12));
+    // The zero-delay rounds cancel BEFORE the decode starts: a guaranteed
+    // abort that keeps the "some rounds must cancel" assertion below
+    // deterministic no matter how fast the decode finishes or how late the
+    // killer thread gets scheduled.
+    if (delay.count() == 0) token.cancel();
     std::thread killer([&token, delay] {
+      if (delay.count() == 0) return;
       std::this_thread::sleep_for(delay);
       token.cancel();
     });

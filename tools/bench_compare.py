@@ -105,6 +105,39 @@ def backend_summary(run):
             )
 
 
+def kernel_summary(run):
+    """Per-tier speedups of the predict/quantize kernel substrate.
+
+    Groups benchmarks named ``predict_quantize_kernel/<type>/<tier>`` and
+    prints each tier's throughput relative to the scalar reference of the
+    same sample type, so the SIMD win (and any tier that fails to beat
+    scalar on this host) is visible at a glance. Informational only —
+    never fails the run.
+    """
+    groups = {}
+    for name, metrics in run.items():
+        parts = name.split("/")
+        if parts[0] != "predict_quantize_kernel" or len(parts) != 3:
+            continue
+        if not metrics.get("bytes_per_second"):
+            continue
+        groups.setdefault(parts[1], {})[parts[2]] = metrics["bytes_per_second"]
+
+    if not groups:
+        return
+    tier_order = {"scalar": 0, "sse42": 1, "avx2": 2}
+    print("\npredict/quantize kernel tiers (speedup vs scalar):")
+    for dtype, tiers in sorted(groups.items()):
+        base = tiers.get("scalar")
+        for tier, bps in sorted(
+            tiers.items(), key=lambda kv: tier_order.get(kv[0], 99)
+        ):
+            rel = f"{bps / base:5.2f}x" if base else "    -"
+            print(
+                f"  {dtype:<5} {tier:<8} {bps / 1e6:10.1f}MB/s  {rel}"
+            )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("run", help="fresh google-benchmark JSON report")
@@ -179,6 +212,7 @@ def main():
             regressions.append(name)
 
     backend_summary(run)
+    kernel_summary(run)
 
     if regressions:
         print(

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "src/climate/datasets.hpp"
+#include "src/common/cpu_features.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/status.hpp"
+#include "src/common/version.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/chunked.hpp"
 #include "src/core/cliz.hpp"
@@ -71,12 +73,16 @@ const CancelToken* governor_cancel() { return g_governed ? &g_cancel : nullptr; 
                    [-r REL | -e ABS] [--mask-fill] [--tune RATE]
   clizc archive-list    <in.clza> [--salvage]
   clizc archive-extract <in.clza> <var> -o <out.f32> [--salvage]
+  clizc version    (also --version; prints the library version and the
+                    detected/active SIMD kernel tier)
 
 --salvage opens the archive tolerantly: variables whose record checksums
 verify are recovered even when the trailer or index is damaged, and the
 salvage report is printed to stderr.
 --threads N (any command) caps the worker threads used by the parallel
 codec paths; streams are byte-identical for every setting.
+CLIZ_SIMD=scalar|sse42|avx2 (environment) caps the SIMD tier of the
+predict/quantize kernels; streams are byte-identical at every tier.
 --max-output-bytes N (any command) rejects streams whose headers declare a
 decoded size above N bytes (exit 4) before anything is allocated.
 --deadline-ms N (any command) aborts decode/tune work cooperatively after
@@ -756,6 +762,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   Args args{argc, argv};
   try {
+    if (cmd == "version" || cmd == "--version") {
+      std::printf("clizc %s (simd: active=%s detected=%s)\n", cliz::version(),
+                  cliz::simd_tier_name(cliz::active_simd_tier()),
+                  cliz::simd_tier_name(cliz::detected_simd_tier()));
+      return 0;
+    }
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);
     if (cmd == "info") return cmd_info(args);
