@@ -41,6 +41,11 @@ struct ResourceLimits {
   std::uint64_t max_archive_variables = std::uint64_t{1} << 20;
   /// Compressed bytes one CLZA record may declare.
   std::uint64_t max_record_bytes = std::uint64_t{1} << 40;  // 1 TiB
+  /// Byte budget of a decoded-tile cache (TileCache) built from these
+  /// limits. Unlike the caps above this bounds a cache the *server* keeps,
+  /// not a hostile declaration — but it lives here so one ResourceLimits
+  /// describes the whole memory posture of a request-serving process.
+  std::uint64_t max_tile_cache_bytes = std::uint64_t{256} << 20;  // 256 MiB
 };
 
 /// Cooperative cancellation with an optional deadline. A server thread (or

@@ -1,26 +1,29 @@
 #include "src/core/chunked.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <exception>
 #include <optional>
 
 #include "src/common/bytestream.hpp"
 #include "src/common/crc32c.hpp"
 #include "src/common/parallel.hpp"
-#include "src/core/compressor.hpp"
+#include "src/core/chunked_reader.hpp"
 
 namespace cliz {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x434C4B53u;    // "CLKS": v1, checksum-less
+constexpr std::uint32_t kMagic = detail::kChunkedMagicV1;    // "CLKS"
 // v2 frame: the header (dims, chunk ranges, per-chunk payload CRCs) is
 // front-loaded and covered by its own CRC32C, then the payload blocks
 // follow. Covering the payload digests by the header digest means a spliced
 // chunk (payload + its CRC swapped in from another frame) cannot pass.
-constexpr std::uint32_t kMagicV2 = 0x434C4B32u;  // "CLK2"
+constexpr std::uint32_t kMagicV2 = detail::kChunkedMagicV2;  // "CLK2"
+// v3 frame: adds random access — per-tile N-D origin/extent plus payload
+// byte offset/length live in the CRC-covered header, so a reader seeks
+// straight to any tile. Written only when ChunkedOptions::tile is set; the
+// default slab path keeps emitting v2 byte-identically.
+constexpr std::uint32_t kMagicV3 = detail::kChunkedMagicV3;  // "CLK3"
 
 /// Slab boundaries: `chunks` near-equal ranges of dim 0.
 std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
@@ -36,83 +39,132 @@ std::vector<std::pair<std::size_t, std::size_t>> slabs(std::size_t extent,
   return out;
 }
 
-struct ChunkRef {
-  std::size_t lo = 0;
-  std::size_t hi = 0;
-  std::span<const std::uint8_t> bytes;
-  std::uint32_t crc = 0;       ///< CRC32C of `bytes` (v2 frames)
-  bool has_crc = false;
+/// Tile grid of the v3 layout: origin/extent boxes in raster order.
+struct TileBox {
+  DimVec origin;
+  DimVec extent;
 };
 
-/// Parses and validates the frame header (v1 or v2), filling `refs`.
-/// Returns the full array shape. For v2 frames the header CRC and the
-/// chunk-range structure are verified here; per-chunk payload CRCs are
-/// stashed in the refs and checked by the (parallel) decode workers.
-Shape parse_chunked_header(std::span<const std::uint8_t> stream,
-                           std::vector<ChunkRef>& refs,
-                           const ResourceLimits& limits) {
-  ByteReader in(stream);
-  const std::uint32_t magic = in.get<std::uint32_t>();
-  CLIZ_REQUIRE(magic == kMagic || magic == kMagicV2, "not a chunked stream");
-  const bool v2 = magic == kMagicV2;
-  const std::size_t ndims = static_cast<std::size_t>(in.get_varint());
-  CLIZ_REQUIRE(ndims >= 1 && ndims <= 8, "corrupt dimensionality");
-  DimVec dims(ndims);
-  for (auto& d : dims) d = static_cast<std::size_t>(in.get_varint());
-  // Governor: declared extents size the output array; reject a hostile
-  // header before Shape validates (and before anything allocates on it).
-  {
-    std::uint64_t declared = 1;
-    bool within = true;
-    for (const std::size_t d : dims) {
-      within =
-          within && detail::checked_mul_within(declared, d, limits.max_extents);
-      if (!within) break;
-    }
-    CLIZ_REQUIRE_CODE(within, kLimitExceeded,
-                      "declared chunked extents exceed "
-                      "ResourceLimits::max_extents (header offset " +
-                          std::to_string(in.pos()) + ")");
+std::vector<TileBox> tile_grid(const Shape& shape, const DimVec& tile) {
+  const std::size_t nd = shape.ndims();
+  DimVec tdim(nd);
+  DimVec counts(nd);
+  std::size_t n_tiles = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    tdim[d] = tile[d] == 0 ? shape.dim(d)
+                           : std::min(tile[d], shape.dim(d));
+    counts[d] = (shape.dim(d) + tdim[d] - 1) / tdim[d];
+    n_tiles *= counts[d];
   }
-  const Shape shape(std::move(dims));
-  const std::size_t n_chunks = static_cast<std::size_t>(in.get_varint());
-  // Governor first: the chunk count sizes the ref table (and one decode
-  // task per entry) — an inflated declaration is a limit refusal even when
-  // it would also fail the structural cross-check below.
-  CLIZ_REQUIRE_CODE(n_chunks <= limits.max_chunks, kLimitExceeded,
-                    "declared chunk count exceeds ResourceLimits::max_chunks "
-                    "(header offset " +
-                        std::to_string(in.pos()) + ")");
-  CLIZ_REQUIRE(n_chunks >= 1 && n_chunks <= shape.dim(0),
-               "corrupt chunk count");
+  std::vector<TileBox> boxes(n_tiles);
+  DimVec idx(nd, 0);
+  for (auto& box : boxes) {
+    box.origin.resize(nd);
+    box.extent.resize(nd);
+    for (std::size_t d = 0; d < nd; ++d) {
+      box.origin[d] = idx[d] * tdim[d];
+      box.extent[d] = std::min(tdim[d], shape.dim(d) - box.origin[d]);
+    }
+    for (std::size_t d = nd; d-- > 0;) {
+      if (++idx[d] < counts[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return boxes;
+}
 
-  refs.resize(n_chunks);
-  std::size_t expected = 0;
-  for (auto& ref : refs) {
-    ref.lo = static_cast<std::size_t>(in.get_varint());
-    ref.hi = static_cast<std::size_t>(in.get_varint());
-    CLIZ_REQUIRE(ref.lo == expected && ref.hi > ref.lo &&
-                     ref.hi <= shape.dim(0),
-                 "corrupt chunk ranges");
-    expected = ref.hi;
-    if (v2) {
-      ref.crc = in.get<std::uint32_t>();
-      ref.has_crc = true;
-    } else {
-      ref.bytes = in.get_block();
+template <typename T>
+void tiled_compress_impl(const NdArray<T>& data, double abs_error_bound,
+                         const PipelineConfig& config, const MaskMap* mask,
+                         const ChunkedOptions& options,
+                         std::vector<std::uint8_t>& out) {
+  const Shape& shape = data.shape();
+  const std::size_t nd = shape.ndims();
+  CLIZ_REQUIRE_CODE(options.tile.size() == nd, kBadArgument,
+                    "tile arity does not match data dimensionality");
+  if (mask != nullptr) {
+    CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
+  }
+  const std::vector<TileBox> boxes = tile_grid(shape, options.tile);
+
+  std::optional<ChunkedScratch> local;
+  ChunkedScratch& scratch =
+      options.scratch != nullptr ? *options.scratch : local.emplace();
+  auto& streams = scratch.chunk_streams;
+  if (streams.size() < boxes.size()) streams.resize(boxes.size());
+  scratch.stats.chunks_requested = boxes.size();
+  scratch.stats.chunks_effective = boxes.size();
+  scratch.stats.threads_used = hardware_threads();
+
+  // Hoisted codecs, as in the slab path. A tile shorter than two periods
+  // along the time dimension degrades to the period-free pipeline (tiles
+  // may split any dimension, so the check is per-extent, not dim-0-only).
+  const ClizCompressor codec(config, options.codec);
+  std::optional<ClizCompressor> degraded;
+  const auto tile_degrades = [&](const DimVec& extent) {
+    return config.period > 0 && config.time_dim < nd &&
+           extent[config.time_dim] < 2 * config.period;
+  };
+  for (const auto& box : boxes) {
+    if (tile_degrades(box.extent)) {
+      PipelineConfig dconfig = config;
+      dconfig.period = 0;
+      degraded.emplace(std::move(dconfig), options.codec);
+      break;
     }
   }
-  CLIZ_REQUIRE(expected == shape.dim(0), "chunks do not cover dim 0");
-  if (v2) {
-    const std::size_t header_end = in.pos();
-    const std::uint32_t header_crc = in.get<std::uint32_t>();
-    CLIZ_REQUIRE(
-        crc32c(stream.subspan(sizeof(kMagicV2),
-                              header_end - sizeof(kMagicV2))) == header_crc,
-        "chunked frame header CRC mismatch");
-    for (auto& ref : refs) ref.bytes = in.get_block();
+
+  const DimVec window_lo(nd, 0);
+  scratch.pool.set_governor(options.codec.limits, options.codec.cancel);
+  parallel_for_cancellable(0, boxes.size(), options.codec.cancel,
+                           [&](std::size_t i) {
+    const TileBox& box = boxes[i];
+    Shape cshape(DimVec(box.extent));
+
+    const ContextPool::Lease lease = scratch.pool.acquire();
+    CodecContext& ctx = *lease;
+
+    auto& sbuf = ctx.slab<T>();
+    sbuf.resize(cshape.size());
+    DimVec hi(nd);
+    for (std::size_t d = 0; d < nd; ++d) hi[d] = box.origin[d] + box.extent[d];
+    detail::copy_tile_box(
+        reinterpret_cast<std::uint8_t*>(sbuf.data()), box.origin, box.extent,
+        const_cast<std::uint8_t*>(
+            reinterpret_cast<const std::uint8_t*>(data.data())),
+        window_lo, shape.dims(), box.origin, hi, sizeof(T), /*gather=*/true);
+    NdArray<T> chunk(std::move(cshape), std::move(sbuf));
+
+    std::optional<MaskMap> cmask;
+    if (mask != nullptr) cmask = mask->crop(box.origin, chunk.shape());
+
+    const ClizCompressor& use = tile_degrades(box.extent) ? *degraded : codec;
+    use.compress_into(chunk, abs_error_bound,
+                      cmask.has_value() ? &*cmask : nullptr, ctx, streams[i]);
+
+    ctx.slab<T>() = std::move(chunk).take_flat();
+  });
+
+  // Assemble the v3 frame: CRC-covered header (dims, per-tile geometry +
+  // payload ranges + payload digests), then the payloads back to back.
+  // Offsets are recorded relative to the first payload byte.
+  ByteWriter w(std::move(out));
+  w.put(kMagicV3);
+  w.put_varint(shape.ndims());
+  for (const std::size_t d : shape.dims()) w.put_varint(d);
+  w.put_varint(boxes.size());
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (const std::size_t o : boxes[i].origin) w.put_varint(o);
+    for (const std::size_t e : boxes[i].extent) w.put_varint(e);
+    w.put_varint(offset);
+    w.put_varint(streams[i].size());
+    w.put(crc32c(streams[i]));
+    offset += streams[i].size();
   }
-  return shape;
+  w.put(crc32c(w.bytes().subspan(sizeof(kMagicV3))));
+  for (std::size_t i = 0; i < boxes.size(); ++i) w.put_bytes(streams[i]);
+  out = std::move(w).take();
 }
 
 template <typename T>
@@ -120,6 +172,10 @@ void chunked_compress_impl(const NdArray<T>& data, double abs_error_bound,
                            const PipelineConfig& config, const MaskMap* mask,
                            const ChunkedOptions& options,
                            std::vector<std::uint8_t>& out) {
+  if (!options.tile.empty()) {
+    tiled_compress_impl(data, abs_error_bound, config, mask, options, out);
+    return;
+  }
   const Shape& shape = data.shape();
   if (mask != nullptr) {
     CLIZ_REQUIRE(mask->shape() == shape, "mask shape does not match data");
@@ -135,6 +191,11 @@ void chunked_compress_impl(const NdArray<T>& data, double abs_error_bound,
       options.scratch != nullptr ? *options.scratch : local.emplace();
   auto& streams = scratch.chunk_streams;
   if (streams.size() < ranges.size()) streams.resize(ranges.size());
+  // Surface the clamp: dims[0] (or a degenerate request) can silently
+  // reduce the slab count below what the caller asked for.
+  scratch.stats.chunks_requested = want;
+  scratch.stats.chunks_effective = ranges.size();
+  scratch.stats.threads_used = hardware_threads();
 
   // Hoisted codecs: constructing one per chunk would copy the config's
   // permutation/fusion vectors every iteration. Two instances cover both
@@ -224,8 +285,12 @@ void chunked_decompress_core(std::span<const std::uint8_t> stream,
   const CancelToken* cancel = scratch.pool.cancel();
   if (cancel != nullptr) cancel->check();
 
-  std::vector<ChunkRef> refs;
-  const Shape shape = parse_chunked_header(stream, refs, limits);
+  // One validated parse serves full and region decodes alike; a full
+  // decode is simply the all-covering window (slab tiles of the v1/v2
+  // layouts decode straight into their output runs, so this stays
+  // staging-copy-free for the classic frames).
+  const ChunkedReader reader(stream, limits, cancel);
+  const Shape& shape = reader.shape();
   // Governor: the frame-level shape sizes the whole output. The per-chunk
   // CliZ streams are each governed on decode, but a frame sliced into many
   // small chunks must not bypass the aggregate cap — check the declared
@@ -241,22 +306,11 @@ void chunked_decompress_core(std::span<const std::uint8_t> stream,
     out.reshape(shape);
   }
 
-  const std::size_t row = shape.size() / shape.dim(0);
-  parallel_for_cancellable(0, refs.size(), cancel, [&](std::size_t c) {
-    const ContextPool::Lease lease = scratch.pool.acquire();
-    // Decode straight into this chunk's slab of the output — the span
-    // binder enforces the element count, the dim-0 check below the
-    // actual slab geometry.
-    const std::size_t extent = refs[c].hi - refs[c].lo;
-    CLIZ_REQUIRE(!refs[c].has_crc || crc32c(refs[c].bytes) == refs[c].crc,
-                 "chunk payload CRC mismatch");
-    const std::span<T> slab(out.data() + refs[c].lo * row, extent * row);
-    const Shape cshape =
-        ClizCompressor::decompress_into(refs[c].bytes, *lease, slab);
-    CLIZ_REQUIRE(cshape.ndims() == shape.ndims() &&
-                     cshape.dim(0) == extent,
-                 "chunk shape mismatch");
-  });
+  const DimVec zeros(shape.ndims(), 0);
+  RegionOptions ropts;
+  ropts.scratch = &scratch;
+  (void)reader.decompress_region(zeros, shape.dims(),
+                                 std::span<T>(out.data(), out.size()), ropts);
 }
 
 }  // namespace
@@ -323,16 +377,14 @@ bool is_chunked_stream(std::span<const std::uint8_t> stream) {
   if (stream.size() < sizeof(std::uint32_t)) return false;
   std::uint32_t magic = 0;
   std::memcpy(&magic, stream.data(), sizeof(magic));
-  return magic == kMagic || magic == kMagicV2;
+  return magic == kMagic || magic == kMagicV2 || magic == kMagicV3;
 }
 
 unsigned chunked_sample_bytes(std::span<const std::uint8_t> stream,
                               const ResourceLimits& limits) {
-  std::vector<ChunkRef> refs;
-  parse_chunked_header(stream, refs, limits);
   // The frame header is width-agnostic; the per-chunk CliZ streams record
   // the sample type right after their (lossless-wrapped) magic.
-  return detect_sample_bytes(refs.front().bytes);
+  return ChunkedReader(stream, limits).sample_bytes();
 }
 
 }  // namespace cliz

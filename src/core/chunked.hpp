@@ -18,6 +18,7 @@
 
 #include "src/core/cliz.hpp"
 #include "src/core/context_pool.hpp"
+#include "src/core/stage_stats.hpp"
 
 namespace cliz {
 
@@ -36,11 +37,27 @@ struct ChunkedScratch {
   ContextPool pool;
   /// Per-chunk compressed-stream staging (compress side; capacity kept).
   std::vector<std::vector<std::uint8_t>> chunk_streams;
+  /// Frame-level telemetry of the most recent chunked call routed through
+  /// this scratch — in particular chunks_requested vs chunks_effective, so
+  /// a silently clamped chunk count (dims[0] < requested slabs) is visible
+  /// to callers and to `clizc --stats`.
+  StageStats stats;
 };
 
 struct ChunkedOptions {
-  /// Number of slabs along dim 0; 0 = one per hardware thread.
+  /// Number of slabs along dim 0; 0 = one per hardware thread. The
+  /// effective count is clamped to [1, dims[0]] — the clamp is reported
+  /// via ChunkedScratch::stats (chunks_requested / chunks_effective).
   std::size_t chunks = 0;
+  /// Optional N-D tile extents, one per dimension of the data (arity must
+  /// match; kBadArgument otherwise). Empty (the default) keeps the dim-0
+  /// slab layout and the CLK2 frame — byte-identical to previous releases.
+  /// Non-empty switches the frame to the tile-indexed "CLK3" layout whose
+  /// header records every tile's origin/extent and payload byte range, the
+  /// random-access substrate ChunkedReader::decompress_region seeks into.
+  /// A zero entry means "full extent along this dim"; entries larger than
+  /// the dim are clamped. `chunks` is ignored when a tiling is set.
+  DimVec tile;
   ClizOptions codec;
   /// Optional reusable scratch (not owned; may be nullptr).
   ChunkedScratch* scratch = nullptr;
@@ -90,8 +107,9 @@ void chunked_decompress_into(std::span<const std::uint8_t> stream,
                              NdArray<double>& out,
                              ChunkedScratch* scratch = nullptr);
 
-/// True when `stream` starts with a chunked frame magic ("CLK2" for the
-/// CRC-framed v2 layout, or legacy checksum-less "CLKS").
+/// True when `stream` starts with a chunked frame magic ("CLK3" for the
+/// tile-indexed random-access layout, "CLK2" for the CRC-framed slab
+/// layout, or legacy checksum-less "CLKS").
 [[nodiscard]] bool is_chunked_stream(std::span<const std::uint8_t> stream);
 
 /// Bytes per sample of a chunked frame (4 = float32, 8 = float64), read

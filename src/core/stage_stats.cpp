@@ -44,6 +44,11 @@ void StageStats::accumulate(const StageStats& other) {
   entropy_downgraded = entropy_downgraded || other.entropy_downgraded;
   frame_passes = frame_passes || other.frame_passes;
   frame_segments += other.frame_segments;
+  chunks_requested += other.chunks_requested;
+  chunks_effective += other.chunks_effective;
+  tile_cache_hits += other.tile_cache_hits;
+  tile_cache_misses += other.tile_cache_misses;
+  tile_cache_evictions += other.tile_cache_evictions;
 }
 
 namespace {
@@ -117,6 +122,18 @@ std::string StageStats::to_text() const {
                   frame_segments);
     out += buf;
   }
+  if (chunks_requested > 0) {
+    std::snprintf(buf, sizeof(buf), "chunks: requested=%zu effective=%zu%s\n",
+                  chunks_requested, chunks_effective,
+                  chunks_effective != chunks_requested ? " (clamped)" : "");
+    out += buf;
+  }
+  if (tile_cache_hits + tile_cache_misses + tile_cache_evictions > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "tile cache: hits=%zu misses=%zu evictions=%zu\n",
+                  tile_cache_hits, tile_cache_misses, tile_cache_evictions);
+    out += buf;
+  }
   if (verified) {
     std::snprintf(buf, sizeof(buf),
                   "verified=yes downgrades=%zu verify=%.3f ms\n",
@@ -127,7 +144,7 @@ std::string StageStats::to_text() const {
 }
 
 std::string StageStats::to_json() const {
-  char buf[512];
+  char buf[768];
   std::string out = "{\"stages\":{";
   for (std::size_t i = 0; i < kNumCodecStages; ++i) {
     const Stage& s = stages[i];
@@ -147,7 +164,10 @@ std::string StageStats::to_json() const {
                 "\"predictor_backend\":\"%s\","
                 "\"entropy_backend\":\"%s\",\"lossless_backend\":\"%s\","
                 "\"entropy_downgraded\":%s,\"frame_passes\":%s,"
-                "\"frame_segments\":%zu,\"simd_tier\":\"%s\"}",
+                "\"frame_segments\":%zu,\"chunks_requested\":%zu,"
+                "\"chunks_effective\":%zu,\"tile_cache_hits\":%zu,"
+                "\"tile_cache_misses\":%zu,\"tile_cache_evictions\":%zu,"
+                "\"simd_tier\":\"%s\"}",
                 code_entropy_bits, code_count, outlier_count, total_seconds,
                 verified ? "true" : "false", verify_downgrades,
                 verify_seconds, threads_used,
@@ -156,6 +176,8 @@ std::string StageStats::to_json() const {
                 lossless_backend_label(lossless_backend),
                 entropy_downgraded ? "true" : "false",
                 frame_passes ? "true" : "false", frame_segments,
+                chunks_requested, chunks_effective, tile_cache_hits,
+                tile_cache_misses, tile_cache_evictions,
                 simd_tier_name(static_cast<SimdTier>(simd_tier)));
   out += buf;
   return out;

@@ -83,6 +83,18 @@ struct StageStats {
   /// Independently decodable entropy segments of the framed container
   /// (0 for serial streams).
   std::size_t frame_segments = 0;
+  /// Chunked frames: chunks (or tiles) the caller asked for. Zero when the
+  /// call was not chunked.
+  std::size_t chunks_requested = 0;
+  /// Chunked frames: chunks actually written after clamping (dims[0] can
+  /// silently reduce the slab count below the request — the pair makes the
+  /// clamp visible instead of silent).
+  std::size_t chunks_effective = 0;
+  /// Decoded-tile cache telemetry of the call (region reads through a
+  /// TileCache); all zero when no cache was involved.
+  std::size_t tile_cache_hits = 0;
+  std::size_t tile_cache_misses = 0;
+  std::size_t tile_cache_evictions = 0;
 
   [[nodiscard]] Stage& at(CodecStage s) {
     return stages[static_cast<unsigned>(s)];

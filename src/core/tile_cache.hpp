@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared decoded-tile cache: a sharded LRU of decoded sample bytes keyed by
+// (variable, tile). Region reads over gridded climate variables are
+// overwhelmingly small, overlapping windows (a map pan, a time scrub), so
+// the same tiles decode over and over; the cache turns the repeat decode
+// into a memcpy. One cache instance is meant to be shared by every reader
+// of a process (the future clizd server keeps exactly one), which is why
+// it is internally synchronized and byte-budgeted through ResourceLimits
+// rather than entry-counted.
+//
+// Keys are caller-provided 64-bit variable ids (variable_id() hashes a
+// stable name such as "archive.clza#temperature") plus the tile's index and
+// payload digest. Values are immutable shared buffers, so a hit can be
+// scattered into the caller's window while another thread evicts the entry.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/governor.hpp"
+
+namespace cliz {
+
+class TileCache {
+ public:
+  /// Identity of one decoded tile. `digest` is the tile's compressed-payload
+  /// CRC32C (0 for digest-less v1 frames): two variables that collide on
+  /// `var` still miss each other unless their payload bytes also collide,
+  /// so a stale or cross-variable hit cannot silently serve wrong samples.
+  struct Key {
+    std::uint64_t var = 0;
+    std::uint64_t tile = 0;
+    std::uint32_t digest = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// Budget is split evenly across shards; an entry larger than one
+  /// shard's slice is never cached (it would evict everything for one
+  /// tile). `shards` is rounded up to a power of two.
+  explicit TileCache(std::uint64_t max_bytes =
+                         ResourceLimits{}.max_tile_cache_bytes,
+                     std::size_t shards = 16);
+  ~TileCache();
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Returns the cached decoded bytes, or nullptr on miss. Counts a hit or
+  /// a miss either way.
+  [[nodiscard]] Payload lookup(const Key& key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// of the same shard until the shard fits its budget slice. Oversized
+  /// payloads are counted (stats().oversized) and dropped.
+  void insert(const Key& key, Payload payload);
+
+  /// Drops every entry (budget and shard count are kept).
+  void clear();
+
+  /// Point-in-time telemetry; counters are monotonic since construction.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversized = 0;   ///< inserts dropped for exceeding a shard
+    std::uint64_t bytes = 0;       ///< decoded bytes currently resident
+    std::uint64_t entries = 0;     ///< entries currently resident
+    std::uint64_t max_bytes = 0;   ///< configured budget
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+  /// Stable 64-bit id for a variable name (FNV-1a). Callers compose the
+  /// name from whatever scopes a variable uniquely in their world, e.g.
+  /// "<archive path>#<variable name>".
+  [[nodiscard]] static std::uint64_t variable_id(std::string_view name);
+
+ private:
+  struct Shard;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t shard_budget_ = 0;
+
+  [[nodiscard]] Shard& shard_for(const Key& key) const;
+};
+
+}  // namespace cliz

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <type_traits>
 
 #include "src/common/bytestream.hpp"
 #include "src/common/crc32c.hpp"
@@ -138,13 +141,18 @@ void ArchiveWriter::add_cliz_variable(
     std::map<std::string, std::string> attributes,
     const ClizOptions& options) {
   const std::size_t raw_bytes = data.size() * sizeof(T);
-  if (chunk_threshold_ != 0 && raw_bytes >= chunk_threshold_ &&
-      data.shape().dim(0) >= 2) {
+  // set_tile is an explicit opt-in to the tile-indexed layout and applies
+  // regardless of the size threshold (the point is addressability, not
+  // parallelism); it only binds to variables of the matching rank.
+  const bool tiled = tile_.size() == data.shape().ndims();
+  if (tiled || (chunk_threshold_ != 0 && raw_bytes >= chunk_threshold_ &&
+                data.shape().dim(0) >= 2)) {
     // Large variable: chunked frame, compressed slab-parallel through the
     // writer's shared pool; the reader decodes it the same way.
     ChunkedOptions opts;
     opts.scratch = &scratch_;
     opts.codec = options;
+    if (tiled) opts.tile = tile_;
     chunked_compress_into(data, abs_error_bound, pipeline, mask, opts,
                           stream_buf_);
   } else {
@@ -540,6 +548,136 @@ NdArray<float> ArchiveReader::read(const std::string& name) const {
   CLIZ_REQUIRE(data.shape().dims() == v.dims,
                "decoded shape disagrees with archive index");
   return data;
+}
+
+template <typename T>
+NdArray<T> ArchiveReader::read_region_impl(
+    const std::string& name, std::span<const std::size_t> origin,
+    std::span<const std::size_t> extent, TileCache* cache,
+    RegionStats* stats) const {
+  const std::size_t i = index_of(name);
+  const VariableInfo& v = variables_[i];
+  if (cancel_ != nullptr) cancel_->check();
+  CLIZ_REQUIRE_CODE(v.codec == "cliz", kBadArgument,
+                    "read_region requires a CliZ variable: '" + name + "'");
+  const std::size_t nd = v.dims.size();
+  CLIZ_REQUIRE_CODE(origin.size() == nd && extent.size() == nd, kBadArgument,
+                    "region arity does not match variable dimensionality");
+  for (std::size_t d = 0; d < nd; ++d) {
+    CLIZ_REQUIRE_CODE(extent[d] >= 1 && origin[d] <= v.dims[d] &&
+                          extent[d] <= v.dims[d] - origin[d],
+                      kBadArgument, "region out of bounds");
+  }
+  CLIZ_REQUIRE_CODE(
+      v.compressed_bytes <= limits_.max_record_bytes, kLimitExceeded,
+      "declared record size exceeds ResourceLimits::max_record_bytes for '" +
+          name + "'");
+
+  NdArray<T> out{Shape(DimVec(extent.begin(), extent.end()))};
+  const std::uint64_t base = offsets_[i];
+  const std::uint64_t frame_bytes = v.compressed_bytes;
+
+  // Serves byte ranges of this record to the reader's parallel tile-decode
+  // workers; the shared ifstream makes seek+read one critical section.
+  std::mutex io_mu;
+  const auto fetch = [&, base](std::uint64_t off, std::uint64_t n,
+                               std::uint8_t* dst) {
+    const std::lock_guard<std::mutex> lock(io_mu);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(base + off));
+    in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    CLIZ_REQUIRE_CODE(in_.good(), kIo,
+                      "archive region read failed for '" + name + "'");
+  };
+
+  // Sniff the stream kind from the magic alone; single-stream variables
+  // have no tile index and fall back to full decode + crop.
+  std::vector<std::uint8_t> header(
+      static_cast<std::size_t>(std::min<std::uint64_t>(frame_bytes, 4)));
+  if (!header.empty()) fetch(0, header.size(), header.data());
+  if (!is_chunked_stream(header)) {
+    NdArray<T> full;
+    if constexpr (std::is_same_v<T, float>) {
+      full = read(name);
+    } else {
+      full = read_f64(name);
+    }
+    DimVec zeros(nd, 0);
+    DimVec hi(nd);
+    for (std::size_t d = 0; d < nd; ++d) hi[d] = origin[d] + extent[d];
+    detail::copy_tile_box(reinterpret_cast<std::uint8_t*>(full.data()), zeros,
+                          v.dims, reinterpret_cast<std::uint8_t*>(out.data()),
+                          origin, extent, origin, hi, sizeof(T),
+                          /*gather=*/false);
+    if (stats != nullptr) {
+      *stats = RegionStats{};
+      stats->tiles_total = 1;
+      stats->tiles_intersecting = 1;
+      stats->tiles_decoded = 1;
+      stats->compressed_bytes_touched = frame_bytes;
+      stats->frame_compressed_bytes = frame_bytes;
+    }
+    return out;
+  }
+
+  // Chunked frame: parse the index from a bounded header prefix, growing it
+  // only when the parser reports truncation (kCorruptStream) — never past
+  // the record itself, so genuinely corrupt indexes still surface. Legacy
+  // v1 frames interleave payload with the index and converge on the whole
+  // record; v2/v3 settle within a few KiB per thousand tiles.
+  std::size_t prefix = static_cast<std::size_t>(
+      std::min<std::uint64_t>(frame_bytes, std::uint64_t{64} << 10));
+  std::optional<ChunkedReader> reader;
+  for (;;) {
+    header.resize(prefix);
+    fetch(0, prefix, header.data());
+    try {
+      reader.emplace(std::span<const std::uint8_t>(header), frame_bytes, fetch,
+                     limits_, cancel_);
+      break;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kCorruptStream || prefix >= frame_bytes) {
+        throw;
+      }
+      prefix = static_cast<std::size_t>(
+          std::min<std::uint64_t>(frame_bytes, std::uint64_t{prefix} * 4));
+    }
+  }
+  CLIZ_REQUIRE(reader->shape().dims() == v.dims,
+               "chunked frame shape disagrees with archive index");
+
+  ChunkedScratch scratch;
+  RegionOptions ropts;
+  ropts.cache = cache;
+  // Per-variable cache namespace: repeated windows over the same archive
+  // variable hit, same-named tiles of other files or variables cannot.
+  ropts.cache_var = TileCache::variable_id(path_ + "#" + name);
+  ropts.scratch = &scratch;
+  const RegionStats rs = reader->decompress_region(
+      origin, extent, std::span<T>(out.data(), out.size()), ropts);
+  if (stats != nullptr) *stats = rs;
+  return out;
+}
+
+NdArray<float> ArchiveReader::read_region(const std::string& name,
+                                          std::span<const std::size_t> origin,
+                                          std::span<const std::size_t> extent,
+                                          TileCache* cache,
+                                          RegionStats* stats) const {
+  const VariableInfo& v = info(name);
+  CLIZ_REQUIRE_CODE(v.sample_bytes == 4, kBadArgument,
+                    "variable '" + name + "' is float64: use read_region_f64()");
+  return read_region_impl<float>(name, origin, extent, cache, stats);
+}
+
+NdArray<double> ArchiveReader::read_region_f64(
+    const std::string& name, std::span<const std::size_t> origin,
+    std::span<const std::size_t> extent, TileCache* cache,
+    RegionStats* stats) const {
+  const VariableInfo& v = info(name);
+  CLIZ_REQUIRE_CODE(v.sample_bytes == 8, kBadArgument,
+                    "variable '" + name + "' is float32: use read_region()");
+  return read_region_impl<double>(name, origin, extent, cache, stats);
 }
 
 NdArray<double> ArchiveReader::read_f64(const std::string& name) const {

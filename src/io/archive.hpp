@@ -22,12 +22,15 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/core/chunked.hpp"
+#include "src/core/chunked_reader.hpp"
 #include "src/core/mask.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/tile_cache.hpp"
 #include "src/ndarray/ndarray.hpp"
 
 namespace cliz {
@@ -95,6 +98,15 @@ class ArchiveWriter {
   /// never chunked (nothing to slice).
   void set_chunk_threshold(std::size_t bytes) { chunk_threshold_ = bytes; }
 
+  /// Requests the tile-indexed "CLK3" layout for subsequent CliZ variables
+  /// whose dimensionality matches the tile vector's arity (a zero entry
+  /// means "full extent along this dim"). Tiled variables are written
+  /// regardless of the chunk threshold and become cheap region reads
+  /// through ArchiveReader::read_region. Variables of a different rank
+  /// fall back to the threshold/slab rules; an empty vector (default)
+  /// restores them for everything.
+  void set_tile(DimVec tile) { tile_ = std::move(tile); }
+
   /// Compresses `data` with CliZ under `pipeline` and appends it. `options`
   /// carries the codec knobs — notably the entropy/lossless backend choice
   /// (e.g. autotune's best_entropy/best_lossless) and encode verification.
@@ -153,6 +165,7 @@ class ArchiveWriter {
   ChunkedScratch scratch_;
   std::vector<std::uint8_t> stream_buf_;  ///< compressed-stream staging
   std::size_t chunk_threshold_ = std::size_t{8} << 20;
+  DimVec tile_;  ///< non-empty: CLK3 tiling for rank-matching variables
 };
 
 /// Random-access archive reader. The index is parsed on construction; each
@@ -193,6 +206,28 @@ class ArchiveReader {
   [[nodiscard]] std::vector<std::uint8_t> read_raw(
       const std::string& name) const;
 
+  /// Decompresses one N-D window `[origin, origin+extent)` of a float32
+  /// variable without decoding the rest of it. For chunked variables the
+  /// reader parses only the frame's tile index (a bounded header prefix)
+  /// and then seeks straight to the intersecting tile payloads — compressed
+  /// bytes touched scale with the window, not the variable. Non-chunked
+  /// variables fall back to a full decode followed by a crop. `cache`, when
+  /// given, serves repeated windows from decoded tiles (keyed per archive
+  /// path + variable); `stats` reports tiles touched and compressed bytes
+  /// read. Not safe to call concurrently with other reads on the same
+  /// reader (they share the file stream), but region decode itself is
+  /// tile-parallel internally.
+  [[nodiscard]] NdArray<float> read_region(
+      const std::string& name, std::span<const std::size_t> origin,
+      std::span<const std::size_t> extent, TileCache* cache = nullptr,
+      RegionStats* stats = nullptr) const;
+
+  /// float64 variant of read_region().
+  [[nodiscard]] NdArray<double> read_region_f64(
+      const std::string& name, std::span<const std::size_t> origin,
+      std::span<const std::size_t> extent, TileCache* cache = nullptr,
+      RegionStats* stats = nullptr) const;
+
   /// What a tolerant open recovered. For a strict open (or a tolerant open
   /// of a clean archive) index_intact is true and nothing is quarantined.
   [[nodiscard]] const SalvageReport& salvage() const noexcept {
@@ -204,6 +239,12 @@ class ArchiveReader {
   void scan_records();
   void verify_payloads();
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  template <typename T>
+  [[nodiscard]] NdArray<T> read_region_impl(const std::string& name,
+                                            std::span<const std::size_t> origin,
+                                            std::span<const std::size_t> extent,
+                                            TileCache* cache,
+                                            RegionStats* stats) const;
 
   std::string path_;
   mutable std::ifstream in_;

@@ -478,5 +478,195 @@ TEST(Archive, HostileIndexCountRejectedBeforeAllocation) {
   EXPECT_THROW(ArchiveReader{file.path()}, Error);
 }
 
+// --- tile-addressable region reads --------------------------------------
+
+/// Asserts `win` (row-major over `ext`) equals the window [lo, lo+ext) of
+/// `full`, bit for bit.
+template <typename T>
+void expect_window_equal(const NdArray<T>& full, const DimVec& lo,
+                         const DimVec& ext, const NdArray<T>& win) {
+  const Shape wshape{DimVec(ext)};
+  ASSERT_EQ(win.shape(), wshape);
+  for (std::size_t i = 0; i < wshape.size(); ++i) {
+    DimVec g = wshape.coords(i);
+    for (std::size_t d = 0; d < g.size(); ++d) g[d] += lo[d];
+    ASSERT_EQ(std::memcmp(&win[i], &full[full.shape().offset(g)], sizeof(T)),
+              0)
+        << "window mismatch at linear " << i;
+  }
+}
+
+TEST(ArchiveRegion, TiledVariableWindowMatchesFullRead) {
+  TempFile file("region_tiled");
+  const auto data = smooth_array({24, 20, 16}, 60);
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({8, 10, 8});
+    w.add_variable("TEMP", data, 1e-3, PipelineConfig::defaults(3));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  const DimVec lo{9, 2, 1};
+  const DimVec ext{8, 11, 9};
+  RegionStats rs;
+  const auto win = r.read_region("TEMP", lo, ext, nullptr, &rs);
+  expect_window_equal(r.read("TEMP"), lo, ext, win);
+  // The window must cost a strict subset of the frame, and the reader
+  // must have decoded only intersecting tiles.
+  EXPECT_GT(rs.tiles_total, rs.tiles_intersecting);
+  EXPECT_EQ(rs.tiles_decoded, rs.tiles_intersecting);
+  EXPECT_LT(rs.compressed_bytes_touched, rs.frame_compressed_bytes);
+}
+
+TEST(ArchiveRegion, WarmTileCacheServesWindowWithZeroDecodes) {
+  TempFile file("region_cache");
+  const auto data = smooth_array({24, 20, 16}, 61);
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({8, 10, 8});
+    w.add_variable("TEMP", data, 1e-3, PipelineConfig::defaults(3));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  TileCache cache;
+  const DimVec lo{5, 3, 2};
+  const DimVec ext{10, 9, 8};
+  RegionStats cold, warm;
+  const auto a = r.read_region("TEMP", lo, ext, &cache, &cold);
+  const auto b = r.read_region("TEMP", lo, ext, &cache, &warm);
+  EXPECT_GT(cold.tiles_decoded, 0u);
+  EXPECT_EQ(cold.tiles_from_cache, 0u);
+  EXPECT_EQ(warm.tiles_decoded, 0u);
+  EXPECT_EQ(warm.tiles_from_cache, warm.tiles_intersecting);
+  EXPECT_EQ(cache.stats().hits, warm.tiles_from_cache);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+TEST(ArchiveRegion, CacheKeysAreNamespacedPerVariable) {
+  TempFile file("region_ns");
+  const auto a = smooth_array({12, 10}, 62);
+  const auto b = smooth_array({12, 10}, 63);
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({6, 5});
+    w.add_variable("A", a, 1e-3, PipelineConfig::defaults(2));
+    w.add_variable("B", b, 1e-3, PipelineConfig::defaults(2));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  TileCache cache;
+  const DimVec lo{0, 0};
+  const DimVec ext{6, 5};
+  RegionStats rs;
+  (void)r.read_region("A", lo, ext, &cache, nullptr);
+  // Same tile index for variable B: must miss A's entries and decode.
+  const auto win = r.read_region("B", lo, ext, &cache, &rs);
+  EXPECT_EQ(rs.tiles_from_cache, 0u);
+  EXPECT_EQ(rs.tiles_decoded, 1u);
+  expect_window_equal(r.read("B"), lo, ext, win);
+}
+
+TEST(ArchiveRegion, Float64WindowAndWidthChecks) {
+  TempFile file("region_f64");
+  const Shape shape{DimVec{16, 12, 10}};
+  NdArray<double> data{Shape{DimVec{16, 12, 10}}};
+  Rng rng(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = shape.coords(i);
+    data[i] = std::sin(0.1 * static_cast<double>(c[0] + c[1] + c[2])) +
+              0.01 * rng.normal();
+  }
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({6, 5, 5});
+    w.add_variable("Z", data, 1e-3, PipelineConfig::defaults(3));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  const DimVec lo{3, 4, 2};
+  const DimVec ext{9, 6, 7};
+  const auto win = r.read_region_f64("Z", lo, ext);
+  expect_window_equal(r.read_f64("Z"), lo, ext, win);
+  // The float32 entry point must refuse a float64 variable, not garble it.
+  try {
+    (void)r.read_region("Z", lo, ext);
+    FAIL() << "width mismatch accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadArgument);
+  }
+}
+
+TEST(ArchiveRegion, NonChunkedVariableFallsBackToFullDecodeCrop) {
+  TempFile file("region_small");
+  const auto data = smooth_array({10, 8}, 65);  // far below chunk threshold
+  {
+    ArchiveWriter w(file.path());
+    w.add_variable("S", data, 1e-3, PipelineConfig::defaults(2));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  const DimVec lo{2, 3};
+  const DimVec ext{5, 4};
+  RegionStats rs;
+  const auto win = r.read_region("S", lo, ext, nullptr, &rs);
+  expect_window_equal(r.read("S"), lo, ext, win);
+  // Fallback decodes the whole (single-record) frame.
+  EXPECT_EQ(rs.tiles_total, 1u);
+  EXPECT_EQ(rs.compressed_bytes_touched, rs.frame_compressed_bytes);
+}
+
+TEST(ArchiveRegion, SetTileBindsOnlyRankMatchingVariables) {
+  TempFile file("region_rank");
+  const auto v3 = smooth_array({12, 10, 8}, 66);
+  const auto v2 = smooth_array({20, 20}, 67);
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({6, 5, 4});  // rank 3: binds v3, leaves v2 alone
+    w.add_variable("V3", v3, 1e-3, PipelineConfig::defaults(3));
+    w.add_variable("V2", v2, 1e-3, PipelineConfig::defaults(2));
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  RegionStats rs3, rs2;
+  const DimVec lo3{1, 1, 1}, ext3{4, 4, 3};
+  const DimVec lo2{2, 2}, ext2{6, 6};
+  expect_window_equal(r.read("V3"), lo3, ext3,
+                      r.read_region("V3", lo3, ext3, nullptr, &rs3));
+  expect_window_equal(r.read("V2"), lo2, ext2,
+                      r.read_region("V2", lo2, ext2, nullptr, &rs2));
+  EXPECT_EQ(rs3.tiles_total, 2u * 2u * 2u);  // tiled layout
+  EXPECT_EQ(rs2.tiles_total, 1u);            // plain frame fallback
+}
+
+TEST(ArchiveRegion, BadRegionsAndCodecsAreRejected) {
+  TempFile file("region_bad");
+  const auto data = smooth_array({12, 10}, 68);
+  {
+    ArchiveWriter w(file.path());
+    w.set_tile({6, 5});
+    w.add_variable("A", data, 1e-3, PipelineConfig::defaults(2));
+    w.add_variable_with("sz3", "blob", data, 1e-3);
+    w.finish();
+  }
+  ArchiveReader r(file.path());
+  const auto code_of = [&](const std::string& name, const DimVec& lo,
+                           const DimVec& ext) {
+    try {
+      (void)r.read_region(name, lo, ext);
+      return static_cast<int>(-1);
+    } catch (const Error& e) {
+      return static_cast<int>(e.code());
+    }
+  };
+  // Out of bounds, arity mismatch, non-CliZ codec, unknown variable.
+  EXPECT_EQ(code_of("A", {10, 0}, {4, 4}),
+            static_cast<int>(ErrorCode::kBadArgument));
+  EXPECT_EQ(code_of("A", {0}, {4}),
+            static_cast<int>(ErrorCode::kBadArgument));
+  EXPECT_EQ(code_of("blob", {0, 0}, {2, 2}),
+            static_cast<int>(ErrorCode::kBadArgument));
+  EXPECT_NE(code_of("nope", {0, 0}, {1, 1}), -1);
+}
+
 }  // namespace
 }  // namespace cliz

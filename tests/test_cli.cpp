@@ -304,6 +304,89 @@ TEST_F(CliTest, GovernorFlagsMapToExitCodes) {
             3);
 }
 
+TEST_F(CliTest, TiledCompressExtractRegionMatchesWindow) {
+  ASSERT_EQ(run("gen Hurricane-T --scale 0.08 -o " + path("h.f32")), 0);
+  ASSERT_EQ(run("compress " + path("h.f32") + " -d 24,48,48 --tile 8x16x16 "
+                "-o " + path("h.clz") + " -r 1e-3"),
+            0);
+  ASSERT_EQ(run("decompress " + path("h.clz") + " -o " + path("full.f32")),
+            0);
+  ASSERT_EQ(run("extract " + path("h.clz") +
+                " --region 4:12,8:24,16:40 -o " + path("win.f32") +
+                " --stats"),
+            0);
+  const auto full = read_floats(path("full.f32"));
+  const auto win = read_floats(path("win.f32"));
+  ASSERT_EQ(full.size(), 24u * 48 * 48);
+  ASSERT_EQ(win.size(), 8u * 16 * 24);
+  // The extracted window must be bit-identical to the full decode's.
+  std::size_t w = 0;
+  for (std::size_t t = 4; t < 12; ++t) {
+    for (std::size_t y = 8; y < 24; ++y) {
+      for (std::size_t x = 16; x < 40; ++x) {
+        ASSERT_EQ(win[w++], full[(t * 48 + y) * 48 + x])
+            << "mismatch at t=" << t << " y=" << y << " x=" << x;
+      }
+    }
+  }
+  // Region extraction needs a chunked stream: a monolithic one is caller
+  // misuse (exit 2 in the error taxonomy).
+  ASSERT_EQ(run("compress " + path("h.f32") + " -d 24,48,48 -o " +
+                path("mono.clz") + " -r 1e-3"),
+            0);
+  EXPECT_EQ(run_exit("extract " + path("mono.clz") +
+                     " --region 0:2,0:2,0:2 -o " + path("m.f32")),
+            2);
+}
+
+TEST_F(CliTest, InfoPrintsTileTableForTiledStream) {
+  ASSERT_EQ(run("gen Hurricane-T --scale 0.08 -o " + path("h.f32")), 0);
+  ASSERT_EQ(run("compress " + path("h.f32") + " -d 24,48,48 --tile 12x24x24 "
+                "-o " + path("h.clz") + " -r 1e-3"),
+            0);
+  const std::string cmd = std::string(CLIZC_PATH) + " info " + path("h.clz") +
+                          " > " + path("info.txt") + " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream in(path("info.txt"));
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  // The per-tile index table: 2x2x2 tiles with geometry and CRC status.
+  EXPECT_NE(text.find("8 tile(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("origin"), std::string::npos) << text;
+  EXPECT_NE(text.find("12,24,24"), std::string::npos) << text;
+  EXPECT_NE(text.find("ok"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, ArchiveExtractRegionMatchesFullExtract) {
+  ASSERT_EQ(run("gen SSH --scale 0.1 -o " + path("s.f32")), 0);
+  ASSERT_EQ(run("archive-create " + path("a.clza") + " SSH=" + path("s.f32") +
+                ":48,38,32 -r 1e-3 --tile 16x19x16"),
+            0);
+  ASSERT_EQ(run("archive-extract " + path("a.clza") + " SSH -o " +
+                path("full.f32")),
+            0);
+  ASSERT_EQ(run("archive-extract " + path("a.clza") + " SSH -o " +
+                path("win.f32") + " --region 10:30,5:24,8:32 --stats"),
+            0);
+  const auto full = read_floats(path("full.f32"));
+  const auto win = read_floats(path("win.f32"));
+  ASSERT_EQ(full.size(), 48u * 38 * 32);
+  ASSERT_EQ(win.size(), 20u * 19 * 24);
+  std::size_t w = 0;
+  for (std::size_t t = 10; t < 30; ++t) {
+    for (std::size_t y = 5; y < 24; ++y) {
+      for (std::size_t x = 8; x < 32; ++x) {
+        ASSERT_EQ(win[w++], full[(t * 38 + y) * 32 + x])
+            << "mismatch at t=" << t << " y=" << y << " x=" << x;
+      }
+    }
+  }
+  // Out-of-bounds region is caller misuse (exit 2).
+  EXPECT_EQ(run_exit("archive-extract " + path("a.clza") + " SSH -o " +
+                     path("bad.f32") + " --region 0:100,0:2,0:2"),
+            2);
+}
+
 TEST_F(CliTest, BadInvocationsFailCleanly) {
   EXPECT_NE(run(""), 0);
   EXPECT_NE(run("frobnicate"), 0);

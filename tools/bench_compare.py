@@ -54,6 +54,10 @@ def load_benchmarks(path):
             # keep it so the committed baseline documents the size trade.
             if b.get("ratio") is not None:
                 entry["ratio"] = b["ratio"]
+            # The region-decode benches report the fraction of the frame's
+            # compressed bytes a window read actually touched.
+            if b.get("bytes_touched_ratio") is not None:
+                entry["bytes_touched_ratio"] = b["bytes_touched_ratio"]
             out[b["name"]] = entry
         return out
     if isinstance(doc, dict):
@@ -138,6 +142,38 @@ def kernel_summary(run):
             )
 
 
+def region_summary(run):
+    """Window-read cost relative to the full-frame decode.
+
+    Groups benchmarks named ``region_decode/<window>`` and prints each
+    window's wall-clock and compressed-bytes-touched ratio relative to
+    ``region_decode/full`` — the random-access win (or its absence) at a
+    glance. Informational only — never fails the run.
+    """
+    group = {}
+    for name, metrics in run.items():
+        parts = name.split("/")
+        if parts[0] != "region_decode" or len(parts) != 2:
+            continue
+        if not metrics.get("real_time"):
+            continue
+        group[parts[1]] = metrics
+
+    full = group.get("full")
+    if not group or not full:
+        return
+    print("\nregion decode vs full decode:")
+    for window, m in sorted(group.items()):
+        t = m["real_time"]
+        rel = f"{t / full['real_time']:8.2%}"
+        btr = m.get("bytes_touched_ratio")
+        btxt = f"  bytes touched {btr:8.2%}" if btr is not None else ""
+        print(
+            f"  {window:<18} {t:10.3g}{m.get('time_unit', '')}  "
+            f"time vs full {rel}{btxt}"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("run", help="fresh google-benchmark JSON report")
@@ -213,6 +249,7 @@ def main():
 
     backend_summary(run)
     kernel_summary(run)
+    region_summary(run)
 
     if regressions:
         print(

@@ -21,11 +21,13 @@
 
 #include "src/climate/datasets.hpp"
 #include "src/common/cpu_features.hpp"
+#include "src/common/crc32c.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/status.hpp"
 #include "src/common/version.hpp"
 #include "src/core/autotune.hpp"
 #include "src/core/chunked.hpp"
+#include "src/core/chunked_reader.hpp"
 #include "src/core/cliz.hpp"
 #include "src/core/codec_context.hpp"
 #include "src/core/compressor.hpp"
@@ -51,6 +53,12 @@ const CancelToken* governor_cancel() { return g_governed ? &g_cancel : nullptr; 
   clizc compress   <in.f32>  -d T,Y,X -o <out> [-e ABS | -r REL]
                    [-c cliz|sz3|qoz|zfp|sperr|sz2] [--mask-fill] [--f64]
                    [--tune RATE] [--time-dim N] [--chunks N] [--stats]
+                   [--tile AxBx...]
+                                (cliz only: write the tile-indexed chunked
+                                 layout — N-D tiles of the given per-dim
+                                 size, 0 = full extent — so windows decode
+                                 via `extract --region` without touching
+                                 the rest of the stream)
                    [--predictor interp|lorenzo1|lorenzo2|regression]
                    [--entropy huffman|tans] [--lossless lz|store]
                    (cliz only: force a stage backend; without these flags
@@ -63,7 +71,14 @@ const CancelToken* governor_cancel() { return g_governed ? &g_cancel : nullptr; 
                                  the offset table costs too much ratio)
   clizc decompress <in>      -o <out.f32> [--stats]
                    (f64 and chunked streams auto-detected)
+  clizc extract    <in> --region a:b,c:d,... -o <out.f32> [--stats]
+                   (decodes one window of a chunked cliz stream, reading
+                    only the tiles it intersects; --stats reports tiles
+                    touched and the compressed bytes-touched ratio)
   clizc info       <in>
+                   (chunked streams and archive variables additionally
+                    list their per-tile index: origin, extent, payload
+                    offset/bytes and CRC status)
   clizc analyze    <orig.f32> <recon.f32> -d T,Y,X [-e ABS] [--mask-fill]
                    [--compressed-bytes N]
   clizc gen        <SSH|CESM-T|RELHUM|SOILLIQ|Tsfc|Hurricane-T|SALT|RHO|SHF_QSW>
@@ -71,8 +86,14 @@ const CancelToken* governor_cancel() { return g_governed ? &g_cancel : nullptr; 
                    [--scale S]
   clizc archive-create  <out.clza> NAME=FILE:DIMS[:CODEC] ...
                    [-r REL | -e ABS] [--mask-fill] [--tune RATE]
+                   [--tile AxBx...]  (tile-indexed layout for cliz
+                    variables of matching rank: archive-extract --region
+                    then seeks straight to the window's tiles)
   clizc archive-list    <in.clza> [--salvage]
   clizc archive-extract <in.clza> <var> -o <out.f32> [--salvage]
+                   [--region a:b,c:d,...] [--stats]
+                   (--region seeks straight to the intersecting tiles of a
+                    chunked variable; other variables decode fully and crop)
   clizc version    (also --version; prints the library version and the
                     detected/active SIMD kernel tier)
 
@@ -128,6 +149,99 @@ DimVec parse_dims(const std::string& spec) {
   }
   if (dims.empty()) usage("empty dimension list");
   return dims;
+}
+
+/// Parses a tile spec "8x32x32" (0 = full extent along that dim).
+DimVec parse_tile(const std::string& spec) {
+  DimVec tile;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t x = spec.find('x', pos);
+    const std::string tok = spec.substr(
+        pos, x == std::string::npos ? std::string::npos : x - pos);
+    const long long v = std::atoll(tok.c_str());
+    if (v < 0 || tok.empty()) usage("bad tile spec");
+    tile.push_back(static_cast<std::size_t>(v));
+    if (x == std::string::npos) break;
+    pos = x + 1;
+  }
+  if (tile.empty()) usage("empty tile spec");
+  return tile;
+}
+
+/// Parses a window spec "a:b,c:d,..." into per-dim [start, stop) pairs.
+struct Region {
+  DimVec origin;
+  DimVec extent;
+};
+Region parse_region(const std::string& spec) {
+  Region r;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos) usage("--region expects a:b,c:d,...");
+    const long long a = std::atoll(tok.substr(0, colon).c_str());
+    const long long b = std::atoll(tok.substr(colon + 1).c_str());
+    if (a < 0 || b <= a) usage("--region needs 0 <= start < stop per dim");
+    r.origin.push_back(static_cast<std::size_t>(a));
+    r.extent.push_back(static_cast<std::size_t>(b - a));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (r.origin.empty()) usage("empty --region spec");
+  return r;
+}
+
+std::string dims_to_string(const DimVec& v) {
+  std::string s;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(v[i]);
+  }
+  return s;
+}
+
+void print_region_stats(const RegionStats& rs) {
+  const double pct =
+      rs.frame_compressed_bytes > 0
+          ? 100.0 * static_cast<double>(rs.compressed_bytes_touched) /
+                static_cast<double>(rs.frame_compressed_bytes)
+          : 0.0;
+  std::fprintf(stderr,
+               "region: tiles total=%zu intersecting=%zu decoded=%zu "
+               "cached=%zu, compressed bytes touched %llu/%llu (%.1f%%)\n",
+               rs.tiles_total, rs.tiles_intersecting, rs.tiles_decoded,
+               rs.tiles_from_cache,
+               static_cast<unsigned long long>(rs.compressed_bytes_touched),
+               static_cast<unsigned long long>(rs.frame_compressed_bytes),
+               pct);
+}
+
+/// Per-tile index table of a chunked frame held in memory; the CRC column
+/// re-hashes each payload against the index ("-" for legacy CRC-less v1).
+void print_tile_table(const ChunkedReader& reader,
+                      std::span<const std::uint8_t> frame) {
+  std::printf("  %-5s %-16s %-16s %12s %12s  %s\n", "tile", "origin",
+              "extent", "offset", "bytes", "crc");
+  const auto tiles = reader.tiles();
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileRecord& t = tiles[i];
+    const char* crc_status = "-";
+    if (t.has_crc) {
+      const auto payload =
+          frame.subspan(static_cast<std::size_t>(t.offset),
+                        static_cast<std::size_t>(t.n_bytes));
+      crc_status = crc32c(payload) == t.crc ? "ok" : "BAD";
+    }
+    std::printf("  %-5zu %-16s %-16s %12llu %12llu  %s\n", i,
+                dims_to_string(t.origin).c_str(),
+                dims_to_string(t.extent).c_str(),
+                static_cast<unsigned long long>(t.offset),
+                static_cast<unsigned long long>(t.n_bytes), crc_status);
+  }
 }
 
 void print_pool_stats(const ChunkedScratch& scratch) {
@@ -188,6 +302,7 @@ int cmd_compress(Args& args) {
   std::size_t time_dim = 0;
   std::size_t chunks = 0;
   bool chunked = false;
+  DimVec tile;
   std::optional<PredictorBackend> predictor;
   std::optional<EntropyBackend> entropy;
   std::optional<LosslessBackend> lossless;
@@ -217,6 +332,9 @@ int cmd_compress(Args& args) {
       chunked = true;
       chunks = static_cast<std::size_t>(
           std::atoll(args.next("chunk count").c_str()));
+    } else if (opt == "--tile") {
+      chunked = true;
+      tile = parse_tile(args.next("tile spec"));
     } else if (opt == "--stats") {
       show_stats = true;
     } else if (opt == "--verify") {
@@ -247,7 +365,10 @@ int cmd_compress(Args& args) {
   if (!dims.has_value()) usage("compress needs -d DIMS");
   if (output.empty()) usage("compress needs -o OUTPUT");
   if (chunked && codec != "cliz") {
-    usage("--chunks is only supported with -c cliz");
+    usage("--chunks/--tile are only supported with -c cliz");
+  }
+  if (!tile.empty() && dims.has_value() && tile.size() != dims->size()) {
+    usage("--tile arity must match -d DIMS");
   }
   if (verify && codec != "cliz") {
     usage("--verify is only supported with -c cliz");
@@ -320,10 +441,14 @@ int cmd_compress(Args& args) {
         ChunkedScratch scratch;
         ChunkedOptions copts;
         copts.chunks = chunks;
+        copts.tile = tile;
         copts.scratch = &scratch;
         copts.codec = cliz_opts;
         stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
-        if (show_stats) print_pool_stats(scratch);
+        if (show_stats) {
+          std::fputs(scratch.stats.to_text().c_str(), stderr);
+          print_pool_stats(scratch);
+        }
       } else {
         CodecContext cctx;
         stream = ClizCompressor(tuned.best, cliz_opts)
@@ -389,10 +514,14 @@ int cmd_compress(Args& args) {
       ChunkedScratch scratch;
       ChunkedOptions copts;
       copts.chunks = chunks;
+      copts.tile = tile;
       copts.scratch = &scratch;
       copts.codec = cliz_opts;
       stream = chunked_compress(data, eb, tuned.best, mask_ptr, copts);
-      if (show_stats) print_pool_stats(scratch);
+      if (show_stats) {
+        std::fputs(scratch.stats.to_text().c_str(), stderr);
+        print_pool_stats(scratch);
+      }
     } else {
       CodecContext cctx;
       stream = ClizCompressor(tuned.best, cliz_opts)
@@ -492,6 +621,60 @@ int cmd_decompress(Args& args) {
   return 0;
 }
 
+int cmd_extract(Args& args) {
+  const std::string input = args.next("input file");
+  std::string output;
+  std::optional<Region> region;
+  bool show_stats = false;
+  while (!args.done()) {
+    const std::string opt = args.next("option");
+    if (opt == "-o") {
+      output = args.next("output path");
+    } else if (opt == "--region") {
+      region = parse_region(args.next("region spec"));
+    } else if (opt == "--stats") {
+      show_stats = true;
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  if (output.empty()) usage("extract needs -o OUTPUT");
+  if (!region.has_value()) usage("extract needs --region a:b,c:d,...");
+
+  const auto stream = read_file(input);
+  if (!is_chunked_stream(stream)) {
+    throw cliz::Error(cliz::ErrorCode::kBadArgument,
+                      "clizc: extract --region needs a chunked cliz stream "
+                      "(compress with --tile or --chunks)");
+  }
+  const ChunkedReader reader(stream, g_limits, governor_cancel());
+  ChunkedScratch scratch;
+  RegionOptions ropts;
+  ropts.scratch = &scratch;
+  const Shape out_shape{DimVec(region->extent)};
+  RegionStats rs;
+  if (reader.sample_bytes() == 8) {
+    std::vector<double> out(out_shape.size());
+    rs = reader.decompress_region(region->origin, region->extent,
+                                  std::span<double>(out), ropts);
+    write_file(output, out.data(), out.size() * sizeof(double));
+  } else {
+    std::vector<float> out(out_shape.size());
+    rs = reader.decompress_region(region->origin, region->extent,
+                                  std::span<float>(out), ropts);
+    write_file(output, out.data(), out.size() * sizeof(float));
+  }
+  std::fprintf(stderr, "%s [%s from %s] -> %s (%zu values)\n", input.c_str(),
+               out_shape.to_string().c_str(),
+               reader.shape().to_string().c_str(), output.c_str(),
+               out_shape.size());
+  if (show_stats) {
+    print_region_stats(rs);
+    print_pool_stats(scratch);
+  }
+  return 0;
+}
+
 bool looks_like_archive(const std::vector<std::uint8_t>& bytes) {
   return bytes.size() >= 4 && bytes[0] == 0x41 && bytes[1] == 0x5A &&
          bytes[2] == 0x4C && bytes[3] == 0x43;  // little-endian "CLZA"
@@ -514,18 +697,26 @@ int cmd_info(Args& args) {
                   compression_ratio(shape.size() * sizeof(float),
                                     static_cast<std::size_t>(
                                         v.compressed_bytes)));
+      if (v.codec != "cliz") continue;
+      const auto raw = reader.read_raw(v.name);
+      if (!is_chunked_stream(raw)) continue;
+      const ChunkedReader tiles(raw, g_limits, governor_cancel());
+      print_tile_table(tiles, raw);
     }
     return 0;
   }
   if (is_chunked_stream(bytes)) {
-    const unsigned width = chunked_sample_bytes(bytes, g_limits);
-    const Shape shape = width == 8 ? chunked_decompress_f64(bytes).shape()
-                                   : chunked_decompress(bytes).shape();
+    // The tile index answers everything info needs — no payload decode.
+    const ChunkedReader reader(bytes, g_limits, governor_cancel());
+    const unsigned width = reader.sample_bytes();
+    const Shape& shape = reader.shape();
     std::printf(
-        "chunked cliz stream: %s, %zu float%u values, %zu compressed "
-        "bytes (%.2fx)\n",
-        shape.to_string().c_str(), shape.size(), width * 8, bytes.size(),
+        "chunked cliz stream: %s, %zu float%u values, %zu tile(s), %zu "
+        "compressed bytes (%.2fx)\n",
+        shape.to_string().c_str(), shape.size(), width * 8,
+        reader.tiles().size(), bytes.size(),
         compression_ratio(shape.size() * width, bytes.size()));
+    print_tile_table(reader, bytes);
     return 0;
   }
   const std::string codec = detect_codec(bytes);
@@ -603,6 +794,7 @@ int cmd_archive_create(Args& args) {
   std::optional<double> abs_eb;
   bool mask_fill = false;
   double tune_rate = 0.01;
+  DimVec tile;
   std::vector<std::string> specs;
   while (!args.done()) {
     const std::string opt = args.next("spec or option");
@@ -614,6 +806,8 @@ int cmd_archive_create(Args& args) {
       mask_fill = true;
     } else if (opt == "--tune") {
       tune_rate = std::atof(args.next("sampling rate").c_str());
+    } else if (opt == "--tile") {
+      tile = parse_tile(args.next("tile spec"));
     } else {
       specs.push_back(opt);
     }
@@ -623,6 +817,7 @@ int cmd_archive_create(Args& args) {
   }
 
   ArchiveWriter writer(output);
+  if (!tile.empty()) writer.set_tile(tile);
   for (const std::string& spec : specs) {
     // NAME=FILE:DIMS[:CODEC]
     const std::size_t eq = spec.find('=');
@@ -699,12 +894,18 @@ int cmd_archive_extract(Args& args) {
   const std::string var = args.next("variable name");
   std::string output;
   bool salvage = false;
+  bool show_stats = false;
+  std::optional<Region> region;
   while (!args.done()) {
     const std::string opt = args.next("option");
     if (opt == "-o") {
       output = args.next("output path");
     } else if (opt == "--salvage") {
       salvage = true;
+    } else if (opt == "--region") {
+      region = parse_region(args.next("region spec"));
+    } else if (opt == "--stats") {
+      show_stats = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -714,6 +915,26 @@ int cmd_archive_extract(Args& args) {
       input, salvage ? ArchiveOpenMode::kTolerant : ArchiveOpenMode::kStrict,
       g_limits, governor_cancel());
   if (salvage) std::fputs(reader.salvage().to_text().c_str(), stderr);
+  if (region.has_value()) {
+    const VariableInfo& v = reader.info(var);
+    RegionStats rs;
+    Shape out_shape;
+    if (v.sample_bytes == 8) {
+      const auto data = reader.read_region_f64(var, region->origin,
+                                               region->extent, nullptr, &rs);
+      write_file(output, data.data(), data.size() * sizeof(double));
+      out_shape = data.shape();
+    } else {
+      const auto data = reader.read_region(var, region->origin,
+                                           region->extent, nullptr, &rs);
+      write_file(output, data.data(), data.size() * sizeof(float));
+      out_shape = data.shape();
+    }
+    std::fprintf(stderr, "extracted %s [%s] -> %s\n", var.c_str(),
+                 out_shape.to_string().c_str(), output.c_str());
+    if (show_stats) print_region_stats(rs);
+    return 0;
+  }
   const auto data = reader.read(var);
   write_file(output, data.data(), data.size() * sizeof(float));
   std::fprintf(stderr, "extracted %s %s -> %s\n", var.c_str(),
@@ -770,6 +991,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "extract") return cmd_extract(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "gen") return cmd_gen(args);
